@@ -1,0 +1,62 @@
+// Command orca-bench regenerates every table and figure of the
+// paper's evaluation on the simulated Amoeba multicomputer.
+//
+// Usage:
+//
+//	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro] [-quick]
+//
+// Each experiment prints the measured series next to a summary of what
+// the paper reports; EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost")
+	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
+	flag.Parse()
+
+	scale := harness.Full
+	if *quick {
+		scale = harness.Quick
+	}
+	w := os.Stdout
+	run := map[string]func(){
+		"fig2":     func() { harness.Fig2TSP(w, scale) },
+		"fig3":     func() { harness.Fig3ACP(w, scale) },
+		"chess":    func() { harness.ChessExperiment(w, scale) },
+		"atpg":     func() { harness.ATPGExperiment(w, scale) },
+		"pbbb":     func() { harness.PBBBExperiment(w, scale) },
+		"rtscmp":   func() { harness.RTSCompareExperiment(w, scale) },
+		"dynrepl":  func() { harness.DynReplExperiment(w, scale) },
+		"micro":    func() { harness.MicroExperiment(w, scale) },
+		"partrepl": func() { harness.PartReplExperiment(w, scale) },
+		"intrcost": func() { harness.InterruptCostExperiment(w, scale) },
+	}
+	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost"}
+	names := strings.Split(*exp, ",")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			for _, n := range order {
+				run[n]()
+				fmt.Fprintln(w)
+			}
+			continue
+		}
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %s\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fn()
+		fmt.Fprintln(w)
+	}
+}

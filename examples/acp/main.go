@@ -1,0 +1,38 @@
+// ACP example: arc consistency with statically partitioned variables,
+// shared domain/work/result objects, and the paper's termination
+// protocol built from indivisible operations.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/acp"
+	"repro/internal/orca"
+)
+
+func main() {
+	inst := acp.GeneratePropagation(32, 32, 20, 2)
+	fmt.Printf("ACP: %d variables, domain size %d, %d constraints\n",
+		inst.NVars, inst.DomainSize, len(inst.Constraints))
+
+	seq := acp.SolveSeq(inst)
+	fmt.Printf("sequential: %d revisions, no-solution=%v\n\n", seq.Revisions, seq.NoSolution)
+
+	res := acp.RunOrca(orca.Config{
+		Processors: 5, // master on processor 0, workers on 1-4
+		RTS:        orca.Broadcast,
+		Seed:       1,
+	}, inst, acp.Params{})
+	fmt.Printf("parallel (4 workers): %v virtual, %d revisions, %d messages\n",
+		res.Report.Elapsed, res.Revisions, res.Report.Net.Messages)
+
+	for v := range seq.Domains {
+		if res.Domains[v] != seq.Domains[v] {
+			panic("parallel fixpoint differs from sequential")
+		}
+	}
+	sizes := acp.DomainSizes(res.Domains)
+	fmt.Printf("fixpoint domain sizes (first 8 vars): %v\n", sizes[:8])
+	fmt.Println("every domain update was broadcast; the per-machine handling cost")
+	fmt.Println("of those updates is what bends this application's speedup curve")
+}

@@ -1,0 +1,35 @@
+// ATPG example: PODEM test generation with the fault-simulation
+// optimization sharing detected faults through a shared object.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/atpg"
+	"repro/internal/orca"
+)
+
+func main() {
+	c := atpg.Generate(16, 8, 40, 42)
+	faults := atpg.AllFaults(c)
+	fmt.Printf("circuit: %d lines, %d outputs, %d stuck-at faults\n",
+		c.Lines(), len(c.Outputs), len(faults))
+
+	seq := atpg.SolveSeq(c, faults, 30, true)
+	fmt.Printf("sequential with fault simulation: %d detected, %d patterns\n\n",
+		seq.Detected, seq.Patterns)
+
+	for _, mode := range []atpg.Mode{atpg.Static, atpg.StaticFaultSim} {
+		res := atpg.RunOrca(orca.Config{
+			Processors: 4,
+			RTS:        orca.Broadcast,
+			Seed:       1,
+		}, c, faults, atpg.Params{Mode: mode})
+		fmt.Printf("%-17s %d detected, %4d patterns, %v virtual, %d messages\n",
+			mode.String()+":", res.Detected, res.Patterns, res.Report.Elapsed,
+			res.Report.Net.Messages)
+	}
+	fmt.Println("\nfault simulation cuts the work by sharing a detected-fault object:")
+	fmt.Println("faster in absolute terms, at the price of communication and load")
+	fmt.Println("imbalance (the paper's §4.4 trade-off)")
+}

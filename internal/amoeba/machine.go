@@ -1,0 +1,262 @@
+// Package amoeba models the microkernel of the paper's testbed: one
+// kernel instance per processor-pool machine, providing threads,
+// segments (memory management), transparent RPC, and the hooks the
+// group-communication layer needs.
+//
+// Each Machine owns one CPU (the testbed machines are single-CPU
+// MC68030s) modelled as a sim.Resource. Every frame delivered by the
+// network is serviced by the machine's interrupt thread, which charges
+// per-fragment interrupt cost plus protocol processing cost to the CPU
+// before dispatching to the bound port handler. This per-message CPU
+// tax is what bends the speedup curves of update-heavy applications,
+// exactly as the paper reports for ACP.
+package amoeba
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Costs are the kernel CPU cost constants, calibrated so that a null
+// RPC lands in the ~1.2 ms range Amoeba reported on this class of
+// hardware.
+type Costs struct {
+	// Interrupt is CPU time per delivered wire fragment.
+	Interrupt sim.Time
+	// Protocol is CPU time to process one delivered message above the
+	// interrupt itself (demux, header checks, copies).
+	Protocol sim.Time
+	// Send is CPU time to build and hand one message to the driver.
+	Send sim.Time
+	// Switch is the thread context-switch cost charged when a blocked
+	// thread is handed a message.
+	Switch sim.Time
+	// Quantum is the scheduling timeslice: Compute releases the CPU
+	// between quanta so other threads (and interrupt service) can
+	// interleave with long computations, as a preemptive kernel
+	// would allow.
+	Quantum sim.Time
+}
+
+// DefaultCosts returns constants for a 1992-class 68030 running the
+// Amoeba kernel.
+func DefaultCosts() Costs {
+	return Costs{
+		Interrupt: 120 * sim.Microsecond,
+		Protocol:  90 * sim.Microsecond,
+		Send:      180 * sim.Microsecond,
+		Switch:    60 * sim.Microsecond,
+		Quantum:   sim.Millisecond,
+	}
+}
+
+// Packet is the unit the kernel exchanges: a port to demultiplex on
+// plus an opaque body. Kind labels the traffic class for wire
+// statistics.
+type Packet struct {
+	Port string
+	Kind string
+	Body any
+	Size int
+}
+
+// Handler services packets arriving at a bound port. Handlers run on
+// the machine's interrupt thread after CPU costs are charged; they
+// must not block (enqueue to a sim.Queue and return).
+type Handler func(p *sim.Proc, from int, pkt Packet)
+
+// task is a unit of work for the interrupt thread: either a network
+// delivery or a deferred function (timer bodies that need kernel CPU).
+type task struct {
+	deliv *netsim.Delivery
+	fn    func(p *sim.Proc)
+}
+
+// Machine is one kernel instance: a node id, a CPU, bound ports, and
+// bookkeeping for threads, processes, and segments.
+type Machine struct {
+	id      int
+	env     *sim.Env
+	net     *netsim.Network
+	costs   Costs
+	cpu     *sim.Resource
+	inq     *sim.Queue[task]
+	ports   map[string]Handler
+	crashed bool
+
+	nextSegID  int
+	memInUse   int64
+	memPeak    int64
+	nthreads   int
+	appBusy    sim.Time // CPU time charged through Compute (application work)
+	svcCounter int64
+}
+
+// NewMachine boots a kernel on node id of net.
+func NewMachine(env *sim.Env, net *netsim.Network, id int, costs Costs) *Machine {
+	m := &Machine{
+		id:    id,
+		env:   env,
+		net:   net,
+		costs: costs,
+		cpu:   sim.NewResource(env),
+		inq:   sim.NewQueue[task](env),
+		ports: make(map[string]Handler),
+	}
+	net.Handle(id, func(d netsim.Delivery) {
+		m.inq.Put(task{deliv: &d})
+	})
+	m.SpawnThread("netisr", m.interruptLoop)
+	return m
+}
+
+// ID reports the node id.
+func (m *Machine) ID() int { return m.id }
+
+// Env returns the simulation environment.
+func (m *Machine) Env() *sim.Env { return m.env }
+
+// Net returns the network the machine is attached to.
+func (m *Machine) Net() *netsim.Network { return m.net }
+
+// Costs returns the kernel cost constants.
+func (m *Machine) Costs() Costs { return m.costs }
+
+// CPU exposes the machine's processor resource.
+func (m *Machine) CPU() *sim.Resource { return m.cpu }
+
+// interruptLoop is the kernel's interrupt-service thread. It charges
+// interrupt and protocol costs for each delivery, then dispatches to
+// the bound handler.
+func (m *Machine) interruptLoop(p *sim.Proc) {
+	for {
+		t, ok := m.inq.Get(p)
+		if !ok {
+			return
+		}
+		if m.crashed {
+			continue
+		}
+		if t.fn != nil {
+			t.fn(p)
+			continue
+		}
+		d := t.deliv
+		cost := m.costs.Interrupt*sim.Time(d.Fragments) + m.costs.Protocol
+		m.cpu.UseFront(p, cost)
+		pkt, ok := d.Frame.Payload.(Packet)
+		if !ok {
+			panic(fmt.Sprintf("amoeba: node %d received non-Packet payload %T", m.id, d.Frame.Payload))
+		}
+		h := m.ports[pkt.Port]
+		if h == nil {
+			m.env.Tracef("node%d: drop packet for unbound port %q", m.id, pkt.Port)
+			continue
+		}
+		h(p, d.Frame.Src, pkt)
+	}
+}
+
+// Bind registers the handler for a port. Binding an already-bound port
+// panics: port names are service identities.
+func (m *Machine) Bind(port string, h Handler) {
+	if _, dup := m.ports[port]; dup {
+		panic(fmt.Sprintf("amoeba: node %d: port %q already bound", m.id, port))
+	}
+	m.ports[port] = h
+}
+
+// Unbind removes a port binding.
+func (m *Machine) Unbind(port string) { delete(m.ports, port) }
+
+// SpawnThread starts a kernel or user thread on this machine. The
+// thread is a simulated process; its compute must be charged explicitly
+// through Compute (or cpu.Use) to occupy the machine's CPU.
+func (m *Machine) SpawnThread(name string, fn func(p *sim.Proc)) *sim.Proc {
+	m.nthreads++
+	return m.env.Spawn(fmt.Sprintf("node%d/%s", m.id, name), fn)
+}
+
+// Compute charges d of application CPU time to the machine on behalf
+// of thread p, blocking while the CPU is busy with other work. Long
+// computations are sliced into scheduling quanta so other threads and
+// interrupt service interleave.
+func (m *Machine) Compute(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	m.appBusy += d
+	q := m.costs.Quantum
+	if q <= 0 {
+		q = sim.Millisecond
+	}
+	for d > 0 {
+		c := d
+		if c > q {
+			c = q
+		}
+		m.cpu.Use(p, c)
+		d -= c
+	}
+}
+
+// AppBusy reports total application CPU time charged via Compute.
+func (m *Machine) AppBusy() sim.Time { return m.appBusy }
+
+// Send transmits a unicast packet to dst, charging send-side CPU to p.
+func (m *Machine) Send(p *sim.Proc, dst int, pkt Packet) {
+	if m.crashed {
+		return
+	}
+	m.cpu.Use(p, m.costs.Send)
+	m.net.SendFrame(netsim.Frame{Src: m.id, Dst: dst, Kind: pkt.Kind, Size: pkt.Size, Payload: pkt})
+}
+
+// Broadcast transmits a packet to all other machines, charging
+// send-side CPU to p. It requires broadcast-capable hardware.
+func (m *Machine) Broadcast(p *sim.Proc, pkt Packet) {
+	if m.crashed {
+		return
+	}
+	m.cpu.Use(p, m.costs.Send)
+	m.net.BroadcastFrame(netsim.Frame{Src: m.id, Kind: pkt.Kind, Size: pkt.Size, Payload: pkt})
+}
+
+// Defer enqueues fn to run on the interrupt thread, where it may charge
+// kernel CPU and send packets. Timer callbacks use this to re-enter
+// kernel context.
+func (m *Machine) Defer(fn func(p *sim.Proc)) {
+	if m.crashed {
+		return
+	}
+	m.inq.Put(task{fn: fn})
+}
+
+// After schedules fn on the interrupt thread d from now. The returned
+// event can be cancelled.
+func (m *Machine) After(d sim.Time, fn func(p *sim.Proc)) *sim.Event {
+	return m.env.After(d, func() {
+		if !m.crashed {
+			m.Defer(fn)
+		}
+	})
+}
+
+// Crash takes the machine off the network and stops servicing its
+// queues, simulating a processor crash.
+func (m *Machine) Crash() {
+	m.crashed = true
+	m.net.SetDown(m.id, true)
+}
+
+// Crashed reports whether the machine has crashed.
+func (m *Machine) Crashed() bool { return m.crashed }
+
+// ServiceID returns a machine-unique id, used by protocols to mint
+// unique message identifiers.
+func (m *Machine) ServiceID() int64 {
+	m.svcCounter++
+	return int64(m.id)<<40 | m.svcCounter
+}

@@ -1,0 +1,305 @@
+// Package acp implements the paper's second application (§4.2): the
+// Arc Consistency Problem. The input is a set of variables with finite
+// domains and a list of binary constraints; the goal is the maximal
+// set of values each variable can take such that all constraints can
+// be satisfied.
+//
+// The parallel program follows the paper: variables are statically
+// partitioned among worker processes; the variable domains live in a
+// shared "domain" object (an array of sets), a shared "work" object
+// tracks which variables must be rechecked, a "result" object records
+// which processes are willing to terminate, and a "nosolution" flag is
+// set when a domain becomes empty. The work and result objects have
+// indivisible operations for the termination conditions.
+package acp
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// RelKind is the kind of a binary constraint between two variables.
+type RelKind int
+
+const (
+	// RelLt is Vi < Vj + K.
+	RelLt RelKind = iota
+	// RelNeq is Vi != Vj + K.
+	RelNeq
+	// RelAbsGe is |Vi - Vj| >= K.
+	RelAbsGe
+	// RelAbsLe is |Vi - Vj| <= K.
+	RelAbsLe
+)
+
+// Constraint is a binary constraint between variables I and J.
+type Constraint struct {
+	I, J int
+	Rel  RelKind
+	K    int
+}
+
+// Holds reports whether the constraint is satisfied by Vi=a, Vj=b.
+func (c Constraint) Holds(a, b int) bool {
+	switch c.Rel {
+	case RelLt:
+		return a < b+c.K
+	case RelNeq:
+		return a != b+c.K
+	case RelAbsGe:
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d >= c.K
+	case RelAbsLe:
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= c.K
+	}
+	return false
+}
+
+// Instance is an arc-consistency problem: NVars variables with domains
+// {0..DomainSize-1} and binary constraints.
+type Instance struct {
+	NVars       int
+	DomainSize  int
+	Constraints []Constraint
+	// adj[i] lists indices into Constraints incident on variable i.
+	adj [][]int
+}
+
+// ReviseCostPerPair is the virtual CPU cost of one support check in
+// revise; a full revise of a domain of size d against another costs
+// about d*d of these.
+const ReviseCostPerPair = 800 * sim.Nanosecond
+
+// ReviseCost reports the virtual CPU cost of one revise call.
+func (inst *Instance) ReviseCost() sim.Time {
+	return sim.Time(inst.DomainSize*inst.DomainSize) * ReviseCostPerPair
+}
+
+// Generate builds a random connected constraint network with the given
+// variable count and domain size (<= 64 values, stored as bitmasks).
+// extraEdges adds density beyond the random spanning tree. The paper's
+// Fig. 3 input has 64 variables.
+func Generate(nVars, domainSize int, extraEdges int, seed int64) *Instance {
+	if domainSize > 64 {
+		panic("acp: domain size > 64")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{NVars: nVars, DomainSize: domainSize}
+	randomRel := func() (RelKind, int) {
+		switch rng.Intn(4) {
+		case 0:
+			return RelLt, rng.Intn(domainSize/2) + 1
+		case 1:
+			return RelNeq, rng.Intn(5) - 2
+		case 2:
+			return RelAbsGe, rng.Intn(domainSize/4) + 1
+		default:
+			return RelAbsLe, domainSize/2 + rng.Intn(domainSize/2)
+		}
+	}
+	// Spanning tree for connectivity.
+	perm := rng.Perm(nVars)
+	for k := 1; k < nVars; k++ {
+		i := perm[k]
+		j := perm[rng.Intn(k)]
+		rel, K := randomRel()
+		inst.Constraints = append(inst.Constraints, Constraint{I: i, J: j, Rel: rel, K: K})
+	}
+	for e := 0; e < extraEdges; e++ {
+		i, j := rng.Intn(nVars), rng.Intn(nVars)
+		if i == j {
+			continue
+		}
+		rel, K := randomRel()
+		inst.Constraints = append(inst.Constraints, Constraint{I: i, J: j, Rel: rel, K: K})
+	}
+	inst.buildAdj()
+	return inst
+}
+
+// GeneratePropagation builds an instance designed for long
+// arc-consistency propagation: the variables form a cycle of ordering
+// constraints whose slack tightens the domains wave after wave, plus
+// random cross constraints. This models the paper's "interesting"
+// inputs, where the fixpoint takes many rounds and workers genuinely
+// exchange domain updates.
+func GeneratePropagation(nVars, domainSize, extraEdges int, seed int64) *Instance {
+	if domainSize > 64 {
+		panic("acp: domain size > 64")
+	}
+	if domainSize < nVars {
+		panic("acp: propagation instances need domainSize >= nVars")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{NVars: nVars, DomainSize: domainSize}
+	perm := rng.Perm(nVars) // perm[pos] = variable at chain position pos
+	// Strict ordering chain: the variable at position p must be less
+	// than the one at p+1. Arc consistency erodes the domains one
+	// value per wave, so the fixpoint takes many rounds.
+	for pos := 0; pos+1 < nVars; pos++ {
+		inst.Constraints = append(inst.Constraints,
+			Constraint{I: perm[pos], J: perm[pos+1], Rel: RelLt, K: 0})
+	}
+	// Extras keep the witness x[perm[pos]] = pos satisfiable:
+	// reverse bounds pin position differences (more back-propagation)
+	// and disequalities add cross traffic.
+	for e := 0; e < extraEdges; e++ {
+		a := rng.Intn(nVars - 1)
+		b := a + 1 + rng.Intn(nVars-a-1)
+		if rng.Intn(2) == 0 {
+			// x[perm[b]] < x[perm[a]] + (b-a+1): together with the
+			// chain this forces the difference to exactly b-a.
+			inst.Constraints = append(inst.Constraints,
+				Constraint{I: perm[b], J: perm[a], Rel: RelLt, K: b - a + 1})
+		} else {
+			k := rng.Intn(domainSize/2) + 1
+			if k == a-b { // would contradict the witness
+				k++
+			}
+			inst.Constraints = append(inst.Constraints,
+				Constraint{I: perm[a], J: perm[b], Rel: RelNeq, K: k})
+		}
+	}
+	inst.buildAdj()
+	return inst
+}
+
+func (inst *Instance) buildAdj() {
+	inst.adj = make([][]int, inst.NVars)
+	for ci, c := range inst.Constraints {
+		inst.adj[c.I] = append(inst.adj[c.I], ci)
+		inst.adj[c.J] = append(inst.adj[c.J], ci)
+	}
+}
+
+// Incident returns the constraint indices touching variable v.
+func (inst *Instance) Incident(v int) []int { return inst.adj[v] }
+
+// Neighbors returns the variables sharing a constraint with v.
+func (inst *Instance) Neighbors(v int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ci := range inst.adj[v] {
+		c := inst.Constraints[ci]
+		o := c.I
+		if o == v {
+			o = c.J
+		}
+		if o != v && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// FullDomain returns the bitmask of all values.
+func (inst *Instance) FullDomain() uint64 {
+	if inst.DomainSize == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(inst.DomainSize)) - 1
+}
+
+// Revise computes the new domain of the constraint-side variable v
+// given the other side's domain: values of v without support are
+// removed. v must be c.I or c.J.
+func Revise(c Constraint, v int, dv, dother uint64, domainSize int) uint64 {
+	var out uint64
+	for a := 0; a < domainSize; a++ {
+		if dv&(1<<uint(a)) == 0 {
+			continue
+		}
+		for b := 0; b < domainSize; b++ {
+			if dother&(1<<uint(b)) == 0 {
+				continue
+			}
+			ok := false
+			if v == c.I {
+				ok = c.Holds(a, b)
+			} else {
+				ok = c.Holds(b, a)
+			}
+			if ok {
+				out |= 1 << uint(a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SeqResult is the output of the sequential baseline.
+type SeqResult struct {
+	Domains    []uint64
+	NoSolution bool
+	Revisions  int64
+}
+
+// SolveSeq runs the sequential algorithm of the paper: assign full
+// domains, then repeatedly restrict sets using the constraints until
+// no more changes, keeping a list of variables whose sets changed
+// (AC-3 style).
+func SolveSeq(inst *Instance) SeqResult {
+	res := SeqResult{Domains: make([]uint64, inst.NVars)}
+	for i := range res.Domains {
+		res.Domains[i] = inst.FullDomain()
+	}
+	work := make([]bool, inst.NVars)
+	queue := make([]int, 0, inst.NVars)
+	for i := 0; i < inst.NVars; i++ {
+		work[i] = true
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		work[v] = false
+		for _, ci := range inst.adj[v] {
+			c := inst.Constraints[ci]
+			other := c.I
+			if other == v {
+				other = c.J
+			}
+			res.Revisions++
+			nv := Revise(c, v, res.Domains[v], res.Domains[other], inst.DomainSize)
+			if nv == res.Domains[v] {
+				continue
+			}
+			res.Domains[v] = nv
+			if nv == 0 {
+				res.NoSolution = true
+				return res
+			}
+			for _, nb := range inst.Neighbors(v) {
+				if !work[nb] {
+					work[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+			if !work[v] {
+				work[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return res
+}
+
+// DomainSizes reports the cardinality of each domain mask.
+func DomainSizes(domains []uint64) []int {
+	out := make([]int, len(domains))
+	for i, d := range domains {
+		out[i] = bits.OnesCount64(d)
+	}
+	return out
+}

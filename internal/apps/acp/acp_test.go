@@ -1,0 +1,214 @@
+package acp
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/orca"
+)
+
+func TestConstraintHolds(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		a, b int
+		want bool
+	}{
+		{Constraint{Rel: RelLt, K: 0}, 1, 2, true},
+		{Constraint{Rel: RelLt, K: 0}, 2, 2, false},
+		{Constraint{Rel: RelLt, K: 3}, 4, 2, true},
+		{Constraint{Rel: RelNeq, K: 0}, 3, 3, false},
+		{Constraint{Rel: RelNeq, K: 1}, 4, 3, false},
+		{Constraint{Rel: RelNeq, K: 1}, 3, 3, true},
+		{Constraint{Rel: RelAbsGe, K: 2}, 5, 3, true},
+		{Constraint{Rel: RelAbsGe, K: 3}, 5, 3, false},
+		{Constraint{Rel: RelAbsLe, K: 2}, 5, 3, true},
+		{Constraint{Rel: RelAbsLe, K: 1}, 5, 3, false},
+	}
+	for i, tc := range cases {
+		if got := tc.c.Holds(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Holds(%d,%d) = %v", i, tc.a, tc.b, got)
+		}
+	}
+}
+
+// reviseNaive is an oracle: keep a iff some b satisfies the
+// constraint.
+func reviseNaive(c Constraint, v int, dv, dother uint64, ds int) uint64 {
+	var out uint64
+	for a := 0; a < ds; a++ {
+		if dv&(1<<uint(a)) == 0 {
+			continue
+		}
+		for b := 0; b < ds; b++ {
+			if dother&(1<<uint(b)) == 0 {
+				continue
+			}
+			var ok bool
+			if v == c.I {
+				ok = c.Holds(a, b)
+			} else {
+				ok = c.Holds(b, a)
+			}
+			if ok {
+				out |= 1 << uint(a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestReviseProperties(t *testing.T) {
+	f := func(relRaw uint8, k int8, dv, dother uint64) bool {
+		const ds = 16
+		full := uint64(1<<ds) - 1
+		dv &= full
+		dother &= full
+		c := Constraint{I: 0, J: 1, Rel: RelKind(relRaw % 4), K: int(k % 8)}
+		nv := Revise(c, 0, dv, dother, ds)
+		if nv&^dv != 0 {
+			return false // revise must only remove values
+		}
+		if dother == 0 && nv != 0 {
+			return false // nothing can be supported by an empty set
+		}
+		return nv == reviseNaive(c, 0, dv, dother, ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSeqFixpoint(t *testing.T) {
+	inst := Generate(24, 12, 24, 3)
+	res := SolveSeq(inst)
+	if res.NoSolution {
+		t.Skip("instance unsatisfiable; pick different seed")
+	}
+	// At the fixpoint, no revise changes anything.
+	for _, c := range inst.Constraints {
+		for _, v := range []int{c.I, c.J} {
+			other := c.I + c.J - v
+			nv := Revise(c, v, res.Domains[v], res.Domains[other], inst.DomainSize)
+			if nv != res.Domains[v] {
+				t.Fatalf("fixpoint violated at constraint %+v side %d", c, v)
+			}
+		}
+	}
+}
+
+func TestSolveSeqDetectsWipeout(t *testing.T) {
+	// x < y, y < x is unsatisfiable.
+	inst := &Instance{NVars: 2, DomainSize: 4, Constraints: []Constraint{
+		{I: 0, J: 1, Rel: RelLt, K: 0},
+		{I: 1, J: 0, Rel: RelLt, K: 0},
+	}}
+	inst.buildAdj()
+	res := SolveSeq(inst)
+	if !res.NoSolution {
+		t.Fatal("wipeout not detected")
+	}
+}
+
+func TestGenerateConnectedDeterministic(t *testing.T) {
+	a := Generate(16, 8, 10, 5)
+	b := Generate(16, 8, 10, 5)
+	if len(a.Constraints) != len(b.Constraints) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Constraints {
+		if a.Constraints[i] != b.Constraints[i] {
+			t.Fatal("nondeterministic constraints")
+		}
+	}
+	// Connectivity: union-find over constraint edges.
+	parent := make([]int, a.NVars)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, c := range a.Constraints {
+		parent[find(c.I)] = find(c.J)
+	}
+	root := find(0)
+	for v := 1; v < a.NVars; v++ {
+		if find(v) != root {
+			t.Fatal("constraint graph not connected")
+		}
+	}
+}
+
+func TestOrcaMatchesSequential(t *testing.T) {
+	inst := Generate(20, 10, 20, 7)
+	want := SolveSeq(inst)
+	got := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	if got.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", got.Report.Blocked)
+	}
+	if got.NoSolution != want.NoSolution {
+		t.Fatalf("NoSolution = %v, want %v", got.NoSolution, want.NoSolution)
+	}
+	if !want.NoSolution {
+		for v := range want.Domains {
+			if got.Domains[v] != want.Domains[v] {
+				t.Fatalf("var %d: parallel %b, sequential %b", v, got.Domains[v], want.Domains[v])
+			}
+		}
+	}
+}
+
+func TestOrcaWipeoutTerminates(t *testing.T) {
+	inst := &Instance{NVars: 2, DomainSize: 4, Constraints: []Constraint{
+		{I: 0, J: 1, Rel: RelLt, K: 0},
+		{I: 1, J: 0, Rel: RelLt, K: 0},
+	}}
+	inst.buildAdj()
+	got := RunOrca(orca.Config{Processors: 3, RTS: orca.Broadcast, Seed: 2}, inst, Params{})
+	if got.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", got.Report.Blocked)
+	}
+	if !got.NoSolution {
+		t.Fatal("wipeout not detected by parallel program")
+	}
+}
+
+func TestOrcaDeterministic(t *testing.T) {
+	inst := Generate(16, 8, 16, 9)
+	a := RunOrca(orca.Config{Processors: 3, RTS: orca.Broadcast, Seed: 5}, inst, Params{})
+	b := RunOrca(orca.Config{Processors: 3, RTS: orca.Broadcast, Seed: 5}, inst, Params{})
+	if a.Report.Elapsed != b.Report.Elapsed || a.Revisions != b.Revisions {
+		t.Fatalf("non-deterministic: %v/%d vs %v/%d",
+			a.Report.Elapsed, a.Revisions, b.Report.Elapsed, b.Revisions)
+	}
+}
+
+func TestOrcaSingleProcessor(t *testing.T) {
+	inst := Generate(16, 8, 16, 11)
+	want := SolveSeq(inst)
+	got := RunOrca(orca.Config{Processors: 1, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	if got.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", got.Report.Blocked)
+	}
+	for v := range want.Domains {
+		if got.Domains[v] != want.Domains[v] {
+			t.Fatalf("var %d mismatch on single processor", v)
+		}
+	}
+}
+
+func TestDomainSizes(t *testing.T) {
+	sizes := DomainSizes([]uint64{0b1011, 0, ^uint64(0)})
+	if sizes[0] != 3 || sizes[1] != 0 || sizes[2] != 64 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if bits.OnesCount64(0b1011) != 3 {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,203 @@
+package acp
+
+import (
+	"repro/internal/rts"
+)
+
+// Shared object types for the ACP program. The domain object holds
+// the array of value sets ("This object thus contains an array of
+// sets, one for each variable"); the work object holds the recheck
+// flags plus the indivisible claim/idle operations the termination
+// protocol needs.
+
+// Type names registered by RegisterTypes.
+const (
+	DomainObj = "acp.domains"
+	WorkObj   = "acp.work"
+)
+
+// RegisterTypes adds the ACP object types to a registry.
+func RegisterTypes(reg *rts.Registry) {
+	reg.Register(domainType())
+	reg.Register(workType())
+}
+
+type domainState struct{ masks []uint64 }
+
+func domainType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: DomainObj,
+		New: func(args []any) rts.State {
+			n, full := args[0].(int), args[1].(uint64)
+			s := &domainState{masks: make([]uint64, n)}
+			for i := range s.masks {
+				s.masks[i] = full
+			}
+			return s
+		},
+		Clone: func(s rts.State) rts.State {
+			return &domainState{masks: append([]uint64(nil), s.(*domainState).masks...)}
+		},
+		SizeOf: func(s rts.State) int { return 8 + 8*len(s.(*domainState).masks) },
+		Ops: map[string]*rts.OpDef{
+			"get": {Name: "get", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					return []any{s.(*domainState).masks[a[0].(int)]}
+				}},
+			// get2 reads two domains in one indivisible operation, the
+			// pair a revise needs.
+			"get2": {Name: "get2", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*domainState)
+					return []any{st.masks[a[0].(int)], st.masks[a[1].(int)]}
+				}},
+			// remove deletes the given values from a variable's set
+			// and reports (newMask, becameEmpty).
+			"remove": {Name: "remove", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*domainState)
+					i, mask := a[0].(int), a[1].(uint64)
+					st.masks[i] &^= mask
+					return []any{st.masks[i], st.masks[i] == 0}
+				}},
+			"snapshot": {Name: "snapshot", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any {
+					return []any{append([]uint64(nil), s.(*domainState).masks...)}
+				}},
+		},
+	}
+}
+
+// workState combines the per-variable recheck flags with the
+// termination bookkeeping: which workers are idle and whether the
+// computation is finished. Orca guards range over a single object, so
+// the blocking claim must see both the flags and the done bit — the
+// paper's "indivisible operations for testing these two conditions".
+type workState struct {
+	bits []bool
+	idle []bool
+	done bool
+}
+
+func workType() *rts.ObjectType {
+	claim := func(st *workState, me int, vars []int) (int, bool) {
+		if st.done {
+			return -1, true
+		}
+		for _, v := range vars {
+			if st.bits[v] {
+				st.bits[v] = false
+				st.idle[me] = false
+				return v, false
+			}
+		}
+		return -1, false
+	}
+	return &rts.ObjectType{
+		Name: WorkObj,
+		New: func(args []any) rts.State {
+			nVars, workers := args[0].(int), args[1].(int)
+			s := &workState{bits: make([]bool, nVars), idle: make([]bool, workers)}
+			for i := range s.bits {
+				s.bits[i] = true
+			}
+			return s
+		},
+		Clone: func(s rts.State) rts.State {
+			st := s.(*workState)
+			return &workState{
+				bits: append([]bool(nil), st.bits...),
+				idle: append([]bool(nil), st.idle...),
+				done: st.done,
+			}
+		},
+		SizeOf: func(s rts.State) int {
+			st := s.(*workState)
+			return 9 + len(st.bits) + len(st.idle)
+		},
+		Ops: map[string]*rts.OpDef{
+			// mark flags variables for rechecking.
+			"mark": {Name: "mark", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*workState)
+					for _, v := range a[0].([]int) {
+						st.bits[v] = true
+					}
+					return nil
+				}},
+			// claim indivisibly takes one flagged variable from the
+			// caller's partition (non-blocking): (var, done).
+			"claim": {Name: "claim", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					v, done := claim(s.(*workState), a[0].(int), a[1].([]int))
+					return []any{v, done}
+				}},
+			// await blocks until the caller's partition has work or
+			// the computation is finished, then claims indivisibly.
+			"await": {Name: "await", Kind: rts.Write,
+				Guard: func(s rts.State, a []any) bool {
+					st := s.(*workState)
+					if st.done {
+						return true
+					}
+					for _, v := range a[1].([]int) {
+						if st.bits[v] {
+							return true
+						}
+					}
+					return false
+				},
+				Apply: func(s rts.State, a []any) []any {
+					v, done := claim(s.(*workState), a[0].(int), a[1].([]int))
+					return []any{v, done}
+				}},
+			// setIdle declares the caller out of work; if every worker
+			// is idle and no flags remain, the computation is done.
+			// Returns done.
+			"setIdle": {Name: "setIdle", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*workState)
+					st.idle[a[0].(int)] = true
+					if !st.done {
+						all := true
+						for _, id := range st.idle {
+							if !id {
+								all = false
+								break
+							}
+						}
+						if all {
+							any := false
+							for _, b := range st.bits {
+								if b {
+									any = true
+									break
+								}
+							}
+							if !any {
+								st.done = true
+							}
+						}
+					}
+					return []any{st.done}
+				}},
+			// finish aborts the computation (no solution exists).
+			"finish": {Name: "finish", Kind: rts.Write,
+				Apply: func(s rts.State, _ []any) []any {
+					s.(*workState).done = true
+					return nil
+				}},
+			"isDone": {Name: "isDone", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*workState).done} }},
+			"anyWork": {Name: "anyWork", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any {
+					for _, b := range s.(*workState).bits {
+						if b {
+							return []any{true}
+						}
+					}
+					return []any{false}
+				}},
+		},
+	}
+}

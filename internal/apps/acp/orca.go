@@ -1,0 +1,152 @@
+package acp
+
+import (
+	"fmt"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/rts"
+)
+
+// Result of one Orca ACP run.
+type Result struct {
+	Domains    []uint64
+	NoSolution bool
+	Revisions  int64
+	Report     orca.Report
+	Runtime    *orca.Runtime
+}
+
+// Params configures the parallel ACP program.
+type Params struct {
+	// Workers overrides the worker count. The default follows the
+	// paper: one worker per processor except processor 0, which runs
+	// the master ("the master process that distributes the work runs
+	// on a separate processor"); with one processor, a single worker
+	// shares it with the master.
+	Workers int
+}
+
+// RunOrca executes the paper's parallel ACP program.
+func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
+	workers := params.Workers
+	if workers == 0 {
+		workers = cfg.Processors - 1
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	setup := func(reg *rts.Registry) {
+		std.Register(reg)
+		RegisterTypes(reg)
+	}
+	rt := orca.New(cfg, setup)
+	res := Result{}
+	rep := rt.Run(func(p *orca.Proc) {
+		domains := p.New(DomainObj, inst.NVars, inst.FullDomain())
+		work := p.New(WorkObj, inst.NVars, workers)
+		result := p.New(std.BoolArray, workers)
+		nosolution := p.New(std.Flag)
+		revAcc := p.New(std.Accum)
+		fin := p.New(std.Barrier, workers)
+
+		// Static partition of the variables among the workers.
+		parts := make([][]int, workers)
+		for v := 0; v < inst.NVars; v++ {
+			parts[v%workers] = append(parts[v%workers], v)
+		}
+
+		for me := 0; me < workers; me++ {
+			me := me
+			cpu := me + 1
+			if cpu >= cfg.Processors {
+				cpu = me % cfg.Processors
+			}
+			p.Fork(cpu, fmt.Sprintf("acp-worker%d", me), func(wp *orca.Proc) {
+				myVars := parts[me]
+				var revisions int64
+
+				// process rechecks the constraints involving variable
+				// v, shrinking v's set; returns false on wipeout.
+				// Work flags for neighbors are marked once at the
+				// end, in a single indivisible operation.
+				process := func(v int) bool {
+					changed := false
+					for _, ci := range inst.Incident(v) {
+						c := inst.Constraints[ci]
+						other := c.I
+						if other == v {
+							other = c.J
+						}
+						pair := wp.Invoke(domains, "get2", v, other)
+						dv, do := pair[0].(uint64), pair[1].(uint64)
+						nv := Revise(c, v, dv, do, inst.DomainSize)
+						wp.Work(inst.ReviseCost())
+						revisions++
+						if nv == dv {
+							continue
+						}
+						rem := wp.Invoke(domains, "remove", v, dv&^nv)
+						changed = true
+						if rem[1].(bool) {
+							// Empty set: no solution exists.
+							wp.Invoke(nosolution, "set", true)
+							wp.Invoke(work, "finish")
+							return false
+						}
+					}
+					if changed {
+						// Neighbors must be rechecked; so must v
+						// itself, since its set changed.
+						nbs := append([]int{v}, inst.Neighbors(v)...)
+						wp.Invoke(work, "mark", nbs)
+					}
+					return true
+				}
+
+				for {
+					// "Each process reads the object before doing new
+					// work, and quits if the value is true." (a local
+					// read on the replicated flag)
+					if wp.InvokeB(nosolution, "value") {
+						break
+					}
+					got := wp.Invoke(work, "claim", me, myVars)
+					if got[1].(bool) {
+						break // done
+					}
+					if v := got[0].(int); v >= 0 {
+						if !process(v) {
+							break
+						}
+						continue
+					}
+					// Out of work: declare willingness to terminate,
+					// then block for more work or termination.
+					wp.Invoke(result, "set", me, true)
+					if wp.InvokeB(work, "setIdle", me) {
+						break
+					}
+					got = wp.Invoke(work, "await", me, myVars)
+					if got[1].(bool) {
+						break
+					}
+					wp.Invoke(result, "set", me, false)
+					if v := got[0].(int); v >= 0 && !process(v) {
+						break
+					}
+				}
+				wp.Invoke(revAcc, "add", int(revisions))
+				wp.Invoke(fin, "arrive")
+			})
+		}
+
+		p.Invoke(fin, "wait")
+		res.NoSolution = p.InvokeB(nosolution, "value")
+		res.Revisions = int64(p.InvokeI(revAcc, "value"))
+		res.Domains = p.Invoke(domains, "snapshot")[0].([]uint64)
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}

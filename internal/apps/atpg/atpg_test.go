@@ -1,0 +1,253 @@
+package atpg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/orca"
+)
+
+func TestGateEval3Valued(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		a, b V5
+		want V5
+	}{
+		{And, One, One, One},
+		{And, One, Zero, Zero},
+		{And, Zero, Xv, Zero}, // controlling value dominates X
+		{And, One, Xv, Xv},
+		{Or, Zero, Zero, Zero},
+		{Or, One, Xv, One},
+		{Or, Zero, Xv, Xv},
+		{Nand, One, One, Zero},
+		{Nor, Zero, Zero, One},
+		{Xor, One, Zero, One},
+		{Xor, One, Xv, Xv},
+		{And, Dv, One, Dv},    // D propagates through sensitized AND
+		{And, Dv, Zero, Zero}, // blocked by controlling value
+		{Not, Dv, Zero, Dbar}, // argument b unused for NOT
+		{Or, Dbar, Zero, Dbar},
+		{Xor, Dv, Dbar, One}, // good: 1^0=1, faulty: 0^1=1
+	}
+	for i, tc := range cases {
+		ins := []V5{tc.a, tc.b}
+		if tc.t == Not {
+			ins = ins[:1]
+		}
+		if got := EvalGate(tc.t, ins); got != tc.want {
+			t.Errorf("case %d: %v(%v,%v) = %v, want %v", i, tc.t, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRippleAdderSimulation(t *testing.T) {
+	const n = 4
+	c := RippleAdder(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive check against integer addition.
+	for a := 0; a < 1<<n; a++ {
+		for b := 0; b < 1<<n; b++ {
+			for cin := 0; cin < 2; cin++ {
+				inputs := make([]V3, c.NumInputs)
+				for i := 0; i < n; i++ {
+					if a&(1<<i) != 0 {
+						inputs[i] = T3
+					}
+					if b&(1<<i) != 0 {
+						inputs[n+i] = T3
+					}
+				}
+				if cin == 1 {
+					inputs[2*n] = T3
+				}
+				vals := SimulateGood(c, inputs, nil)
+				got := 0
+				for i, out := range c.Outputs {
+					if vals[out] == T3 {
+						got |= 1 << i
+					}
+				}
+				if want := a + b + cin; got != want {
+					t.Fatalf("adder(%d,%d,%d) = %d, want %d", a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedCircuitValid(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		c := Generate(16, 8, 40, seed)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(c.Outputs) == 0 {
+			t.Fatal("no outputs")
+		}
+	}
+}
+
+// TestPodemPatternsActuallyDetect is the key PODEM correctness check:
+// every generated pattern must be confirmed by independent fault
+// simulation.
+func TestPodemPatternsActuallyDetect(t *testing.T) {
+	c := Generate(16, 6, 30, 3)
+	faults := AllFaults(c)
+	detected, aborted := 0, 0
+	for _, f := range faults {
+		pr := Podem(c, f, 50)
+		if pr.Detected {
+			detected++
+			if !DetectedBy(c, pr.Pattern, f, nil) {
+				t.Fatalf("PODEM pattern for %v does not detect it", f)
+			}
+		} else if pr.Aborted {
+			aborted++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("PODEM detected nothing")
+	}
+	// Random circuits have mostly testable faults.
+	if detected < len(faults)/2 {
+		t.Fatalf("only %d/%d faults detected", detected, len(faults))
+	}
+	t.Logf("detected %d/%d (aborted %d)", detected, len(faults), aborted)
+}
+
+func TestPodemOnAdderFullCoverage(t *testing.T) {
+	c := RippleAdder(3)
+	faults := AllFaults(c)
+	for _, f := range faults {
+		pr := Podem(c, f, 200)
+		if !pr.Detected {
+			t.Fatalf("fault %v not detected on adder (aborted=%v); adders are fully testable", f, pr.Aborted)
+		}
+		if !DetectedBy(c, pr.Pattern, f, nil) {
+			t.Fatalf("pattern for %v fails verification", f)
+		}
+	}
+}
+
+// Property: the event-driven fault simulator agrees with full
+// five-valued simulation for random patterns and faults.
+func TestFaultSimulatorAgreesWithFullSim(t *testing.T) {
+	c := Generate(12, 6, 24, 9)
+	f := func(patBits uint16, lineRaw uint16, sa bool) bool {
+		pattern := make([]V3, c.NumInputs)
+		for i := range pattern {
+			if patBits&(1<<uint(i%16)) != 0 {
+				pattern[i] = T3
+			}
+			patBits = patBits>>1 | patBits<<15
+		}
+		fault := Fault{Line: int(lineRaw) % c.Lines()}
+		if sa {
+			fault.StuckAt = 1
+		}
+		fs := NewFaultSimulator(c, pattern)
+		return fs.Detects(fault) == DetectedBy(c, pattern, fault, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultSimulatorReuse(t *testing.T) {
+	c := RippleAdder(3)
+	pattern := make([]V3, c.NumInputs)
+	for i := range pattern {
+		pattern[i] = V3(i % 2)
+	}
+	fs := NewFaultSimulator(c, pattern)
+	// Query many faults on the same simulator; results must match
+	// fresh full simulations (scratch state fully reset).
+	for _, f := range AllFaults(c) {
+		if fs.Detects(f) != DetectedBy(c, pattern, f, nil) {
+			t.Fatalf("reused simulator wrong for %v", f)
+		}
+	}
+}
+
+func TestSolveSeqFaultSimImprovesPatterns(t *testing.T) {
+	c := Generate(16, 6, 40, 5)
+	faults := AllFaults(c)
+	noFS := SolveSeq(c, faults, 30, false)
+	withFS := SolveSeq(c, faults, 30, true)
+	if withFS.Patterns >= noFS.Patterns {
+		t.Fatalf("fault sim should reduce patterns: %d vs %d", withFS.Patterns, noFS.Patterns)
+	}
+	if withFS.GateEvals >= noFS.GateEvals {
+		t.Fatalf("fault sim should reduce total work: %d vs %d evals", withFS.GateEvals, noFS.GateEvals)
+	}
+	if withFS.Detected < noFS.Detected {
+		t.Fatalf("fault sim lost coverage: %d vs %d", withFS.Detected, noFS.Detected)
+	}
+}
+
+func TestOrcaStaticMatchesSeq(t *testing.T) {
+	c := Generate(12, 5, 20, 7)
+	faults := AllFaults(c)
+	seq := SolveSeq(c, faults, 30, false)
+	par := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, c, faults,
+		Params{Mode: Static})
+	if par.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", par.Report.Blocked)
+	}
+	if par.Detected != seq.Detected || par.Untestable != seq.Untestable {
+		t.Fatalf("parallel static (%d det, %d untestable) != seq (%d, %d)",
+			par.Detected, par.Untestable, seq.Detected, seq.Untestable)
+	}
+}
+
+func TestOrcaFaultSimCoverageMatches(t *testing.T) {
+	c := Generate(12, 5, 20, 11)
+	faults := AllFaults(c)
+	seq := SolveSeq(c, faults, 30, true)
+	par := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 2}, c, faults,
+		Params{Mode: StaticFaultSim})
+	if par.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", par.Report.Blocked)
+	}
+	// Coverage tracks the sequential fault-sim flow closely; exact
+	// counts may differ because different interleavings generate
+	// different pattern sets, which cover aborted faults differently.
+	if diff := par.Detected - seq.Detected; diff < -5 || diff > 5 {
+		t.Fatalf("parallel FS coverage %d far from seq %d", par.Detected, seq.Detected)
+	}
+	if par.Patterns > seq.Patterns*2 {
+		t.Fatalf("parallel generated far more patterns: %d vs %d", par.Patterns, seq.Patterns)
+	}
+}
+
+func TestOrcaDynamicQueueWorks(t *testing.T) {
+	c := Generate(12, 5, 20, 13)
+	faults := AllFaults(c)
+	seq := SolveSeq(c, faults, 30, true)
+	par := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 3}, c, faults,
+		Params{Mode: DynamicFaultSim})
+	if par.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", par.Report.Blocked)
+	}
+	if diff := par.Detected - seq.Detected; diff < -5 || diff > 5 {
+		t.Fatalf("dynamic FS coverage %d far from seq %d", par.Detected, seq.Detected)
+	}
+}
+
+func TestOrcaDeterministic(t *testing.T) {
+	c := Generate(10, 4, 16, 17)
+	faults := AllFaults(c)
+	run := func() (int, int64) {
+		r := RunOrca(orca.Config{Processors: 3, RTS: orca.Broadcast, Seed: 5}, c, faults,
+			Params{Mode: StaticFaultSim})
+		return r.Detected, int64(r.Report.Elapsed)
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if d1 != d2 || e1 != e2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", d1, e1, d2, e2)
+	}
+}

@@ -1,0 +1,222 @@
+// Package atpg implements the paper's fourth application (§4.4):
+// Automatic Test Pattern Generation for combinational circuits, based
+// on the PODEM algorithm (Goel, the paper's reference [7]), with
+// serial fault simulation as the optimization the paper evaluates.
+//
+// The parallel program statically partitions the fault set among the
+// processors; with fault simulation enabled, processes share an object
+// containing the faults for which patterns have been generated, so
+// every process can delete covered faults from its own list.
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// GateType enumerates the gate kinds.
+type GateType int
+
+// Gate kinds. Input marks primary-input pseudo-gates.
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+)
+
+func (g GateType) String() string {
+	switch g {
+	case Input:
+		return "IN"
+	case Buf:
+		return "BUF"
+	case Not:
+		return "NOT"
+	case And:
+		return "AND"
+	case Nand:
+		return "NAND"
+	case Or:
+		return "OR"
+	case Nor:
+		return "NOR"
+	case Xor:
+		return "XOR"
+	}
+	return fmt.Sprintf("GateType(%d)", int(g))
+}
+
+// Gate is one gate; its output line id is its index in Circuit.Gates.
+// Inputs reference lower-numbered lines (the slice is topologically
+// ordered by construction).
+type Gate struct {
+	Type GateType
+	Ins  []int
+}
+
+// Circuit is a combinational circuit. Lines 0..NumInputs-1 are the
+// primary inputs.
+type Circuit struct {
+	NumInputs int
+	Gates     []Gate
+	Outputs   []int
+	fanout    [][]int
+}
+
+// Lines reports the total line count.
+func (c *Circuit) Lines() int { return len(c.Gates) }
+
+// GateEvalCost is the virtual CPU time to evaluate one gate during
+// simulation on the 68030-class machine.
+const GateEvalCost = 2 * sim.Microsecond
+
+// finish computes fanout lists and designates outputs if none set
+// (every line without fanout becomes an output).
+func (c *Circuit) finish() {
+	c.fanout = make([][]int, len(c.Gates))
+	used := make([]bool, len(c.Gates))
+	for gi, g := range c.Gates {
+		for _, in := range g.Ins {
+			c.fanout[in] = append(c.fanout[in], gi)
+			used[in] = true
+		}
+	}
+	if len(c.Outputs) == 0 {
+		for li := c.NumInputs; li < len(c.Gates); li++ {
+			if !used[li] {
+				c.Outputs = append(c.Outputs, li)
+			}
+		}
+	}
+}
+
+// Fanout returns the gates reading a line.
+func (c *Circuit) Fanout(line int) []int { return c.fanout[line] }
+
+// Validate checks topological ordering and arities; generators and
+// tests call it.
+func (c *Circuit) Validate() error {
+	if c.NumInputs <= 0 {
+		return fmt.Errorf("atpg: no inputs")
+	}
+	for i := 0; i < c.NumInputs; i++ {
+		if c.Gates[i].Type != Input {
+			return fmt.Errorf("atpg: line %d should be an input", i)
+		}
+	}
+	for gi := c.NumInputs; gi < len(c.Gates); gi++ {
+		g := c.Gates[gi]
+		want := 2
+		switch g.Type {
+		case Not, Buf:
+			want = 1
+		case Input:
+			return fmt.Errorf("atpg: input gate %d after inputs", gi)
+		}
+		if len(g.Ins) < want {
+			return fmt.Errorf("atpg: gate %d (%v) has %d inputs", gi, g.Type, len(g.Ins))
+		}
+		for _, in := range g.Ins {
+			if in >= gi || in < 0 {
+				return fmt.Errorf("atpg: gate %d reads line %d (not topological)", gi, in)
+			}
+		}
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("atpg: no outputs")
+	}
+	return nil
+}
+
+// Generate builds a random layered combinational circuit with the
+// given number of primary inputs, layers, and gates per layer.
+func Generate(inputs, layers, width int, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{NumInputs: inputs}
+	for i := 0; i < inputs; i++ {
+		c.Gates = append(c.Gates, Gate{Type: Input})
+	}
+	layerStart := 0
+	layerEnd := inputs
+	types := []GateType{And, Nand, Or, Nor, Xor, Not, And, Or, Nand, Nor}
+	for l := 0; l < layers; l++ {
+		start := len(c.Gates)
+		for w := 0; w < width; w++ {
+			gt := types[rng.Intn(len(types))]
+			pick := func() int {
+				// Prefer recent lines for depth, with some global
+				// reach for reconvergence.
+				if rng.Intn(4) == 0 {
+					return rng.Intn(len(c.Gates))
+				}
+				return layerStart + rng.Intn(layerEnd-layerStart)
+			}
+			var ins []int
+			if gt == Not {
+				ins = []int{pick()}
+			} else {
+				a, b := pick(), pick()
+				for b == a {
+					b = pick()
+				}
+				ins = []int{a, b}
+			}
+			c.Gates = append(c.Gates, Gate{Type: gt, Ins: ins})
+		}
+		layerStart, layerEnd = start, len(c.Gates)
+	}
+	c.finish()
+	return c
+}
+
+// RippleAdder builds an n-bit ripple-carry adder (2n+1 inputs: a, b,
+// carry-in), a structured circuit for validation.
+func RippleAdder(n int) *Circuit {
+	c := &Circuit{NumInputs: 2*n + 1}
+	for i := 0; i < c.NumInputs; i++ {
+		c.Gates = append(c.Gates, Gate{Type: Input})
+	}
+	aLine := func(i int) int { return i }
+	bLine := func(i int) int { return n + i }
+	carry := 2 * n // carry-in
+	add := func(t GateType, ins ...int) int {
+		c.Gates = append(c.Gates, Gate{Type: t, Ins: ins})
+		return len(c.Gates) - 1
+	}
+	for i := 0; i < n; i++ {
+		axb := add(Xor, aLine(i), bLine(i))
+		sum := add(Xor, axb, carry)
+		and1 := add(And, axb, carry)
+		and2 := add(And, aLine(i), bLine(i))
+		carry = add(Or, and1, and2)
+		c.Outputs = append(c.Outputs, sum)
+	}
+	c.Outputs = append(c.Outputs, carry)
+	c.finish()
+	return c
+}
+
+// Fault is a single stuck-at fault on a line.
+type Fault struct {
+	Line    int
+	StuckAt int // 0 or 1
+}
+
+// String formats the fault conventionally.
+func (f Fault) String() string { return fmt.Sprintf("%d/sa%d", f.Line, f.StuckAt) }
+
+// AllFaults enumerates both stuck-at faults on every line.
+func AllFaults(c *Circuit) []Fault {
+	out := make([]Fault, 0, 2*c.Lines())
+	for l := 0; l < c.Lines(); l++ {
+		out = append(out, Fault{Line: l, StuckAt: 0}, Fault{Line: l, StuckAt: 1})
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package atpg
+
+// Five-valued test-generation logic (Roth's D-calculus, as PODEM
+// uses): 0, 1, X (unassigned), D (good 1 / faulty 0), and D' (good 0 /
+// faulty 1). A five-valued value is represented as a pair of
+// three-valued values (good, faulty), and gates evaluate the pair
+// componentwise in three-valued logic.
+
+// V3 is a three-valued logic value.
+type V3 uint8
+
+// Three-valued constants.
+const (
+	F3 V3 = 0 // false
+	T3 V3 = 1 // true
+	X3 V3 = 2 // unknown
+)
+
+// V5 is a five-valued value: a (good, faulty) pair.
+type V5 struct{ G, F V3 }
+
+// The five named values.
+var (
+	Zero = V5{F3, F3}
+	One  = V5{T3, T3}
+	Xv   = V5{X3, X3}
+	Dv   = V5{T3, F3} // good 1, faulty 0
+	Dbar = V5{F3, T3} // good 0, faulty 1
+)
+
+// String renders a five-valued value.
+func (v V5) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case Dv:
+		return "D"
+	case Dbar:
+		return "D'"
+	case Xv:
+		return "X"
+	}
+	return "?"
+}
+
+// IsFaultEffect reports whether v carries a D or D'.
+func (v V5) IsFaultEffect() bool { return v == Dv || v == Dbar }
+
+// and3/or3/xor3/not3 are the three-valued primitives.
+func and3(a, b V3) V3 {
+	if a == F3 || b == F3 {
+		return F3
+	}
+	if a == T3 && b == T3 {
+		return T3
+	}
+	return X3
+}
+
+func or3(a, b V3) V3 {
+	if a == T3 || b == T3 {
+		return T3
+	}
+	if a == F3 && b == F3 {
+		return F3
+	}
+	return X3
+}
+
+func xor3(a, b V3) V3 {
+	if a == X3 || b == X3 {
+		return X3
+	}
+	if a != b {
+		return T3
+	}
+	return F3
+}
+
+func not3(a V3) V3 {
+	switch a {
+	case F3:
+		return T3
+	case T3:
+		return F3
+	}
+	return X3
+}
+
+// EvalGate evaluates a gate over five-valued inputs.
+func EvalGate(t GateType, ins []V5) V5 {
+	switch t {
+	case Buf:
+		return ins[0]
+	case Not:
+		return V5{not3(ins[0].G), not3(ins[0].F)}
+	case And, Nand:
+		out := One
+		for _, v := range ins {
+			out = V5{and3(out.G, v.G), and3(out.F, v.F)}
+		}
+		if t == Nand {
+			out = V5{not3(out.G), not3(out.F)}
+		}
+		return out
+	case Or, Nor:
+		out := Zero
+		for _, v := range ins {
+			out = V5{or3(out.G, v.G), or3(out.F, v.F)}
+		}
+		if t == Nor {
+			out = V5{not3(out.G), not3(out.F)}
+		}
+		return out
+	case Xor:
+		out := Zero
+		for _, v := range ins {
+			out = V5{xor3(out.G, v.G), xor3(out.F, v.F)}
+		}
+		return out
+	}
+	panic("atpg: EvalGate on input line")
+}
+
+// ControllingValue reports the controlling input value of a gate type
+// (the value that determines the output alone) and whether the gate
+// inverts. Xor has no controlling value (ok=false).
+func ControllingValue(t GateType) (v V3, inverts, ok bool) {
+	switch t {
+	case And:
+		return F3, false, true
+	case Nand:
+		return F3, true, true
+	case Or:
+		return T3, false, true
+	case Nor:
+		return T3, true, true
+	case Not:
+		return X3, true, false
+	case Buf:
+		return X3, false, false
+	}
+	return X3, false, false
+}
+
+// Simulate5 runs five-valued simulation with the given primary input
+// assignment (three-valued) and the fault injected. The result has one
+// V5 per line. gateEvals, if non-nil, accumulates the number of gate
+// evaluations for CPU accounting.
+func Simulate5(c *Circuit, inputs []V3, fault Fault, gateEvals *int64) []V5 {
+	vals := make([]V5, c.Lines())
+	var buf [8]V5
+	for li := 0; li < c.Lines(); li++ {
+		var v V5
+		if li < c.NumInputs {
+			g := inputs[li]
+			v = V5{g, g}
+		} else {
+			g := c.Gates[li]
+			ins := buf[:0]
+			for _, in := range g.Ins {
+				ins = append(ins, vals[in])
+			}
+			v = EvalGate(g.Type, ins)
+			if gateEvals != nil {
+				*gateEvals++
+			}
+		}
+		if li == fault.Line {
+			// Stuck line: the faulty component is pinned.
+			want := V3(F3)
+			if fault.StuckAt == 1 {
+				want = T3
+			}
+			v = V5{v.G, want}
+		}
+		vals[li] = v
+	}
+	return vals
+}
+
+// SimulateGood runs plain binary simulation (inputs must be 0/1) and
+// returns one V3 per line.
+func SimulateGood(c *Circuit, inputs []V3, gateEvals *int64) []V3 {
+	vals := make([]V3, c.Lines())
+	var buf [8]V5
+	for li := 0; li < c.Lines(); li++ {
+		if li < c.NumInputs {
+			vals[li] = inputs[li]
+			continue
+		}
+		g := c.Gates[li]
+		ins := buf[:0]
+		for _, in := range g.Ins {
+			ins = append(ins, V5{vals[in], vals[in]})
+		}
+		out := EvalGate(g.Type, ins)
+		vals[li] = out.G
+		if gateEvals != nil {
+			*gateEvals++
+		}
+	}
+	return vals
+}
+
+// DetectedBy reports whether pattern (binary input values) detects the
+// fault: some primary output differs between the good and the faulty
+// circuit.
+func DetectedBy(c *Circuit, pattern []V3, fault Fault, gateEvals *int64) bool {
+	vals := Simulate5(c, pattern, fault, gateEvals)
+	for _, out := range c.Outputs {
+		if vals[out].IsFaultEffect() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+// Mode selects the parallel ATPG variant.
+type Mode int
+
+const (
+	// Static is the paper's basic program: the fault set is statically
+	// partitioned; each processor computes patterns for its share.
+	// Speedups are close to linear.
+	Static Mode = iota
+	// StaticFaultSim adds the fault-simulation optimization with the
+	// shared detected-fault object: faster in absolute terms (the
+	// paper: about a factor of 3) but with inferior speedups, partly
+	// from communication, partly from load imbalance.
+	StaticFaultSim
+	// DynamicFaultSim replaces the static partition with a job queue,
+	// the "more dynamic work distribution strategy" the paper lists
+	// as future work.
+	DynamicFaultSim
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Static:
+		return "static"
+	case StaticFaultSim:
+		return "static+faultsim"
+	case DynamicFaultSim:
+		return "dynamic+faultsim"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Params configures a parallel ATPG run.
+type Params struct {
+	Mode          Mode
+	MaxBacktracks int // default 30
+	ChunkSize     int // dynamic mode: faults per job (default 8)
+	Workers       int // default: one per CPU
+}
+
+// Result of a parallel ATPG run.
+type Result struct {
+	Detected   int
+	Aborted    int
+	Untestable int
+	Patterns   int
+	Report     orca.Report
+	Runtime    *orca.Runtime
+}
+
+// RunOrca executes the parallel ATPG program.
+func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result {
+	if params.MaxBacktracks == 0 {
+		params.MaxBacktracks = 30
+	}
+	if params.ChunkSize == 0 {
+		params.ChunkSize = 8
+	}
+	workers := params.Workers
+	if workers == 0 {
+		workers = cfg.Processors
+	}
+	rt := orca.New(cfg, std.Register)
+	res := Result{}
+	rep := rt.Run(func(p *orca.Proc) {
+		detected := p.New(std.BitSet, len(faults))
+		detAcc := p.New(std.Accum)
+		abortAcc := p.New(std.Accum)
+		untestAcc := p.New(std.Accum)
+		patAcc := p.New(std.Accum)
+		fin := p.New(std.Barrier, workers)
+		var queue orca.Object
+		if params.Mode == DynamicFaultSim {
+			queue = p.New(std.JobQueue)
+		}
+
+		worker := func(wp *orca.Proc, nextFault func() (int, bool)) {
+			var det, abrt, untest, pats int
+			useFS := params.Mode != Static
+			for {
+				fi, ok := nextFault()
+				if !ok {
+					break
+				}
+				if useFS && wp.InvokeB(detected, "contains", fi) {
+					continue // covered by an earlier pattern
+				}
+				pr := Podem(c, faults[fi], params.MaxBacktracks)
+				wp.Work(sim.Time(pr.GateEvals) * GateEvalCost)
+				switch {
+				case pr.Detected:
+					pats++
+					if !useFS {
+						// Basic program: no sharing, no communication.
+						det++
+						break
+					}
+					newly := []int{fi}
+					fs := NewFaultSimulator(c, pr.Pattern)
+					for oi := range faults {
+						if oi != fi && !wp.InvokeB(detected, "contains", oi) && fs.Detects(faults[oi]) {
+							newly = append(newly, oi)
+						}
+					}
+					wp.Work(sim.Time(fs.GateEvals) * GateEvalCost)
+					// One indivisible write shares everything this
+					// pattern covers.
+					det += wp.InvokeI(detected, "addMany", newly)
+				case pr.Aborted:
+					abrt++
+				default:
+					untest++
+				}
+			}
+			wp.Invoke(detAcc, "add", det)
+			wp.Invoke(abortAcc, "add", abrt)
+			wp.Invoke(untestAcc, "add", untest)
+			wp.Invoke(patAcc, "add", pats)
+			wp.Invoke(fin, "arrive")
+		}
+
+		for wdx := 0; wdx < workers; wdx++ {
+			wdx := wdx
+			cpu := wdx % cfg.Processors
+			switch params.Mode {
+			case Static, StaticFaultSim:
+				// Static partition: worker w owns faults w, w+P, ...
+				p.Fork(cpu, fmt.Sprintf("atpg%d", wdx), func(wp *orca.Proc) {
+					next := wdx - workers
+					worker(wp, func() (int, bool) {
+						next += workers
+						return next, next < len(faults)
+					})
+				})
+			case DynamicFaultSim:
+				p.Fork(cpu, fmt.Sprintf("atpg%d", wdx), func(wp *orca.Proc) {
+					var chunk []int
+					worker(wp, func() (int, bool) {
+						for len(chunk) == 0 {
+							got := wp.Invoke(queue, "get")
+							if !got[1].(bool) {
+								return 0, false
+							}
+							chunk = got[0].([]int)
+						}
+						fi := chunk[0]
+						chunk = chunk[1:]
+						return fi, true
+					})
+				})
+			}
+		}
+
+		if params.Mode == DynamicFaultSim {
+			for lo := 0; lo < len(faults); lo += params.ChunkSize {
+				hi := lo + params.ChunkSize
+				if hi > len(faults) {
+					hi = len(faults)
+				}
+				idxs := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					idxs = append(idxs, i)
+				}
+				p.Invoke(queue, "add", idxs)
+			}
+			p.Invoke(queue, "close")
+		}
+
+		p.Invoke(fin, "wait")
+		res.Detected = p.InvokeI(detAcc, "value")
+		res.Aborted = p.InvokeI(abortAcc, "value")
+		res.Untestable = p.InvokeI(untestAcc, "value")
+		res.Patterns = p.InvokeI(patAcc, "value")
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}

@@ -1,0 +1,186 @@
+package atpg
+
+// PODEM (Path-Oriented DEcision Making, Goel 1981): generate a test
+// pattern for a stuck-at fault by searching over primary-input
+// assignments only. The loop: pick an objective (activate the fault,
+// then propagate a D through the D-frontier), backtrace the objective
+// to an unassigned primary input, imply (simulate), and backtrack on
+// dead ends.
+
+// PodemResult reports one PODEM run.
+type PodemResult struct {
+	// Pattern is the binary test vector (X inputs filled with 0);
+	// valid when Detected.
+	Pattern []V3
+	// Detected is true if a test was found.
+	Detected bool
+	// Aborted is true if the backtrack limit was hit (the fault may
+	// be testable or redundant; the paper's programs also give up,
+	// "in practice an ATPG program tries to cover as many gates as
+	// possible within the time limit imposed on it").
+	Aborted bool
+	// GateEvals counts gate evaluations, for CPU accounting.
+	GateEvals int64
+	// Backtracks counts decision reversals.
+	Backtracks int
+}
+
+// Podem attempts to generate a test for the fault, giving up after
+// maxBacktracks decision reversals.
+func Podem(c *Circuit, fault Fault, maxBacktracks int) PodemResult {
+	res := PodemResult{}
+	inputs := make([]V3, c.NumInputs)
+	for i := range inputs {
+		inputs[i] = X3
+	}
+	type decision struct {
+		pi      int
+		val     V3
+		flipped bool
+	}
+	var stack []decision
+
+	simulate := func() []V5 {
+		return Simulate5(c, inputs, fault, &res.GateEvals)
+	}
+
+	// objective returns the next (line, value) goal, or ok=false when
+	// the fault cannot be activated/propagated under the current
+	// assignment.
+	objective := func(vals []V5) (line int, val V3, ok bool) {
+		fv := vals[fault.Line]
+		if !fv.IsFaultEffect() {
+			if fv.G != X3 && fv.F != X3 {
+				return 0, X3, false // activation failed (line pinned wrong)
+			}
+			// Activate: drive the faulty line to the complement of
+			// the stuck value.
+			want := T3
+			if fault.StuckAt == 1 {
+				want = F3
+			}
+			return fault.Line, want, true
+		}
+		// Propagate: find a D-frontier gate (output not fully
+		// determined, some input carrying a fault effect) and set one
+		// of its undetermined inputs to the non-controlling value.
+		// Note pair values can be partially determined (e.g. (X,1) on
+		// the fault line's cone), so "undetermined" means either
+		// component is still X.
+		for gi := c.NumInputs; gi < c.Lines(); gi++ {
+			if vals[gi].G != X3 && vals[gi].F != X3 {
+				continue
+			}
+			g := c.Gates[gi]
+			hasD := false
+			for _, in := range g.Ins {
+				if vals[in].IsFaultEffect() {
+					hasD = true
+					break
+				}
+			}
+			if !hasD {
+				continue
+			}
+			for _, in := range g.Ins {
+				if vals[in].G == X3 {
+					cv, _, hasCV := ControllingValue(g.Type)
+					want := T3 // default for XOR: any binding works
+					if hasCV {
+						want = not3(cv)
+					}
+					return in, want, true
+				}
+			}
+		}
+		return 0, X3, false // D-frontier empty
+	}
+
+	// backtrace maps an objective to an unassigned primary input,
+	// following lines whose good value is still undetermined.
+	backtrace := func(vals []V5, line int, val V3) (pi int, piVal V3, ok bool) {
+		for line >= c.NumInputs {
+			g := c.Gates[line]
+			_, inverts, _ := ControllingValue(g.Type)
+			if g.Type == Xor {
+				inverts = false
+			}
+			next := -1
+			for _, in := range g.Ins {
+				if vals[in].G == X3 {
+					next = in
+					break
+				}
+			}
+			if next < 0 {
+				return 0, X3, false
+			}
+			if inverts {
+				val = not3(val)
+			}
+			line = next
+		}
+		if inputs[line] != X3 {
+			return 0, X3, false
+		}
+		return line, val, true
+	}
+
+	// success checks for a fault effect at a primary output.
+	success := func(vals []V5) bool {
+		for _, out := range c.Outputs {
+			if vals[out].IsFaultEffect() {
+				return true
+			}
+		}
+		return false
+	}
+
+	vals := simulate()
+	for {
+		if success(vals) {
+			res.Detected = true
+			res.Pattern = make([]V3, len(inputs))
+			for i, v := range inputs {
+				if v == X3 {
+					res.Pattern[i] = F3
+				} else {
+					res.Pattern[i] = v
+				}
+			}
+			return res
+		}
+		line, val, ok := objective(vals)
+		var pi int
+		var piVal V3
+		if ok {
+			pi, piVal, ok = backtrace(vals, line, val)
+		}
+		if ok {
+			inputs[pi] = piVal
+			stack = append(stack, decision{pi: pi, val: piVal})
+			vals = simulate()
+			continue
+		}
+		// Dead end: backtrack.
+		for {
+			if len(stack) == 0 {
+				return res // untestable under this search
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				res.Backtracks++
+				if res.Backtracks > maxBacktracks {
+					res.Aborted = true
+					return res
+				}
+				inputs[d.pi] = not3(d.val)
+				vals = simulate()
+				break
+			}
+			inputs[d.pi] = X3
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

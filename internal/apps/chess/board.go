@@ -1,0 +1,287 @@
+// Package chess implements Oracol, the paper's chess problem solver
+// (§4.3): alpha-beta search with iterative deepening and quiescence,
+// a killer table, and a transposition table, parallelized by
+// partitioning the search tree among processors. It solves
+// "mate-in-N-moves" and tactical problems; positional play is out of
+// scope, as in the paper.
+//
+// The board uses the 0x88 representation: a 128-byte array where
+// off-board squares have bit 0x88 set, making attack arithmetic cheap.
+package chess
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Piece encodes a colored piece, or Empty.
+type Piece int8
+
+// Piece values. White pieces are positive, black negative.
+const (
+	Empty Piece = 0
+	WP    Piece = 1
+	WN    Piece = 2
+	WB    Piece = 3
+	WR    Piece = 4
+	WQ    Piece = 5
+	WK    Piece = 6
+	BP    Piece = -1
+	BN    Piece = -2
+	BB    Piece = -3
+	BR    Piece = -4
+	BQ    Piece = -5
+	BK    Piece = -6
+)
+
+// White reports whether p is a white piece.
+func (p Piece) White() bool { return p > 0 }
+
+// Black reports whether p is a black piece.
+func (p Piece) Black() bool { return p < 0 }
+
+// Kind returns the uncolored piece kind (WP..WK).
+func (p Piece) Kind() Piece {
+	if p < 0 {
+		return -p
+	}
+	return p
+}
+
+var pieceRunes = map[Piece]rune{
+	Empty: '.',
+	WP:    'P', WN: 'N', WB: 'B', WR: 'R', WQ: 'Q', WK: 'K',
+	BP: 'p', BN: 'n', BB: 'b', BR: 'r', BQ: 'q', BK: 'k',
+}
+
+var runePieces = func() map[rune]Piece {
+	m := map[rune]Piece{}
+	for p, r := range pieceRunes {
+		m[r] = p
+	}
+	return m
+}()
+
+// Board is a chess position in 0x88 form. Castling and en passant are
+// not modelled: the paper's solver targets tactical mate/material
+// problems, where they are immaterial.
+type Board struct {
+	Sq          [128]Piece
+	WhiteToMove bool
+	kingSq      [2]int // [white, black]
+}
+
+// Square index helpers for the 0x88 board.
+func sq(file, rank int) int { return rank*16 + file }
+
+// OnBoard reports whether a 0x88 index is a legal square.
+func OnBoard(s int) bool { return s&0x88 == 0 }
+
+// FileOf returns the file (0-7) of a square.
+func FileOf(s int) int { return s & 7 }
+
+// RankOf returns the rank (0-7) of a square.
+func RankOf(s int) int { return s >> 4 }
+
+// SquareName formats a square as algebraic ("e4").
+func SquareName(s int) string {
+	return fmt.Sprintf("%c%d", 'a'+FileOf(s), RankOf(s)+1)
+}
+
+// FromFEN parses the piece-placement and side-to-move fields of a FEN
+// string. Castling/en-passant/clock fields are accepted and ignored.
+func FromFEN(fen string) (*Board, error) {
+	parts := strings.Fields(fen)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("chess: bad FEN %q", fen)
+	}
+	b := &Board{}
+	ranks := strings.Split(parts[0], "/")
+	if len(ranks) != 8 {
+		return nil, fmt.Errorf("chess: FEN needs 8 ranks, got %d", len(ranks))
+	}
+	for ri, row := range ranks {
+		rank := 7 - ri
+		file := 0
+		for _, r := range row {
+			if r >= '1' && r <= '8' {
+				file += int(r - '0')
+				continue
+			}
+			p, ok := runePieces[r]
+			if !ok {
+				return nil, fmt.Errorf("chess: bad FEN piece %q", r)
+			}
+			if file > 7 {
+				return nil, fmt.Errorf("chess: FEN rank overflow in %q", row)
+			}
+			b.Sq[sq(file, rank)] = p
+			file++
+		}
+		if file != 8 {
+			return nil, fmt.Errorf("chess: FEN rank %q covers %d files", row, file)
+		}
+	}
+	switch parts[1] {
+	case "w":
+		b.WhiteToMove = true
+	case "b":
+		b.WhiteToMove = false
+	default:
+		return nil, fmt.Errorf("chess: bad side %q", parts[1])
+	}
+	b.locateKings()
+	return b, nil
+}
+
+// locateKings caches king squares.
+func (b *Board) locateKings() {
+	for s := 0; s < 128; s++ {
+		if !OnBoard(s) {
+			continue
+		}
+		switch b.Sq[s] {
+		case WK:
+			b.kingSq[0] = s
+		case BK:
+			b.kingSq[1] = s
+		}
+	}
+}
+
+// Clone deep-copies the board.
+func (b *Board) Clone() *Board {
+	c := *b
+	return &c
+}
+
+// String renders the board, white at the bottom.
+func (b *Board) String() string {
+	var sb strings.Builder
+	for rank := 7; rank >= 0; rank-- {
+		for file := 0; file < 8; file++ {
+			sb.WriteRune(pieceRunes[b.Sq[sq(file, rank)]])
+			if file < 7 {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if b.WhiteToMove {
+		sb.WriteString("white to move")
+	} else {
+		sb.WriteString("black to move")
+	}
+	return sb.String()
+}
+
+// Zobrist hashing: deterministic keys seeded once, so transposition
+// table entries are comparable across processes and runs.
+var (
+	zobristPiece [13][128]uint64
+	zobristSide  uint64
+)
+
+func init() {
+	rng := rand.New(rand.NewSource(0x5eed0c8a))
+	for p := 0; p < 13; p++ {
+		for s := 0; s < 128; s++ {
+			zobristPiece[p][s] = rng.Uint64()
+		}
+	}
+	zobristSide = rng.Uint64()
+}
+
+// Hash returns the position's Zobrist key.
+func (b *Board) Hash() uint64 {
+	var h uint64
+	for s := 0; s < 128; s++ {
+		if !OnBoard(s) || b.Sq[s] == Empty {
+			continue
+		}
+		h ^= zobristPiece[int(b.Sq[s])+6][s]
+	}
+	if b.WhiteToMove {
+		h ^= zobristSide
+	}
+	return h
+}
+
+// Move is a from-to pair with captured piece bookkeeping for undo.
+// Promotion is always to queen (sufficient for tactical problems).
+type Move struct {
+	From, To int
+	Promo    bool
+}
+
+// Encode packs a move into an int for shared killer tables.
+func (m Move) Encode() int {
+	v := m.From<<8 | m.To
+	if m.Promo {
+		v |= 1 << 16
+	}
+	return v
+}
+
+// DecodeMove unpacks Move.Encode.
+func DecodeMove(v int) Move {
+	return Move{From: (v >> 8) & 0xFF, To: v & 0xFF, Promo: v&(1<<16) != 0}
+}
+
+// String formats a move as coordinate notation ("e2e4").
+func (m Move) String() string {
+	s := SquareName(m.From) + SquareName(m.To)
+	if m.Promo {
+		s += "q"
+	}
+	return s
+}
+
+// undo records what MakeMove changed.
+type undo struct {
+	move     Move
+	captured Piece
+	wasPiece Piece
+	kings    [2]int
+}
+
+// MakeMove applies m and returns the undo record. It does not check
+// legality; the search filters king captures.
+func (b *Board) MakeMove(m Move) undo {
+	u := undo{move: m, captured: b.Sq[m.To], wasPiece: b.Sq[m.From], kings: b.kingSq}
+	p := b.Sq[m.From]
+	b.Sq[m.From] = Empty
+	if m.Promo {
+		if p.White() {
+			p = WQ
+		} else {
+			p = BQ
+		}
+	}
+	b.Sq[m.To] = p
+	switch u.wasPiece {
+	case WK:
+		b.kingSq[0] = m.To
+	case BK:
+		b.kingSq[1] = m.To
+	}
+	b.WhiteToMove = !b.WhiteToMove
+	return u
+}
+
+// UnmakeMove reverses MakeMove.
+func (b *Board) UnmakeMove(u undo) {
+	b.Sq[u.move.From] = u.wasPiece
+	b.Sq[u.move.To] = u.captured
+	b.kingSq = u.kings
+	b.WhiteToMove = !b.WhiteToMove
+}
+
+// KingSquare reports the king square for the given color.
+func (b *Board) KingSquare(white bool) int {
+	if white {
+		return b.kingSq[0]
+	}
+	return b.kingSq[1]
+}

@@ -1,0 +1,215 @@
+package chess
+
+// Move generation on the 0x88 board: pseudo-legal moves plus an
+// attack test; the search discards moves that leave the own king in
+// check.
+
+var (
+	knightDeltas = []int{-33, -31, -18, -14, 14, 18, 31, 33}
+	kingDeltas   = []int{-17, -16, -15, -1, 1, 15, 16, 17}
+	bishopDirs   = []int{-17, -15, 15, 17}
+	rookDirs     = []int{-16, -1, 1, 16}
+	queenDirs    = []int{-17, -16, -15, -1, 1, 15, 16, 17}
+)
+
+// Attacked reports whether square s is attacked by the given color.
+func (b *Board) Attacked(s int, byWhite bool) bool {
+	// Pawns.
+	if byWhite {
+		for _, d := range []int{-17, -15} {
+			from := s + d
+			if OnBoard(from) && b.Sq[from] == WP {
+				return true
+			}
+		}
+	} else {
+		for _, d := range []int{15, 17} {
+			from := s + d
+			if OnBoard(from) && b.Sq[from] == BP {
+				return true
+			}
+		}
+	}
+	// Knights.
+	for _, d := range knightDeltas {
+		from := s + d
+		if !OnBoard(from) {
+			continue
+		}
+		p := b.Sq[from]
+		if p.Kind() == WN && p.White() == byWhite {
+			return true
+		}
+	}
+	// Kings.
+	for _, d := range kingDeltas {
+		from := s + d
+		if !OnBoard(from) {
+			continue
+		}
+		p := b.Sq[from]
+		if p.Kind() == WK && p.White() == byWhite {
+			return true
+		}
+	}
+	// Sliders.
+	for _, d := range bishopDirs {
+		for from := s + d; OnBoard(from); from += d {
+			p := b.Sq[from]
+			if p == Empty {
+				continue
+			}
+			if p.White() == byWhite && (p.Kind() == WB || p.Kind() == WQ) {
+				return true
+			}
+			break
+		}
+	}
+	for _, d := range rookDirs {
+		for from := s + d; OnBoard(from); from += d {
+			p := b.Sq[from]
+			if p == Empty {
+				continue
+			}
+			if p.White() == byWhite && (p.Kind() == WR || p.Kind() == WQ) {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// InCheck reports whether the side to move is in check.
+func (b *Board) InCheck() bool {
+	return b.Attacked(b.KingSquare(b.WhiteToMove), !b.WhiteToMove)
+}
+
+// GenMoves appends all pseudo-legal moves for the side to move.
+// capturesOnly restricts to captures and promotions (for quiescence).
+func (b *Board) GenMoves(buf []Move, capturesOnly bool) []Move {
+	white := b.WhiteToMove
+	mine := func(p Piece) bool {
+		if white {
+			return p.White()
+		}
+		return p.Black()
+	}
+	enemy := func(p Piece) bool {
+		if white {
+			return p.Black()
+		}
+		return p.White()
+	}
+	addSlider := func(from int, dirs []int) {
+		for _, d := range dirs {
+			for to := from + d; OnBoard(to); to += d {
+				t := b.Sq[to]
+				if mine(t) {
+					break
+				}
+				if t == Empty {
+					if !capturesOnly {
+						buf = append(buf, Move{From: from, To: to})
+					}
+					continue
+				}
+				buf = append(buf, Move{From: from, To: to})
+				break
+			}
+		}
+	}
+	addHopper := func(from int, deltas []int) {
+		for _, d := range deltas {
+			to := from + d
+			if !OnBoard(to) {
+				continue
+			}
+			t := b.Sq[to]
+			if mine(t) {
+				continue
+			}
+			if t == Empty && capturesOnly {
+				continue
+			}
+			buf = append(buf, Move{From: from, To: to})
+		}
+	}
+	for from := 0; from < 128; from++ {
+		if !OnBoard(from) {
+			continue
+		}
+		p := b.Sq[from]
+		if p == Empty || !mine(p) {
+			continue
+		}
+		switch p.Kind() {
+		case WP:
+			fwd, startRank, promoRank := 16, 1, 7
+			if !white {
+				fwd, startRank, promoRank = -16, 6, 0
+			}
+			one := from + fwd
+			if OnBoard(one) && b.Sq[one] == Empty {
+				promo := RankOf(one) == promoRank
+				if !capturesOnly || promo {
+					buf = append(buf, Move{From: from, To: one, Promo: promo})
+				}
+				two := one + fwd
+				if !capturesOnly && RankOf(from) == startRank && OnBoard(two) && b.Sq[two] == Empty {
+					buf = append(buf, Move{From: from, To: two})
+				}
+			}
+			for _, d := range []int{fwd - 1, fwd + 1} {
+				to := from + d
+				if OnBoard(to) && enemy(b.Sq[to]) {
+					buf = append(buf, Move{From: from, To: to, Promo: RankOf(to) == promoRank})
+				}
+			}
+		case WN:
+			addHopper(from, knightDeltas)
+		case WB:
+			addSlider(from, bishopDirs)
+		case WR:
+			addSlider(from, rookDirs)
+		case WQ:
+			addSlider(from, queenDirs)
+		case WK:
+			addHopper(from, kingDeltas)
+		}
+	}
+	return buf
+}
+
+// LegalMoves filters pseudo-legal moves that leave the mover's king
+// attacked.
+func (b *Board) LegalMoves() []Move {
+	var out []Move
+	white := b.WhiteToMove
+	for _, m := range b.GenMoves(nil, false) {
+		u := b.MakeMove(m)
+		if !b.Attacked(b.KingSquare(white), !white) {
+			out = append(out, m)
+		}
+		b.UnmakeMove(u)
+	}
+	return out
+}
+
+// Perft counts leaf nodes of the legal move tree to the given depth;
+// the standard move-generator correctness check.
+func (b *Board) Perft(depth int) int64 {
+	if depth == 0 {
+		return 1
+	}
+	var total int64
+	white := b.WhiteToMove
+	for _, m := range b.GenMoves(nil, false) {
+		u := b.MakeMove(m)
+		if !b.Attacked(b.KingSquare(white), !white) {
+			total += b.Perft(depth - 1)
+		}
+		b.UnmakeMove(u)
+	}
+	return total
+}

@@ -1,0 +1,336 @@
+package chess
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+// Oracol's parallel search partitions the search tree dynamically
+// among the processors (§4.3). The algorithm is principal-variation
+// splitting (Marsland & Campbell, the paper's reference [13]): the
+// manager walks the leftmost line of the tree; at each node on that
+// spine, the first successor is searched recursively (establishing a
+// sound bound) and the remaining successors fan out to the workers
+// through a job queue, pruned against a shared per-level bound object.
+// Only the leftmost walk is serial, which is what bounds alpha-beta's
+// parallel speedup — the paper measures 4.5-5.5 on 10 CPUs.
+//
+// The killer and transposition tables can be process-local or shared
+// objects: the experiment of §4.3 ("In Orca, it is particularly easy
+// to implement both versions and see which one is best").
+
+// Params configures an Oracol run.
+type Params struct {
+	// MaxDepth is the iterative-deepening limit in plies.
+	MaxDepth int
+	// SharedTT shares the transposition table across processes.
+	SharedTT bool
+	// SharedKiller shares the killer table across processes.
+	SharedKiller bool
+	// TTBuckets sizes the transposition table (default 8192).
+	TTBuckets int
+	// TTMinDepth throttles shared stores: only subtrees at least this
+	// deep are broadcast (default 3). Local stores always happen.
+	TTMinDepth int
+	// KillerMaxPly shares killers only for plies below this (default
+	// 4); deep-ply killers churn too fast to be worth broadcasting.
+	KillerMaxPly int
+	// SplitMinDepth stops splitting: subtrees at most this deep are
+	// one job (default 2).
+	SplitMinDepth int
+	// Workers overrides the worker count (default: one per CPU).
+	Workers int
+}
+
+func (p *Params) fill() {
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 5
+	}
+	if p.TTBuckets == 0 {
+		p.TTBuckets = 8192
+	}
+	if p.TTMinDepth == 0 {
+		p.TTMinDepth = 3
+	}
+	if p.KillerMaxPly == 0 {
+		p.KillerMaxPly = 4
+	}
+	if p.SplitMinDepth == 0 {
+		p.SplitMinDepth = 2
+	}
+}
+
+// Result of an Oracol run.
+type Result struct {
+	BestMove Move
+	Score    int
+	Nodes    int64
+	Report   orca.Report
+	Runtime  *orca.Runtime
+}
+
+// searchJob asks a worker to search the position reached by Path
+// (encoded moves from the root) to Depth. Level is the spine level
+// whose bound object prunes this subtree; RootIdx >= 0 tags level-0
+// jobs with their root-move index so scores can be collected.
+type searchJob struct {
+	Path    []int
+	Depth   int
+	Level   int
+	RootIdx int
+}
+
+// WireSize reports the job size on the wire.
+func (j searchJob) WireSize() int { return 24 + 4*len(j.Path) }
+
+// sharedTables implements Tables over shared objects with a local
+// overlay: lookups hit the local map first, then the replicated shared
+// object (still a local read — no communication); stores above the
+// depth threshold are broadcast.
+type sharedTables struct {
+	wp           *orca.Proc
+	local        *LocalTables
+	tt           orca.Object
+	killer       orca.Object
+	useTT        bool
+	useKiller    bool
+	ttMinDepth   int
+	killerMaxPly int
+}
+
+// TTLookup implements Tables.
+func (t *sharedTables) TTLookup(key uint64) (int64, bool) {
+	if e, ok := t.local.TTLookup(key); ok {
+		return e, ok
+	}
+	if !t.useTT {
+		return 0, false
+	}
+	res := t.wp.Invoke(t.tt, "lookup", key)
+	return res[0].(int64), res[1].(bool)
+}
+
+// TTStore implements Tables.
+func (t *sharedTables) TTStore(key uint64, entry int64, depth int) {
+	t.local.TTStore(key, entry, depth)
+	if t.useTT && depth >= t.ttMinDepth {
+		t.wp.Invoke(t.tt, "store", key, entry)
+	}
+}
+
+// Killers implements Tables.
+func (t *sharedTables) Killers(ply int) (int, int) {
+	if t.useKiller && ply < t.killerMaxPly {
+		res := t.wp.Invoke(t.killer, "get", ply)
+		return res[0].(int), res[1].(int)
+	}
+	return t.local.Killers(ply)
+}
+
+// AddKiller implements Tables.
+func (t *sharedTables) AddKiller(ply int, move int) {
+	if t.useKiller && ply < t.killerMaxPly {
+		t.wp.Invoke(t.killer, "add", ply, move)
+		return
+	}
+	t.local.AddKiller(ply, move)
+}
+
+// applyPath replays encoded moves from the root.
+func applyPath(b *Board, path []int) *Board {
+	c := b.Clone()
+	for _, em := range path {
+		c.MakeMove(DecodeMove(em))
+	}
+	return c
+}
+
+// RunOrca executes the parallel Oracol search on the simulated
+// machine and returns the chosen move.
+func RunOrca(cfg orca.Config, b *Board, params Params) Result {
+	params.fill()
+	workers := params.Workers
+	if workers == 0 {
+		workers = cfg.Processors
+	}
+	rootMoves := b.LegalMoves()
+	res := Result{}
+	if len(rootMoves) == 0 {
+		return res
+	}
+	rt := orca.New(cfg, std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
+		queue := p.New(std.JobQueue)
+		scores := p.New(std.Table, 512)
+		done := p.New(std.IntObj, 0)
+		nodesAcc := p.New(std.Accum)
+		tt := p.New(std.Table, params.TTBuckets)
+		killer := p.New(std.Killer, 64)
+		fin := p.New(std.Barrier, workers)
+		// One bound object per spine level; siblings at level L are
+		// pruned against levelBest[L] (the paper's shared-object idiom
+		// for dynamic tree partitioning).
+		levelBest := make([]orca.Object, params.MaxDepth+1)
+		for i := range levelBest {
+			levelBest[i] = p.New(std.IntObj, -Infinity)
+		}
+
+		for wdx := 0; wdx < workers; wdx++ {
+			cpu := wdx % cfg.Processors
+			p.Fork(cpu, fmt.Sprintf("oracol%d", wdx), func(wp *orca.Proc) {
+				tabs := &sharedTables{
+					wp: wp, local: NewLocalTables(),
+					tt: tt, killer: killer,
+					useTT: params.SharedTT, useKiller: params.SharedKiller,
+					ttMinDepth: params.TTMinDepth, killerMaxPly: params.KillerMaxPly,
+				}
+				var total int64
+				for {
+					got := wp.Invoke(queue, "get")
+					if !got[1].(bool) {
+						break
+					}
+					job := got[0].(searchJob)
+					s := NewSearcher(applyPath(b, job.Path), tabs)
+					s.Charge = func(n int64) { wp.Work(sim.Time(n) * NodeCost) }
+					// The parent's bound is a local read of the
+					// replicated level object.
+					parentBound := wp.InvokeI(levelBest[job.Level], "value")
+					v := s.AlphaBeta(job.Depth, -Infinity, -parentBound, len(job.Path))
+					cand := -v
+					if cand > parentBound {
+						wp.Invoke(levelBest[job.Level], "max", cand)
+					}
+					if job.RootIdx >= 0 {
+						wp.Invoke(scores, "store", uint64(job.RootIdx), int64(cand))
+					}
+					s.flush()
+					total += s.Nodes
+					s.Nodes, s.lastChg = 0, 0
+					wp.Invoke(done, "inc")
+				}
+				wp.Invoke(nodesAcc, "add", int(total))
+				wp.Invoke(fin, "arrive")
+			})
+		}
+
+		// Manager: iterative deepening over PV-split rounds.
+		finished := 0
+		await := func(n int) {
+			finished += n
+			p.Invoke(done, "awaitGE", finished)
+		}
+		// hashMoveFor consults the shared transposition table (a local
+		// read) to order the spine like the previous iteration.
+		hashMoveFor := func(pos *Board) Move {
+			if !params.SharedTT {
+				return Move{}
+			}
+			got := p.Invoke(tt, "lookup", pos.Hash())
+			if !got[1].(bool) {
+				return Move{}
+			}
+			_, _, _, mv := UnpackTT(got[0].(int64))
+			return mv
+		}
+
+		order := make([]int, len(rootMoves))
+		for i := range order {
+			order[i] = i
+		}
+		lastScores := make([]int, len(rootMoves))
+
+		// pvsplit returns the negamax value of pos (side to move's
+		// view), searched to depth, splitting siblings at each spine
+		// level. path is the move list from the root; level 0 tags
+		// jobs with root indices. rootOrder supplies the move order
+		// at the root (from the previous iteration's scores).
+		var pvsplit func(pos *Board, path []int, depth, level int) int
+		pvsplit = func(pos *Board, path []int, depth, level int) int {
+			moves := pos.LegalMoves()
+			p.Work(sim.Time(len(moves)+8) * 40 * sim.Microsecond) // spine movegen
+			if len(moves) == 0 {
+				if pos.InCheck() {
+					return -MateScore + level
+				}
+				return 0
+			}
+			if level == 0 {
+				reordered := make([]Move, len(moves))
+				for i, idx := range order {
+					reordered[i] = rootMoves[idx]
+				}
+				moves = reordered
+			} else {
+				OrderMoves(pos, moves, hashMoveFor(pos), 0, 0)
+			}
+			// Leftmost successor: recurse (or a single job when the
+			// subtree is too small to split further).
+			first := moves[0]
+			child := pos.Clone()
+			child.MakeMove(first)
+			var v0 int
+			if depth-1 <= params.SplitMinDepth {
+				ri := -1
+				if level == 0 {
+					ri = order[0]
+				}
+				p.Invoke(levelBest[level], "assign", -Infinity)
+				p.Invoke(queue, "add", searchJob{
+					Path:  append(append([]int(nil), path...), first.Encode()),
+					Depth: depth - 1, Level: level, RootIdx: ri,
+				})
+				await(1)
+				v0 = p.InvokeI(levelBest[level], "value")
+			} else {
+				v0 = -pvsplit(child, append(append([]int(nil), path...), first.Encode()), depth-1, level+1)
+				p.Invoke(levelBest[level], "assign", v0)
+				if level == 0 {
+					p.Invoke(scores, "store", uint64(order[0]), int64(v0))
+				}
+			}
+			// Remaining successors fan out to the workers, pruned
+			// against this level's bound.
+			if len(moves) > 1 {
+				for i := 1; i < len(moves); i++ {
+					ri := -1
+					if level == 0 {
+						ri = order[i]
+					}
+					p.Invoke(queue, "add", searchJob{
+						Path:  append(append([]int(nil), path...), moves[i].Encode()),
+						Depth: depth - 1, Level: level, RootIdx: ri,
+					})
+				}
+				await(len(moves) - 1)
+			}
+			return p.InvokeI(levelBest[level], "value")
+		}
+
+		for d := 1; d <= params.MaxDepth; d++ {
+			score := pvsplit(b, nil, d, 0)
+			for i := range rootMoves {
+				got := p.Invoke(scores, "lookup", uint64(i))
+				lastScores[i] = int(got[0].(int64))
+			}
+			sort.SliceStable(order, func(a, c int) bool {
+				return lastScores[order[a]] > lastScores[order[c]]
+			})
+			res.Score = score
+			res.BestMove = rootMoves[order[0]]
+			if IsMateScore(score) {
+				break
+			}
+		}
+		p.Invoke(queue, "close")
+		p.Invoke(fin, "wait")
+		res.Nodes = int64(p.InvokeI(nodesAcc, "value"))
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}

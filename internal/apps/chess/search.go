@@ -1,0 +1,402 @@
+package chess
+
+import "repro/internal/sim"
+
+// Scores are centipawns from the side-to-move's perspective
+// (negamax). Mate scores leave room to prefer faster mates.
+const (
+	MateScore = 30000
+	Infinity  = 32000
+)
+
+// NodeCost is the virtual CPU time to search one node on the simulated
+// 68030 (move generation, make/unmake, evaluation). Late-80s
+// micro chess programs ran on the order of a thousand nodes per
+// second on this hardware class.
+const NodeCost = 700 * sim.Microsecond
+
+var pieceValue = [7]int{0, 100, 320, 330, 500, 900, 0}
+
+// centerBonus rewards central squares slightly, stabilizing move
+// ordering; tactical solving needs no positional knowledge beyond it.
+func centerBonus(s int) int {
+	f, r := FileOf(s), RankOf(s)
+	df, dr := f, r
+	if df > 3 {
+		df = 7 - df
+	}
+	if dr > 3 {
+		dr = 7 - dr
+	}
+	return df + dr
+}
+
+// Eval returns the static evaluation from the side to move's
+// perspective: material plus a small centralization term.
+func Eval(b *Board) int {
+	score := 0
+	for s := 0; s < 128; s++ {
+		if !OnBoard(s) {
+			continue
+		}
+		p := b.Sq[s]
+		if p == Empty {
+			continue
+		}
+		v := pieceValue[p.Kind()] + centerBonus(s)
+		if p.White() {
+			score += v
+		} else {
+			score -= v
+		}
+	}
+	if !b.WhiteToMove {
+		score = -score
+	}
+	return score
+}
+
+// Tables abstracts the killer and transposition tables so the search
+// runs unchanged over process-local tables or shared objects — the
+// paper: "In Orca, it is particularly easy to implement both versions
+// and see which one is best. [...] The two versions differ in only a
+// few lines of code."
+type Tables interface {
+	// TTLookup returns the packed entry for a position key.
+	TTLookup(key uint64) (entry int64, ok bool)
+	// TTStore records a packed entry. depth lets implementations
+	// throttle shallow stores (shared tables pay communication per
+	// store).
+	TTStore(key uint64, entry int64, depth int)
+	// Killers returns the two killer moves for a ply.
+	Killers(ply int) (int, int)
+	// AddKiller records a cutoff move at a ply.
+	AddKiller(ply int, move int)
+}
+
+// TT entry packing: score (16 bits, biased), depth (6 bits), flag
+// (2 bits), move (17 bits).
+const (
+	ttExact = 0
+	ttLower = 1
+	ttUpper = 2
+)
+
+// PackTT builds a packed transposition entry.
+func PackTT(score, depth, flag int, move Move) int64 {
+	return int64(uint64(uint16(int16(score)))) |
+		int64(depth&0x3F)<<16 |
+		int64(flag&0x3)<<22 |
+		int64(move.Encode())<<24
+}
+
+// UnpackTT splits a packed entry.
+func UnpackTT(e int64) (score, depth, flag int, move Move) {
+	score = int(int16(uint16(e & 0xFFFF)))
+	depth = int((e >> 16) & 0x3F)
+	flag = int((e >> 22) & 0x3)
+	move = DecodeMove(int((e >> 24) & 0x1FFFF))
+	return
+}
+
+// LocalTables is the process-local implementation of Tables.
+type LocalTables struct {
+	tt      map[uint64]int64
+	killers [64][2]int
+}
+
+// NewLocalTables creates empty local tables.
+func NewLocalTables() *LocalTables {
+	return &LocalTables{tt: make(map[uint64]int64)}
+}
+
+// TTLookup implements Tables.
+func (t *LocalTables) TTLookup(key uint64) (int64, bool) {
+	e, ok := t.tt[key]
+	return e, ok
+}
+
+// TTStore implements Tables.
+func (t *LocalTables) TTStore(key uint64, entry int64, depth int) { t.tt[key] = entry }
+
+// Killers implements Tables.
+func (t *LocalTables) Killers(ply int) (int, int) {
+	if ply >= len(t.killers) {
+		return 0, 0
+	}
+	return t.killers[ply][0], t.killers[ply][1]
+}
+
+// AddKiller implements Tables.
+func (t *LocalTables) AddKiller(ply int, move int) {
+	if ply >= len(t.killers) {
+		return
+	}
+	if t.killers[ply][0] != move {
+		t.killers[ply][1] = t.killers[ply][0]
+		t.killers[ply][0] = move
+	}
+}
+
+// Searcher runs alpha-beta with iterative deepening, quiescence,
+// killer moves, and a transposition table.
+type Searcher struct {
+	B      *Board
+	Tables Tables
+	// Charge, if set, is called periodically with node counts so the
+	// simulation can account CPU time.
+	Charge func(nodes int64)
+	// Abort, if set, is polled; a true return unwinds the search.
+	Abort func() bool
+
+	Nodes   int64
+	lastChg int64
+	aborted bool
+	buf     [64][]Move
+}
+
+// NewSearcher creates a searcher over a board copy.
+func NewSearcher(b *Board, tables Tables) *Searcher {
+	return &Searcher{B: b.Clone(), Tables: tables}
+}
+
+func (s *Searcher) visit() {
+	s.Nodes++
+	if s.Nodes-s.lastChg >= 32 {
+		if s.Charge != nil {
+			s.Charge(s.Nodes - s.lastChg)
+		}
+		s.lastChg = s.Nodes
+		if s.Abort != nil && s.Abort() {
+			s.aborted = true
+		}
+	}
+}
+
+// flush charges any remaining uncharged nodes.
+func (s *Searcher) flush() {
+	if s.Charge != nil && s.Nodes > s.lastChg {
+		s.Charge(s.Nodes - s.lastChg)
+	}
+	s.lastChg = s.Nodes
+}
+
+// quiesce searches captures until the position is quiet.
+func (s *Searcher) quiesce(alpha, beta, ply int) int {
+	s.visit()
+	if s.aborted {
+		return alpha
+	}
+	stand := Eval(s.B)
+	if stand >= beta {
+		return stand
+	}
+	if stand > alpha {
+		alpha = stand
+	}
+	moves := s.B.GenMoves(s.movebuf(ply), true)
+	s.orderMoves(moves, Move{}, ply)
+	white := s.B.WhiteToMove
+	for _, m := range moves {
+		if s.B.Sq[m.To].Kind() == WK {
+			return MateScore - ply // capturing the king: illegal position
+		}
+		u := s.B.MakeMove(m)
+		if s.B.Attacked(s.B.KingSquare(white), !white) {
+			s.B.UnmakeMove(u)
+			continue
+		}
+		score := -s.quiesce(-beta, -alpha, ply+1)
+		s.B.UnmakeMove(u)
+		if s.aborted {
+			return alpha
+		}
+		if score >= beta {
+			return score
+		}
+		if score > alpha {
+			alpha = score
+		}
+	}
+	return alpha
+}
+
+// movebuf reuses per-ply move slices to avoid allocation churn.
+func (s *Searcher) movebuf(ply int) []Move {
+	if ply >= len(s.buf) {
+		return nil
+	}
+	s.buf[ply] = s.buf[ply][:0]
+	return s.buf[ply]
+}
+
+// orderMoves sorts in place: hash move, captures (most valuable victim
+// first), killers, quiets.
+func (s *Searcher) orderMoves(moves []Move, hashMove Move, ply int) {
+	k1, k2 := 0, 0
+	if s.Tables != nil {
+		k1, k2 = s.Tables.Killers(ply)
+	}
+	OrderMoves(s.B, moves, hashMove, k1, k2)
+}
+
+// OrderMoves sorts a move list in place: hash move, captures (most
+// valuable victim first), killers, quiets. It is shared by the
+// searcher and by the parallel manager's spine walk.
+func OrderMoves(b *Board, moves []Move, hashMove Move, k1, k2 int) {
+	score := func(m Move) int {
+		switch {
+		case m == hashMove:
+			return 1 << 20
+		case b.Sq[m.To] != Empty:
+			return 1<<16 + pieceValue[b.Sq[m.To].Kind()]*16 - pieceValue[b.Sq[m.From].Kind()]
+		case m.Encode() == k1:
+			return 1 << 15
+		case m.Encode() == k2:
+			return 1<<15 - 1
+		}
+		return centerBonus(m.To)
+	}
+	// Insertion sort: move lists are short and mostly ordered.
+	for i := 1; i < len(moves); i++ {
+		m := moves[i]
+		sc := score(m)
+		j := i - 1
+		for j >= 0 && score(moves[j]) < sc {
+			moves[j+1] = moves[j]
+			j--
+		}
+		moves[j+1] = m
+	}
+}
+
+// AlphaBeta searches to the given depth and returns the negamax score.
+func (s *Searcher) AlphaBeta(depth, alpha, beta, ply int) int {
+	s.visit()
+	if s.aborted {
+		return alpha
+	}
+	if depth <= 0 {
+		return s.quiesce(alpha, beta, ply)
+	}
+	alphaOrig := alpha
+	key := s.B.Hash()
+	var hashMove Move
+	if s.Tables != nil {
+		if e, ok := s.Tables.TTLookup(key); ok {
+			score, d, flag, mv := UnpackTT(e)
+			hashMove = mv
+			if d >= depth {
+				switch flag {
+				case ttExact:
+					return score
+				case ttLower:
+					if score > alpha {
+						alpha = score
+					}
+				case ttUpper:
+					if score < beta {
+						beta = score
+					}
+				}
+				if alpha >= beta {
+					return score
+				}
+			}
+		}
+	}
+	moves := s.B.GenMoves(s.movebuf(ply), false)
+	s.orderMoves(moves, hashMove, ply)
+	white := s.B.WhiteToMove
+	best := -Infinity
+	var bestMove Move
+	legal := 0
+	for _, m := range moves {
+		u := s.B.MakeMove(m)
+		if s.B.Attacked(s.B.KingSquare(white), !white) {
+			s.B.UnmakeMove(u)
+			continue
+		}
+		legal++
+		score := -s.AlphaBeta(depth-1, -beta, -alpha, ply+1)
+		s.B.UnmakeMove(u)
+		if s.aborted {
+			return alpha
+		}
+		if score > best {
+			best = score
+			bestMove = m
+		}
+		if score > alpha {
+			alpha = score
+		}
+		if alpha >= beta {
+			if s.B.Sq[m.To] == Empty && s.Tables != nil {
+				s.Tables.AddKiller(ply, m.Encode())
+			}
+			break
+		}
+	}
+	if legal == 0 {
+		if s.B.InCheck() {
+			return -MateScore + ply
+		}
+		return 0 // stalemate
+	}
+	if s.Tables != nil {
+		flag := ttExact
+		switch {
+		case best <= alphaOrig:
+			flag = ttUpper
+		case best >= beta:
+			flag = ttLower
+		}
+		s.Tables.TTStore(key, PackTT(best, depth, flag, bestMove), depth)
+	}
+	return best
+}
+
+// SearchResult is the outcome of an iterative-deepening search.
+type SearchResult struct {
+	BestMove Move
+	Score    int
+	Nodes    int64
+	Depth    int
+}
+
+// IsMateScore reports whether score announces a forced mate.
+func IsMateScore(score int) bool {
+	return score > MateScore-100 || score < -MateScore+100
+}
+
+// MovesToMate converts a mate score to full moves until mate.
+func MovesToMate(score int) int {
+	if score > 0 {
+		return (MateScore - score + 1) / 2
+	}
+	return (MateScore + score + 1) / 2
+}
+
+// SearchRoot runs iterative deepening to maxDepth and returns the best
+// move. It is the sequential baseline solver.
+func SearchRoot(b *Board, maxDepth int, tables Tables, charge func(int64)) SearchResult {
+	s := NewSearcher(b, tables)
+	s.Charge = charge
+	var res SearchResult
+	for d := 1; d <= maxDepth; d++ {
+		score := s.AlphaBeta(d, -Infinity, Infinity, 0)
+		key := s.B.Hash()
+		if e, ok := tables.TTLookup(key); ok {
+			_, _, _, mv := UnpackTT(e)
+			res.BestMove = mv
+		}
+		res.Score = score
+		res.Depth = d
+		if IsMateScore(score) {
+			break
+		}
+	}
+	s.flush()
+	res.Nodes = s.Nodes
+	return res
+}

@@ -1,0 +1,153 @@
+package tsp
+
+import (
+	"fmt"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/rts"
+	"repro/internal/sim"
+)
+
+// Result of one Orca TSP run.
+type Result struct {
+	Best   int
+	Nodes  int64
+	Report orca.Report
+	// Runtime gives the harness access to post-run statistics
+	// (group protocol counters, RTS counters).
+	Runtime *orca.Runtime
+}
+
+// Params configures the Orca TSP program.
+type Params struct {
+	// JobDepth is the partial-route length of generated jobs
+	// (default 4: fine-grained jobs for tail load balance).
+	JobDepth int
+	// ChunkSize is how many jobs travel per queue entry (default 6),
+	// amortizing queue traffic over fine-grained jobs.
+	ChunkSize int
+	// SingleCopyQueue keeps the job queue on the manager's machine
+	// only, instead of replicating it everywhere. The paper: "The RTS
+	// described in this paper (the original one), replicates it on
+	// all machines, although keeping a single copy would be better."
+	SingleCopyQueue bool
+	// Workers overrides the worker count (default: one per CPU).
+	Workers int
+}
+
+// Chunk is a batch of jobs taken from the queue in one operation.
+type Chunk struct{ Jobs []Job }
+
+// WireSize reports the chunk's size on the wire.
+func (c Chunk) WireSize() int {
+	n := 8
+	for _, j := range c.Jobs {
+		n += j.WireSize()
+	}
+	return n
+}
+
+// RunOrca executes the paper's TSP program on the given simulated
+// machine: a manager fills the job queue with partial routes, one
+// worker per processor repeatedly takes a job and searches it, pruning
+// with the shared global bound.
+func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
+	if params.JobDepth == 0 {
+		params.JobDepth = 4
+	}
+	if params.ChunkSize == 0 {
+		params.ChunkSize = 6
+	}
+	workers := params.Workers
+	if workers == 0 {
+		workers = cfg.Processors
+	}
+	rt := orca.New(cfg, std.Register)
+	res := Result{}
+	rep := rt.Run(func(p *orca.Proc) {
+		// The manager seeds the bound with a nearest-neighbor tour
+		// (an O(n^2) computation it pays for) so pruning works from
+		// the start on every worker.
+		nn := InitialBound(inst)
+		p.Work(sim.Time(inst.N*inst.N) * 2 * sim.Microsecond)
+		bound := p.New(std.IntObj, nn+1)
+		var queue orca.Object
+		if params.SingleCopyQueue {
+			queue = p.NewOn(std.JobQueue, []int{p.CPU()})
+		} else {
+			queue = p.New(std.JobQueue)
+		}
+		nodesAcc := p.New(std.Accum)
+		fin := p.New(std.Barrier, workers)
+
+		// Workers: replicated across the processors.
+		for wdx := 0; wdx < workers; wdx++ {
+			cpu := wdx % cfg.Processors
+			p.Fork(cpu, fmt.Sprintf("tsp-worker%d", wdx), func(wp *orca.Proc) {
+				var total int64
+				for {
+					got := wp.Invoke(queue, "get")
+					if !got[1].(bool) {
+						break
+					}
+					for _, job := range got[0].(Chunk).Jobs {
+						n := SearchJob(inst, job,
+							func() int {
+								wp.Work(BoundReadCost)
+								return wp.InvokeI(bound, "value")
+							},
+							func(totalLen int) {
+								// Only write when the route actually improves
+								// on the (locally readable) bound; the min
+								// operation re-checks indivisibly, so the
+								// read-then-write race is benign.
+								if totalLen < wp.InvokeI(bound, "value") {
+									wp.Invoke(bound, "min", totalLen)
+								}
+							},
+							func(n int64) {
+								wp.Work(sim.Time(n) * NodeCost)
+							})
+						total += n
+					}
+				}
+				wp.Invoke(nodesAcc, "add", int(total))
+				wp.Invoke(fin, "arrive")
+			})
+		}
+
+		// Manager: generate jobs (paying for the generation) and add
+		// them to the queue best-first. The head of the queue holds
+		// the large subtrees, which must spread across workers, so it
+		// is added as single-job entries; the long tail of small jobs
+		// is batched to amortize queue traffic.
+		jobs := GenerateJobs(inst, params.JobDepth)
+		p.Work(sim.Time(len(jobs)) * 50 * sim.Microsecond)
+		singles := 4 * workers
+		if singles > len(jobs) {
+			singles = len(jobs)
+		}
+		for i := 0; i < singles; i++ {
+			p.Invoke(queue, "add", Chunk{Jobs: jobs[i : i+1]})
+		}
+		for lo := singles; lo < len(jobs); lo += params.ChunkSize {
+			hi := lo + params.ChunkSize
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			p.Invoke(queue, "add", Chunk{Jobs: jobs[lo:hi]})
+		}
+		p.Invoke(queue, "close")
+
+		p.Invoke(fin, "wait")
+		res.Best = p.InvokeI(bound, "value")
+		res.Nodes = int64(p.InvokeI(nodesAcc, "value"))
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}
+
+// Sized check: jobs carry their wire size.
+var _ rts.Sized = Job{}

@@ -1,0 +1,45 @@
+package tsp
+
+import (
+	"testing"
+
+	"repro/internal/orca"
+)
+
+// TestSingleCopyQueueCorrect exercises the paper's suggested
+// optimization: the job queue kept as a single copy on the manager's
+// machine, with worker operations forwarded.
+func TestSingleCopyQueueCorrect(t *testing.T) {
+	inst := Generate(10, 11)
+	want, _ := SolveSeq(inst)
+	res := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst,
+		Params{SingleCopyQueue: true})
+	if res.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", res.Report.Blocked)
+	}
+	if res.Best != want {
+		t.Fatalf("best = %d, want %d", res.Best, want)
+	}
+}
+
+// TestSingleCopyQueueReducesBroadcastLoad compares replica-update work
+// across the machines: with a single-copy queue, queue traffic no
+// longer interrupts every machine.
+func TestSingleCopyQueueReducesBroadcastLoad(t *testing.T) {
+	inst := Generate(12, 11)
+	repl := RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	single := RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst,
+		Params{SingleCopyQueue: true})
+	if repl.Best != single.Best {
+		t.Fatalf("different optima: %d vs %d", repl.Best, single.Best)
+	}
+	// Broadcast count must drop: queue adds/gets are no longer
+	// broadcast to all machines.
+	replBcast := repl.Report.Net.CountsByKind["grp-data"]
+	singleBcast := single.Report.Net.CountsByKind["grp-data"]
+	if singleBcast >= replBcast {
+		t.Fatalf("single-copy queue did not reduce broadcasts: %d vs %d", singleBcast, replBcast)
+	}
+	t.Logf("replicated queue: %d broadcasts, %v elapsed", replBcast, repl.Report.Elapsed)
+	t.Logf("single-copy queue: %d broadcasts, %v elapsed", singleBcast, single.Report.Elapsed)
+}

@@ -1,0 +1,318 @@
+// Package tsp implements the paper's first application (§4.1): the
+// Traveling Salesman Problem solved by parallel branch-and-bound in
+// the replicated worker style.
+//
+// "The parallel program keeps track of the best solution found so far
+// by any worker process. This value is used as a bound. [...] The
+// bound must be accessible to all workers, so it is stored in a shared
+// object. This object is read very frequently and is written only when
+// a new better route has been found. In practice, the object may be
+// read millions of times and written only a few times."
+//
+// The program uses two shared objects: the global bound (std.IntObj,
+// whose indivisible min operation checks the new value is actually
+// smaller, preventing races) and a job queue (std.JobQueue) filled by
+// a manager with partial initial routes.
+package tsp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Instance is a symmetric TSP instance.
+type Instance struct {
+	N    int
+	Dist [][]int
+	// Xs, Ys are the generating coordinates (for display).
+	Xs, Ys []int
+}
+
+// Generate creates a random Euclidean instance of n cities on a
+// 1000x1000 grid, deterministically from seed. The paper's Fig. 2 uses
+// a 14-city problem.
+func Generate(n int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{
+		N:    n,
+		Dist: make([][]int, n),
+		Xs:   make([]int, n),
+		Ys:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		inst.Xs[i] = rng.Intn(1000)
+		inst.Ys[i] = rng.Intn(1000)
+	}
+	for i := 0; i < n; i++ {
+		inst.Dist[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := float64(inst.Xs[i] - inst.Xs[j])
+			dy := float64(inst.Ys[i] - inst.Ys[j])
+			inst.Dist[i][j] = int(math.Round(math.Sqrt(dx*dx + dy*dy)))
+		}
+	}
+	return inst
+}
+
+// Job is a partial initial route handed to workers. It satisfies
+// rts.Sized so the runtime can model its wire size.
+type Job struct {
+	Route []int // visited cities, starting at 0
+	Len   int   // length of the partial route
+}
+
+// WireSize reports the job's size on the wire.
+func (j Job) WireSize() int { return 8 + 8*len(j.Route) }
+
+// NodeCost is the virtual CPU time to expand one search-tree node on
+// the simulated 68030 (distance add, bound compare, loop bookkeeping).
+const NodeCost = 12 * sim.Microsecond
+
+// BoundReadCost is the extra virtual CPU for consulting the shared
+// bound at a node, beyond the runtime's read overhead.
+const BoundReadCost = 2 * sim.Microsecond
+
+// MinOut precomputes each city's cheapest outgoing edge, used in the
+// branch-and-bound lower bound: a partial route can be pruned when its
+// length plus the cheapest possible departure from every remaining
+// city already reaches the global bound. (The paper's program prunes
+// on route length alone; the added admissible bound keeps the search
+// tractable at simulation speed while preserving the object access
+// pattern — the bound object is still read at every node and written
+// only when a better route is found.)
+func (inst *Instance) MinOut() []int {
+	mo := make([]int, inst.N)
+	for i := 0; i < inst.N; i++ {
+		mo[i] = math.MaxInt
+		for j := 0; j < inst.N; j++ {
+			if i != j && inst.Dist[i][j] < mo[i] {
+				mo[i] = inst.Dist[i][j]
+			}
+		}
+	}
+	return mo
+}
+
+// NearestNeighbor computes a greedy tour, returned as a city order
+// starting at city 0.
+func NearestNeighbor(inst *Instance) []int {
+	n := inst.N
+	visited := make([]bool, n)
+	visited[0] = true
+	tour := make([]int, 1, n)
+	cur := 0
+	for step := 1; step < n; step++ {
+		best, bestD := -1, math.MaxInt
+		for j := 0; j < n; j++ {
+			if !visited[j] && inst.Dist[cur][j] < bestD {
+				best, bestD = j, inst.Dist[cur][j]
+			}
+		}
+		visited[best] = true
+		tour = append(tour, best)
+		cur = best
+	}
+	return tour
+}
+
+// TourLength sums a tour's edges, closing the cycle.
+func TourLength(inst *Instance, tour []int) int {
+	total := 0
+	for i := range tour {
+		total += inst.Dist[tour[i]][tour[(i+1)%len(tour)]]
+	}
+	return total
+}
+
+// TwoOpt improves a tour with 2-opt moves until no improvement
+// remains. Nearest-neighbor plus 2-opt gives an initial bound within a
+// few percent of the optimum, so branch-and-bound mostly proves
+// optimality and its node count barely depends on execution order —
+// the precondition for the near-perfect parallel speedup of Fig. 2.
+func TwoOpt(inst *Instance, tour []int) []int {
+	t := append([]int(nil), tour...)
+	n := len(t)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 2; j < n; j++ {
+				if i == 0 && j == n-1 {
+					continue
+				}
+				a, b := t[i], t[i+1]
+				c, d := t[j], t[(j+1)%n]
+				delta := inst.Dist[a][c] + inst.Dist[b][d] - inst.Dist[a][b] - inst.Dist[c][d]
+				if delta < 0 {
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						t[lo], t[hi] = t[hi], t[lo]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return t
+}
+
+// InitialBound computes the heuristic upper bound that seeds the
+// shared bound object: a 2-opt-improved nearest-neighbor tour.
+func InitialBound(inst *Instance) int {
+	return TourLength(inst, TwoOpt(inst, NearestNeighbor(inst)))
+}
+
+// SolveSeq is the sequential branch-and-bound baseline: same pruning
+// rule as the parallel program, single local bound seeded with the
+// nearest-neighbor tour. It returns the optimum length and the number
+// of search nodes expanded.
+func SolveSeq(inst *Instance) (best int, nodes int64) {
+	n := inst.N
+	minOut := inst.MinOut()
+	visited := make([]bool, n)
+	visited[0] = true
+	best = InitialBound(inst) + 1
+	var rest int
+	for i := 1; i < n; i++ {
+		rest += minOut[i]
+	}
+	var dfs func(last, length, depth int)
+	dfs = func(last, length, depth int) {
+		nodes++
+		if best < math.MaxInt && length+rest+minOut[last] >= best {
+			return
+		}
+		if depth == n {
+			total := length + inst.Dist[last][0]
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for next := 1; next < n; next++ {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			rest -= minOut[next]
+			dfs(next, length+inst.Dist[last][next], depth+1)
+			rest += minOut[next]
+			visited[next] = false
+		}
+	}
+	dfs(0, 0, 1)
+	return best, nodes
+}
+
+// GenerateJobs expands the first jobDepth levels of the search tree
+// into jobs, each a partial route starting at city 0. The paper: "The
+// problem is split up into a large number of small jobs, each
+// containing a partial (initial) route for the salesman."
+//
+// Jobs are sorted by ascending lower bound (best-first): promising
+// prefixes are searched first, which both tightens the global bound
+// early and schedules the largest subtrees before the tail of the run,
+// avoiding stragglers.
+func GenerateJobs(inst *Instance, jobDepth int) []Job {
+	minOut := inst.MinOut()
+	restAll := 0
+	for i := 1; i < inst.N; i++ {
+		restAll += minOut[i]
+	}
+	var jobs []Job
+	var expand func(route []int, length, rest int)
+	expand = func(route []int, length, rest int) {
+		if len(route) >= jobDepth {
+			jobs = append(jobs, Job{Route: append([]int(nil), route...), Len: length})
+			return
+		}
+		last := route[len(route)-1]
+		for next := 1; next < inst.N; next++ {
+			seen := false
+			for _, c := range route {
+				if c == next {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			expand(append(route, next), length+inst.Dist[last][next], rest-minOut[next])
+		}
+	}
+	expand([]int{0}, 0, restAll)
+	lb := func(j Job) int {
+		r := restAll
+		for _, c := range j.Route {
+			if c != 0 {
+				r -= minOut[c]
+			}
+		}
+		return j.Len + r + minOut[j.Route[len(j.Route)-1]]
+	}
+	sort.SliceStable(jobs, func(i, k int) bool { return lb(jobs[i]) < lb(jobs[k]) })
+	return jobs
+}
+
+// SearchJob runs the branch-and-bound search under one job. The
+// caller supplies the bound interactions, so the same search core
+// serves the sequential tests and the Orca workers:
+//
+//   - readBound returns the current global bound (read very often),
+//   - foundRoute reports a complete route (rare write), returning the
+//     updated bound to continue with,
+//   - charge accounts virtual CPU per expanded node.
+//
+// It returns the number of nodes expanded.
+func SearchJob(inst *Instance, job Job, readBound func() int, foundRoute func(total int), charge func(n int64)) int64 {
+	n := inst.N
+	minOut := inst.MinOut()
+	visited := make([]bool, n)
+	rest := 0
+	for i := 1; i < n; i++ {
+		rest += minOut[i]
+	}
+	for _, c := range job.Route {
+		visited[c] = true
+		if c != 0 {
+			rest -= minOut[c]
+		}
+	}
+	var nodes int64
+	var dfs func(last, length, depth int)
+	dfs = func(last, length, depth int) {
+		nodes++
+		if nodes%64 == 0 {
+			charge(64)
+		}
+		// The bound object is read at every node; reads are local on
+		// a replicated object, so this is cheap — the heart of the
+		// paper's argument for replication.
+		if length+rest+minOut[last] >= readBound() {
+			return
+		}
+		if depth == n {
+			foundRoute(length + inst.Dist[last][0])
+			return
+		}
+		for next := 1; next < n; next++ {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			rest -= minOut[next]
+			dfs(next, length+inst.Dist[last][next], depth+1)
+			rest += minOut[next]
+			visited[next] = false
+		}
+	}
+	last := job.Route[len(job.Route)-1]
+	dfs(last, job.Len, len(job.Route))
+	charge(nodes % 64)
+	return nodes
+}

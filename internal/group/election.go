@@ -1,0 +1,279 @@
+package group
+
+import (
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// Sequencer election. The paper: "When an application starts up on
+// Amoeba, one of the machines is elected as sequencer (like a
+// committee electing a chairman). If the sequencer machine
+// subsequently crashes, the remaining members elect a new one."
+//
+// The election is a vote round over the (unreliable) broadcast medium:
+// each member announces the highest sequence number it has delivered;
+// after a collection window the best candidate (highest sequence, ties
+// broken by lowest node id) declares itself coordinator. The winner
+// rebuilds the sequencer history from its delivered-message cache, so
+// it can serve retransmissions to members that are behind. Members
+// that find themselves *ahead* of an announced winner trigger a fresh
+// election they will win, which repairs the rare case of lost votes.
+
+// startElection begins (or joins) a new election epoch.
+func (g *Member) startElection(p *sim.Proc) {
+	if g.electing && g.votedEpoch == g.epoch {
+		return // already voted in the current epoch
+	}
+	g.epoch++
+	g.beginEpoch(p, g.epoch)
+}
+
+// beginEpoch votes in the given epoch and arms the decision timer.
+func (g *Member) beginEpoch(p *sim.Proc, epoch int) {
+	g.stats.Elections++
+	g.epoch = epoch
+	g.electing = true
+	g.votedEpoch = epoch
+	g.isSeq = false
+	me := electMsg{Epoch: epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}
+	g.bestCand = me
+	g.m.Env().Tracef("node%d: election epoch %d, my highseq %d", g.m.ID(), epoch, me.HighSeq)
+	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-elect", Body: me, Size: hdrSmall})
+	g.armElectionTimer()
+}
+
+// armElectionTimer schedules the end of the vote-collection window.
+// The wait is staggered by node id so members do not time out in
+// lockstep, and a member that is not the expected winner waits extra
+// rounds for the winner's coordination message before forcing a fresh
+// epoch — otherwise synchronized timeouts outrun the coord frame and
+// the election livelocks.
+func (g *Member) armElectionTimer() {
+	if g.electTimer != nil {
+		g.electTimer.Cancel()
+	}
+	wait := g.cfg.ElectionWait + sim.Time(g.m.ID())*g.cfg.ElectionWait/16
+	rounds := 0
+	var arm func()
+	arm = func() {
+		g.electTimer = g.m.After(wait, func(p *sim.Proc) {
+			g.electTimer = nil
+			if !g.electing {
+				return
+			}
+			if g.bestCand.Node == g.m.ID() {
+				g.becomeSequencer(p)
+				return
+			}
+			rounds++
+			if rounds < 3 {
+				// Give the expected winner more time to announce.
+				arm()
+				return
+			}
+			// The expected winner never announced: try a fresh epoch.
+			g.epoch++
+			g.beginEpoch(p, g.epoch)
+		})
+	}
+	arm()
+}
+
+// better reports whether candidate a should win over b.
+func better(a, b electMsg) bool {
+	if a.HighSeq != b.HighSeq {
+		return a.HighSeq > b.HighSeq
+	}
+	return a.Node < b.Node
+}
+
+// onElect processes a vote.
+func (g *Member) onElect(p *sim.Proc, e electMsg) {
+	switch {
+	case e.Epoch < g.epoch:
+		return // stale epoch
+	case e.Epoch > g.epoch:
+		g.beginEpoch(p, e.Epoch) // join the newer election
+	case !g.electing:
+		// A vote for an epoch we think has concluded. If we are the
+		// sequencer of this epoch, re-announce.
+		if g.isSeq {
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+				Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
+		}
+		return
+	}
+	if better(e, g.bestCand) {
+		g.bestCand = e
+	}
+}
+
+// becomeSequencer starts installing this member as sequencer: rebuild
+// the history from the delivered cache and announce coordination. No
+// sequence number is assigned until every live member has acknowledged
+// the view — otherwise two members could deliver different messages
+// under the same sequence number across the view change.
+func (g *Member) becomeSequencer(p *sim.Proc) {
+	g.electing = false
+	g.isSeq = true
+	g.installed = false
+	g.viewAcks = make(map[int]bool)
+	g.seqNode = g.m.ID()
+	g.maxSeen = g.nextSeq - 1 // discard knowledge of unsequenceable holes
+	g.history = make(map[int64]*dataMsg)
+	g.seen = make(map[int64]int64)
+	g.statuses = make(map[int]int64)
+	g.histLo = g.nextSeq
+	for _, d := range g.cache {
+		if d == nil || d.Seq >= g.nextSeq {
+			continue
+		}
+		g.history[d.Seq] = d
+		g.seen[d.UID] = d.Seq
+		if d.Seq < g.histLo {
+			g.histLo = d.Seq
+		}
+	}
+	// Buffered-but-undelivered messages beyond the holes are dropped;
+	// their senders will retransmit and they will be re-sequenced
+	// (uid dedup suppresses double delivery).
+	g.buffered = make(map[int64]*dataMsg)
+	g.acceptedBB = make(map[int64]int64)
+	g.m.Env().Tracef("node%d: became sequencer, epoch %d, highseq %d", g.m.ID(), g.epoch, g.maxSeen)
+	g.announceView(p)
+}
+
+// announceView broadcasts the coordinator claim and re-arms until all
+// live members acknowledge (coord or ack frames can be lost).
+func (g *Member) announceView(p *sim.Proc) {
+	if !g.isSeq || g.installed {
+		return
+	}
+	epoch := g.epoch
+	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+		Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
+	g.checkViewInstalled(p)
+	if g.installed {
+		return
+	}
+	g.m.After(g.cfg.ElectionWait/2, func(pp *sim.Proc) {
+		if g.isSeq && !g.installed && g.epoch == epoch {
+			g.announceView(pp)
+		}
+	})
+}
+
+// checkViewInstalled completes installation once every live member has
+// acknowledged; only then does the sequencer start assigning numbers.
+func (g *Member) checkViewInstalled(p *sim.Proc) {
+	if !g.isSeq || g.installed {
+		return
+	}
+	for _, id := range g.cfg.Members {
+		if id == g.m.ID() || g.m.Net().Down(id) {
+			continue
+		}
+		if !g.viewAcks[id] {
+			return
+		}
+	}
+	g.installed = true
+	g.m.Env().Tracef("node%d: view epoch %d installed", g.m.ID(), g.epoch)
+	g.kickOutstanding(p)
+}
+
+// onCoordAck records a member's view acknowledgement.
+func (g *Member) onCoordAck(p *sim.Proc, a coordAck) {
+	if !g.isSeq || a.Epoch != g.epoch {
+		return
+	}
+	g.viewAcks[a.Node] = true
+	g.checkViewInstalled(p)
+}
+
+// onCoordNack aborts an inconsistent view claim: some member has
+// delivered beyond this sequencer's history, so it must win instead.
+func (g *Member) onCoordNack(p *sim.Proc, n coordNack) {
+	if !g.isSeq || n.Epoch < g.epoch {
+		return
+	}
+	g.m.Env().Tracef("node%d: view nacked by %d (high %d), re-electing", g.m.ID(), n.Node, n.HighSeq)
+	g.isSeq = false
+	g.installed = false
+	g.startElection(p)
+}
+
+// onCoord installs the announced winner.
+func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
+	if c.Epoch < g.epoch {
+		return
+	}
+	if c.HighSeq < g.nextSeq-1 {
+		// We are ahead of the claimed winner (our vote must have been
+		// lost). Reject the view — the winner aborts and a fresh
+		// election runs, which we will win; otherwise the new
+		// sequencer would reassign sequence numbers we have already
+		// delivered.
+		g.m.Env().Tracef("node%d: ahead of claimed winner (mine %d > %d), nacking",
+			g.m.ID(), g.nextSeq-1, c.HighSeq)
+		g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-nack",
+			Body: coordNack{Epoch: c.Epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}, Size: hdrSmall})
+		g.epoch = c.Epoch
+		g.startElection(p)
+		return
+	}
+	g.epoch = c.Epoch
+	g.electing = false
+	if g.electTimer != nil {
+		g.electTimer.Cancel()
+		g.electTimer = nil
+	}
+	g.seqNode = c.Node
+	g.isSeq = c.Node == g.m.ID()
+	// Drop buffered sequence numbers the new sequencer does not know;
+	// their senders will resubmit them for re-sequencing.
+	for s := range g.buffered {
+		if s > c.HighSeq {
+			delete(g.buffered, s)
+		}
+	}
+	for s := range g.acceptedBB {
+		if s > c.HighSeq {
+			delete(g.acceptedBB, s)
+		}
+	}
+	g.maxSeen = c.HighSeq
+	// Acknowledge the view; the sequencer serves nothing until all
+	// live members have.
+	g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-ack",
+		Body: coordAck{Epoch: c.Epoch, Node: g.m.ID()}, Size: hdrSmall})
+	if g.nextSeq <= g.maxSeen {
+		g.armGapTimer()
+	}
+	g.kickOutstanding(p)
+}
+
+// kickOutstanding retransmits every unacknowledged broadcast to the
+// (possibly new) sequencer.
+func (g *Member) kickOutstanding(p *sim.Proc) {
+	for _, st := range g.outstanding {
+		st.retries = 0
+		// Re-resolve the method in case the sequencer moved to us.
+		if g.isSeq && g.installed {
+			if st.timer != nil {
+				st.timer.Cancel()
+			}
+			delete(g.outstanding, st.uid)
+			if _, dup := g.seen[st.uid]; dup {
+				continue // already sequenced in a previous view
+			}
+			d := &dataMsg{Seq: g.nextSeqNum(), UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size, Epoch: g.epoch}
+			g.recordHistory(d)
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+			g.processData(p, d)
+			continue
+		}
+		g.stats.Retransmits++
+		g.transmit(p, st)
+	}
+}

@@ -1,0 +1,169 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Additional failure-injection scenarios beyond the basic crash test.
+
+func TestNonSequencerMemberCrash(t *testing.T) {
+	// A crashed ordinary member must not stall the rest of the group
+	// (history trimming skips it; delivery continues).
+	h := newHarness(51, 4, nil, func(c *Config) {
+		c.StatusEvery = 8
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+			for k := 0; k < 30; k++ {
+				if h.ms[i].Crashed() {
+					return
+				}
+				h.gs[i].Broadcast(p, "m", k, 64)
+				p.Sleep(3 * sim.Millisecond)
+			}
+		})
+	}
+	h.env.At(40*sim.Millisecond, func() { h.ms[2].Crash() })
+	h.env.RunUntil(30 * sim.Second)
+	// Survivors must agree; node 2's deliveries stop at the crash.
+	h.checkAgreement(t, -1, map[int]bool{2: true})
+	if len(h.uidLogs[0]) < 90 {
+		t.Fatalf("survivors delivered only %d messages", len(h.uidLogs[0]))
+	}
+	// Sequencer history must still be bounded (crashed member cannot
+	// block trimming).
+	if n := len(h.gs[0].history); n > 2048 {
+		t.Fatalf("history grew to %d entries with a crashed member", n)
+	}
+	h.env.Stop()
+	h.env.Shutdown()
+}
+
+func TestSequencerCrashUnderContinuousLoad(t *testing.T) {
+	// Crash the sequencer while every member keeps broadcasting;
+	// survivors must converge with no duplicates or losses of their
+	// own messages.
+	h := newHarness(53, 5, nil, func(c *Config) {
+		c.SenderTimeout = 40 * sim.Millisecond
+		c.SenderRetries = 2
+		c.ElectionWait = 60 * sim.Millisecond
+		c.Heartbeat = 80 * sim.Millisecond
+	})
+	sent := make([]int, 5)
+	for i := 1; i < 5; i++ {
+		i := i
+		h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+			for k := 0; k < 40; k++ {
+				h.gs[i].Broadcast(p, "m", fmt.Sprintf("%d-%d", i, k), 80)
+				sent[i]++
+				p.Sleep(5 * sim.Millisecond)
+			}
+		})
+	}
+	h.env.At(70*sim.Millisecond, func() { h.ms[0].Crash() })
+	h.env.RunUntil(120 * sim.Second)
+	h.checkAgreement(t, -1, map[int]bool{0: true})
+	want := sent[1] + sent[2] + sent[3] + sent[4]
+	if got := len(h.uidLogs[1]); got != want {
+		t.Fatalf("delivered %d messages, want %d (all survivor sends)", got, want)
+	}
+	h.env.Stop()
+	h.env.Shutdown()
+}
+
+func TestTwoSuccessiveSequencerCrashes(t *testing.T) {
+	h := newHarness(57, 5, nil, func(c *Config) {
+		c.SenderTimeout = 30 * sim.Millisecond
+		c.SenderRetries = 2
+		c.ElectionWait = 50 * sim.Millisecond
+		c.Heartbeat = 60 * sim.Millisecond
+	})
+	for i := 2; i < 5; i++ {
+		i := i
+		h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+			// Two waves of traffic, so both crashes hit an active
+			// group and both trigger elections.
+			for k := 0; k < 15; k++ {
+				h.gs[i].Broadcast(p, "m", k, 64)
+				p.Sleep(8 * sim.Millisecond)
+			}
+			p.Sleep(600 * sim.Millisecond)
+			for k := 15; k < 30; k++ {
+				h.gs[i].Broadcast(p, "m", k, 64)
+				p.Sleep(8 * sim.Millisecond)
+			}
+		})
+	}
+	h.env.At(50*sim.Millisecond, func() { h.ms[0].Crash() })
+	// The likely new sequencer is node 1; kill it too.
+	h.env.At(400*sim.Millisecond, func() { h.ms[1].Crash() })
+	h.env.RunUntil(120 * sim.Second)
+	h.checkAgreement(t, 90, map[int]bool{0: true, 1: true})
+	seqr := h.gs[2].Sequencer()
+	if seqr == 0 || seqr == 1 {
+		t.Fatalf("sequencer is a crashed node: %d", seqr)
+	}
+	for i := 2; i < 5; i++ {
+		if h.gs[i].Sequencer() != seqr {
+			t.Fatalf("node %d disagrees on sequencer", i)
+		}
+	}
+	h.env.Stop()
+	h.env.Shutdown()
+}
+
+func TestCrashWithLossAndBBMethod(t *testing.T) {
+	// The BB method under loss and a sequencer crash: data broadcasts
+	// and accepts interleave with the election.
+	h := newHarness(59, 4, func(p *netsim.Params) { p.DropProb = 0.08 },
+		func(c *Config) {
+			c.Method = ForceBB
+			c.SenderTimeout = 40 * sim.Millisecond
+			c.SenderRetries = 2
+			c.GapTimeout = 20 * sim.Millisecond
+			c.ElectionWait = 60 * sim.Millisecond
+			c.Heartbeat = 70 * sim.Millisecond
+		})
+	for i := 1; i < 4; i++ {
+		i := i
+		h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+			for k := 0; k < 20; k++ {
+				h.gs[i].Broadcast(p, "m", k, 64)
+				p.Sleep(6 * sim.Millisecond)
+			}
+		})
+	}
+	h.env.At(60*sim.Millisecond, func() { h.ms[0].Crash() })
+	h.env.RunUntil(240 * sim.Second)
+	h.checkAgreement(t, 60, map[int]bool{0: true})
+	h.env.Stop()
+	h.env.Shutdown()
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := newHarness(61, 3, nil, nil)
+	h.ms[1].SpawnThread("producer", func(p *sim.Proc) {
+		for k := 0; k < 10; k++ {
+			h.gs[1].Broadcast(p, "m", k, 64)
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	h.env.RunUntil(5 * sim.Second)
+	st := h.gs[1].Stats()
+	if st.Sent != 10 {
+		t.Fatalf("sent = %d", st.Sent)
+	}
+	if st.Delivered != 10 {
+		t.Fatalf("delivered = %d", st.Delivered)
+	}
+	if st.Retransmits != 0 || st.Elections != 0 {
+		t.Fatalf("unexpected recovery activity on a clean run: %+v", st)
+	}
+	h.env.Stop()
+	h.env.Shutdown()
+}

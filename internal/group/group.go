@@ -1,0 +1,469 @@
+// Package group implements Amoeba's totally-ordered reliable broadcast
+// (Kaashoek's group-communication protocol) as the paper describes it:
+// a sequencer orders all broadcasts; the PB method (Point-to-point,
+// then Broadcast) sends the message to the sequencer which broadcasts
+// it with a sequence number, while the BB method (Broadcast, then
+// Broadcast) broadcasts the message directly and the sequencer
+// broadcasts a short Accept. PB costs 2m bandwidth and one interrupt
+// per machine; BB costs m plus a tiny accept and two interrupts. The
+// implementation dynamically picks PB for messages that fit one packet
+// and BB for longer ones, exactly as the paper states.
+//
+// Reliability: the sequencer keeps a history buffer; members detect
+// sequence gaps and request retransmission; senders retransmit
+// unacknowledged requests. If the sequencer crashes, surviving members
+// elect a new one (the candidate that has seen the most messages wins)
+// and resynchronize from its rebuilt history.
+package group
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// Method selects the broadcast protocol variant.
+type Method int
+
+const (
+	// Auto picks PB for single-packet messages and BB for longer
+	// ones, the policy of the paper's implementation.
+	Auto Method = iota
+	// ForcePB always uses the Point-to-point/Broadcast method.
+	ForcePB
+	// ForceBB always uses the Broadcast/Broadcast method.
+	ForceBB
+)
+
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case ForcePB:
+		return "PB"
+	case ForceBB:
+		return "BB"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Config parameterizes a group.
+type Config struct {
+	// Members lists the node ids in the group. The initial sequencer
+	// is the lowest id ("a committee electing a chairman").
+	Members []int
+	// Method selects PB/BB policy; Auto follows the paper.
+	Method Method
+	// SenderTimeout is how long a sender waits for its broadcast to be
+	// sequenced before retransmitting.
+	SenderTimeout sim.Time
+	// SenderRetries bounds retransmissions before the sender suspects
+	// the sequencer has crashed and calls an election.
+	SenderRetries int
+	// GapTimeout is the interval between retransmission requests for
+	// missing sequence numbers.
+	GapTimeout sim.Time
+	// StatusEvery makes members report their delivery progress to the
+	// sequencer every N deliveries, enabling history trimming.
+	StatusEvery int
+	// HistoryMax caps the sequencer history buffer (a safety net if
+	// statuses stall, e.g. while a member is crashed).
+	HistoryMax int
+	// ElectionWait is how long candidates collect votes.
+	ElectionWait sim.Time
+	// CacheSize is the per-member cache of recently delivered
+	// messages, used to rebuild history after an election.
+	CacheSize int
+	// Heartbeat is the interval at which the sequencer announces its
+	// highest sequence number, so members discover losses even when
+	// traffic stops (a trailing dropped broadcast would otherwise go
+	// unnoticed forever).
+	Heartbeat sim.Time
+}
+
+// DefaultConfig returns a configuration tuned for the simulated
+// testbed.
+func DefaultConfig(members []int) Config {
+	return Config{
+		Members:       members,
+		Method:        Auto,
+		SenderTimeout: 200 * sim.Millisecond,
+		SenderRetries: 6,
+		GapTimeout:    50 * sim.Millisecond,
+		StatusEvery:   64,
+		HistoryMax:    16384,
+		ElectionWait:  300 * sim.Millisecond,
+		CacheSize:     8192,
+		Heartbeat:     250 * sim.Millisecond,
+	}
+}
+
+// Delivery is one totally-ordered message handed to the application.
+// All members observe identical (Seq, UID, Src, Body) streams.
+type Delivery struct {
+	Seq  int64
+	UID  int64
+	Src  int
+	Kind string
+	Body any
+	Size int
+}
+
+// Wire message bodies. All travel on the "grp" port.
+type (
+	// reqMsg is PB's RequestForBroadcast, unicast to the sequencer.
+	reqMsg struct {
+		UID  int64
+		Src  int
+		Kind string
+		Body any
+		Size int
+	}
+	// dataMsg is the sequenced message broadcast by the sequencer
+	// (PB), or unicast as a retransmission. Epoch stamps the
+	// sequencer's view so stale pre-election frames cannot interleave
+	// with a new sequencer's stream.
+	dataMsg struct {
+		Seq   int64
+		UID   int64
+		Src   int
+		Kind  string
+		Body  any
+		Size  int
+		Epoch int
+	}
+	// bbDataMsg is BB's unsequenced data broadcast from the sender.
+	bbDataMsg struct {
+		UID  int64
+		Src  int
+		Kind string
+		Body any
+		Size int
+	}
+	// acceptMsg is BB's short Accept broadcast from the sequencer.
+	acceptMsg struct {
+		Seq   int64
+		UID   int64
+		Epoch int
+	}
+	// retxReq asks the sequencer to retransmit sequence numbers
+	// [From, To]. Delivered piggybacks the requester's progress.
+	retxReq struct {
+		From, To  int64
+		Node      int
+		Delivered int64
+	}
+	// statusMsg reports delivery progress for history trimming.
+	statusMsg struct {
+		Node      int
+		Delivered int64
+	}
+	// electMsg is an election vote: the candidate with the highest
+	// HighSeq (ties to the lowest node id) becomes sequencer.
+	electMsg struct {
+		Epoch   int
+		Node    int
+		HighSeq int64
+	}
+	// coordMsg announces the election winner.
+	coordMsg struct {
+		Epoch   int
+		Node    int
+		HighSeq int64
+	}
+	// coordAck confirms a member has installed the winner's view;
+	// the winner sequences nothing until every live member has.
+	coordAck struct {
+		Epoch int
+		Node  int
+	}
+	// coordNack rejects a view whose HighSeq is behind the member's
+	// deliveries (the winner must abort and re-elect).
+	coordNack struct {
+		Epoch   int
+		Node    int
+		HighSeq int64
+	}
+	// hbMsg is the sequencer's periodic progress announcement.
+	hbMsg struct {
+		Epoch   int
+		Node    int
+		HighSeq int64
+	}
+)
+
+// Header sizes in bytes for the wire model.
+const (
+	hdrData   = 24
+	hdrAccept = 20
+	hdrSmall  = 20
+)
+
+// Port is the kernel port the group protocol binds on every member.
+const Port = "grp"
+
+// sendState tracks one of this member's broadcasts until it is
+// sequenced.
+type sendState struct {
+	uid     int64
+	kind    string
+	body    any
+	size    int
+	method  Method // resolved (PB or BB)
+	retries int
+	timer   *sim.Event
+}
+
+// Stats counts protocol activity at one member.
+type Stats struct {
+	Sent        int64
+	PBSends     int64
+	BBSends     int64
+	Delivered   int64
+	Retransmits int64
+	GapRequests int64
+	Elections   int64
+}
+
+// Member is one node's endpoint of the group. All methods must run in
+// simulation context on the member's machine.
+type Member struct {
+	m   *amoeba.Machine
+	cfg Config
+
+	seqNode int
+	epoch   int
+	nextSeq int64 // next sequence number to deliver
+	maxSeen int64 // highest sequence number observed
+	outQ    *sim.Queue[Delivery]
+
+	buffered    map[int64]*dataMsg   // seq -> out-of-order data
+	pendingBB   map[int64]*bbDataMsg // uid -> BB data awaiting accept
+	acceptedBB  map[int64]int64      // seq -> uid accepted but data missing
+	outstanding map[int64]*sendState // uid -> my unsequenced sends
+	gapTimer    *sim.Event
+
+	// Delivered-message cache and uid dedup for election recovery.
+	cache    []*dataMsg
+	dlvUID   map[int64]bool
+	dlvOrder []int64
+
+	// Sequencer state. A freshly elected sequencer is not installed
+	// until every live member acknowledged its view; it assigns no
+	// sequence numbers before that.
+	isSeq     bool
+	installed bool
+	viewAcks  map[int]bool
+	history   map[int64]*dataMsg
+	histLo    int64           // lowest retained seq
+	seen      map[int64]int64 // uid -> seq (sequencer dedup)
+	statuses  map[int]int64
+
+	// Election state.
+	electing   bool
+	bestCand   electMsg
+	votedEpoch int
+	electTimer *sim.Event
+
+	stats Stats
+}
+
+// Join attaches machine m to the group. Every member must Join before
+// the simulation starts broadcasting.
+func Join(m *amoeba.Machine, cfg Config) *Member {
+	if len(cfg.Members) == 0 {
+		panic("group: empty membership")
+	}
+	seq := cfg.Members[0]
+	for _, id := range cfg.Members {
+		if id < seq {
+			seq = id
+		}
+	}
+	g := &Member{
+		m:           m,
+		cfg:         cfg,
+		seqNode:     seq,
+		nextSeq:     1,
+		outQ:        sim.NewQueue[Delivery](m.Env()),
+		buffered:    make(map[int64]*dataMsg),
+		pendingBB:   make(map[int64]*bbDataMsg),
+		acceptedBB:  make(map[int64]int64),
+		outstanding: make(map[int64]*sendState),
+		cache:       make([]*dataMsg, cfg.CacheSize),
+		dlvUID:      make(map[int64]bool),
+		history:     make(map[int64]*dataMsg),
+		histLo:      1,
+		seen:        make(map[int64]int64),
+		statuses:    make(map[int]int64),
+	}
+	g.isSeq = m.ID() == seq
+	g.installed = true // the boot view needs no installation round
+	m.Bind(Port, g.handle)
+	if cfg.Heartbeat > 0 {
+		g.armHeartbeat()
+	}
+	return g
+}
+
+// armHeartbeat runs the periodic sequencer announcement. Every member
+// runs the timer; only the current sequencer transmits.
+func (g *Member) armHeartbeat() {
+	g.m.After(g.cfg.Heartbeat, func(p *sim.Proc) {
+		if g.isSeq && g.installed && g.maxSeen > 0 {
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-hb",
+				Body: hbMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
+		}
+		g.armHeartbeat()
+	})
+}
+
+// Deliveries returns the totally-ordered stream of group messages for
+// this member. Consumers (the RTS object manager) Get in a loop.
+func (g *Member) Deliveries() *sim.Queue[Delivery] { return g.outQ }
+
+// Sequencer reports the node this member currently believes is the
+// sequencer.
+func (g *Member) Sequencer() int { return g.seqNode }
+
+// IsSequencer reports whether this member is the sequencer.
+func (g *Member) IsSequencer() bool { return g.isSeq }
+
+// NextSeq reports the next sequence number this member will deliver.
+func (g *Member) NextSeq() int64 { return g.nextSeq }
+
+// Stats returns a snapshot of this member's protocol counters.
+func (g *Member) Stats() Stats { return g.stats }
+
+// resolveMethod picks PB or BB for a message of the given payload
+// size, following the paper's one-packet rule in Auto mode.
+func (g *Member) resolveMethod(size int) Method {
+	switch g.cfg.Method {
+	case ForcePB:
+		return ForcePB
+	case ForceBB:
+		return ForceBB
+	}
+	if g.m.Net().FragmentsFor(size+hdrData) > 1 {
+		return ForceBB
+	}
+	return ForcePB
+}
+
+// Broadcast reliably, totally-ordered broadcasts a message to the
+// group (including this member, which sees it in its own delivery
+// stream). It returns the message uid; delivery order is defined by
+// the sequence numbers all members agree on. Broadcast does not wait
+// for delivery: callers needing write-completion semantics wait until
+// their uid appears in the delivery stream.
+func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
+	uid := g.m.ServiceID()
+	g.stats.Sent++
+	if g.isSeq && g.installed {
+		// The sequencer sequences its own messages directly and
+		// broadcasts the sequenced data: one message on the wire.
+		d := &dataMsg{Seq: g.nextSeqNum(), UID: uid, Src: g.m.ID(), Kind: kind, Body: body, Size: size, Epoch: g.epoch}
+		g.recordHistory(d)
+		g.stats.PBSends++
+		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: size + hdrData})
+		g.processData(p, d)
+		return uid
+	}
+	st := &sendState{uid: uid, kind: kind, body: body, size: size, method: g.resolveMethod(size)}
+	g.outstanding[uid] = st
+	g.transmit(p, st)
+	g.armSenderTimer(st)
+	return uid
+}
+
+// transmit performs one send attempt for an outstanding message.
+func (g *Member) transmit(p *sim.Proc, st *sendState) {
+	switch st.method {
+	case ForcePB:
+		g.stats.PBSends++
+		g.m.Send(p, g.seqNode, amoeba.Packet{
+			Port: Port, Kind: "grp-req",
+			Body: reqMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size},
+			Size: st.size + hdrData,
+		})
+	case ForceBB:
+		g.stats.BBSends++
+		// The sender keeps its own copy; it will not hear its own
+		// broadcast frame.
+		g.pendingBB[st.uid] = &bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size}
+		g.m.Broadcast(p, amoeba.Packet{
+			Port: Port, Kind: "grp-bb-data",
+			Body: bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size},
+			Size: st.size + hdrData,
+		})
+	}
+}
+
+// armSenderTimer schedules retransmission for st until it is
+// acknowledged by appearing in the sequenced stream.
+func (g *Member) armSenderTimer(st *sendState) {
+	st.timer = g.m.After(g.cfg.SenderTimeout, func(p *sim.Proc) {
+		if _, live := g.outstanding[st.uid]; !live {
+			return
+		}
+		st.retries++
+		if st.retries > g.cfg.SenderRetries {
+			g.m.Env().Tracef("node%d: sequencer %d suspected dead (uid %d)", g.m.ID(), g.seqNode, st.uid)
+			g.startElection(p)
+			// Re-arm: the message is still outstanding and will be
+			// retransmitted to the new sequencer once elected.
+			st.retries = 0
+			g.armSenderTimer(st)
+			return
+		}
+		g.stats.Retransmits++
+		g.transmit(p, st)
+		g.armSenderTimer(st)
+	})
+}
+
+// nextSeqNum allocates the next global sequence number (sequencer
+// only).
+func (g *Member) nextSeqNum() int64 {
+	g.maxSeen++
+	return g.maxSeen
+}
+
+// recordHistory stores a sequenced message in the sequencer's history
+// buffer, trimming if the buffer exceeds its cap.
+func (g *Member) recordHistory(d *dataMsg) {
+	g.history[d.Seq] = d
+	g.seen[d.UID] = d.Seq
+	if len(g.history) > g.cfg.HistoryMax {
+		delete(g.history, g.histLo)
+		g.histLo++
+	}
+}
+
+// trimHistory drops history entries all members have delivered.
+func (g *Member) trimHistory() {
+	min := int64(1<<62 - 1)
+	for _, id := range g.cfg.Members {
+		if id == g.m.ID() {
+			continue
+		}
+		if g.m.Net().Down(id) {
+			continue // crashed members never report; don't stall
+		}
+		d, ok := g.statuses[id]
+		if !ok {
+			return // no report yet; cannot trim
+		}
+		if d < min {
+			min = d
+		}
+	}
+	if own := g.nextSeq - 1; own < min {
+		min = own
+	}
+	for g.histLo <= min {
+		delete(g.history, g.histLo)
+		g.histLo++
+	}
+}

@@ -1,0 +1,274 @@
+package group
+
+import (
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// handle is the kernel port handler: it demultiplexes every group
+// protocol packet. It runs on the machine's interrupt thread, after
+// interrupt/protocol CPU costs have been charged.
+func (g *Member) handle(p *sim.Proc, from int, pkt amoeba.Packet) {
+	switch b := pkt.Body.(type) {
+	case reqMsg:
+		g.onRequest(p, b)
+	case dataMsg:
+		g.processData(p, &b)
+	case bbDataMsg:
+		g.onBBData(p, &b)
+	case acceptMsg:
+		g.onAccept(p, b)
+	case retxReq:
+		g.onRetxReq(p, b)
+	case statusMsg:
+		g.onStatus(b)
+	case electMsg:
+		g.onElect(p, b)
+	case coordMsg:
+		g.onCoord(p, b)
+	case coordAck:
+		g.onCoordAck(p, b)
+	case coordNack:
+		g.onCoordNack(p, b)
+	case hbMsg:
+		g.onHeartbeat(b)
+	}
+}
+
+// onHeartbeat learns the sequencer's progress; if this member is
+// behind, gap recovery kicks in.
+func (g *Member) onHeartbeat(h hbMsg) {
+	if h.Epoch < g.epoch || g.electing {
+		return
+	}
+	g.seqNode = h.Node
+	if h.HighSeq > g.maxSeen {
+		g.maxSeen = h.HighSeq
+	}
+	if g.nextSeq <= g.maxSeen {
+		g.armGapTimer()
+	}
+}
+
+// onRequest handles PB's RequestForBroadcast at the sequencer.
+func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
+	if !g.isSeq || !g.installed {
+		return // stale or uninstalled view; the sender will retry
+	}
+	if seq, dup := g.seen[r.UID]; dup {
+		// Retransmitted request: rebroadcast the sequenced message so
+		// the sender (and anyone else who missed it) sees it.
+		if d, ok := g.history[seq]; ok {
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+		}
+		return
+	}
+	d := &dataMsg{Seq: g.nextSeqNum(), UID: r.UID, Src: r.Src, Kind: r.Kind, Body: r.Body, Size: r.Size, Epoch: g.epoch}
+	g.recordHistory(d)
+	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+	g.processData(p, d)
+}
+
+// onBBData handles BB's data broadcast at every member.
+func (g *Member) onBBData(p *sim.Proc, b *bbDataMsg) {
+	if g.isSeq && g.installed {
+		if seq, dup := g.seen[b.UID]; dup {
+			// Retransmission: the accept may have been lost.
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
+				Body: acceptMsg{Seq: seq, UID: b.UID, Epoch: g.epoch}, Size: hdrAccept})
+			return
+		}
+		d := &dataMsg{Seq: g.nextSeqNum(), UID: b.UID, Src: b.Src, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch}
+		g.recordHistory(d)
+		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
+			Body: acceptMsg{Seq: d.Seq, UID: b.UID, Epoch: g.epoch}, Size: hdrAccept})
+		g.processData(p, d)
+		return
+	}
+	if g.isSeq {
+		// Not installed yet: stash the data; the sender will retry.
+		g.pendingBB[b.UID] = b
+		return
+	}
+	if seq, accepted := g.acceptedUID(b.UID); accepted {
+		// Accept arrived before the data: complete it now.
+		g.processData(p, &dataMsg{Seq: seq, UID: b.UID, Src: b.Src, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch})
+		return
+	}
+	g.pendingBB[b.UID] = b
+}
+
+// acceptedUID reports whether an accept for uid is waiting for data.
+func (g *Member) acceptedUID(uid int64) (int64, bool) {
+	for seq, u := range g.acceptedBB {
+		if u == uid {
+			delete(g.acceptedBB, seq)
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// onAccept handles BB's Accept at a non-sequencer member.
+func (g *Member) onAccept(p *sim.Proc, a acceptMsg) {
+	if a.Epoch < g.epoch {
+		return // stale sequencer's stream
+	}
+	if a.Epoch > g.epoch {
+		g.epoch = a.Epoch // adopt the newer view's stream
+		g.electing = false
+	}
+	if a.Seq < g.nextSeq {
+		delete(g.pendingBB, a.UID) // late duplicate; GC the stashed data
+		return
+	}
+	if bb, ok := g.pendingBB[a.UID]; ok {
+		delete(g.pendingBB, a.UID)
+		g.processData(p, &dataMsg{Seq: a.Seq, UID: a.UID, Src: bb.Src, Kind: bb.Kind, Body: bb.Body, Size: bb.Size, Epoch: g.epoch})
+		return
+	}
+	// Data frame lost: remember the accept and fetch the payload from
+	// the sequencer's history via the gap machinery.
+	g.acceptedBB[a.Seq] = a.UID
+	if a.Seq > g.maxSeen {
+		g.maxSeen = a.Seq
+	}
+	g.armGapTimer()
+}
+
+// onRetxReq serves retransmissions out of the sequencer history.
+func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
+	g.statuses[r.Node] = r.Delivered
+	if !g.isSeq {
+		return
+	}
+	g.trimHistory()
+	to := r.To
+	if to > g.maxSeen {
+		to = g.maxSeen
+	}
+	for s := r.From; s <= to; s++ {
+		if d, ok := g.history[s]; ok {
+			// Restamp with the current epoch: history may hold
+			// messages sequenced under a previous view that are still
+			// part of the (unchanged) prefix this view vouches for.
+			rd := *d
+			rd.Epoch = g.epoch
+			g.m.Send(p, r.Node, amoeba.Packet{Port: Port, Kind: "grp-retx", Body: rd, Size: d.Size + hdrData})
+		}
+	}
+}
+
+// onStatus records a member's delivery progress.
+func (g *Member) onStatus(s statusMsg) {
+	g.statuses[s.Node] = s.Delivered
+	if g.isSeq {
+		g.trimHistory()
+	}
+}
+
+// processData runs the ordered-delivery core: acknowledge own sends,
+// buffer out-of-order messages, deliver in strict sequence order, and
+// arm gap recovery when holes remain.
+func (g *Member) processData(p *sim.Proc, d *dataMsg) {
+	if d.Epoch < g.epoch {
+		return // stale sequencer's stream
+	}
+	if d.Epoch > g.epoch {
+		g.epoch = d.Epoch // adopt the newer view's stream
+		g.electing = false
+	}
+	if st, mine := g.outstanding[d.UID]; mine {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		delete(g.outstanding, d.UID)
+		delete(g.pendingBB, d.UID)
+	}
+	if d.Seq > g.maxSeen {
+		g.maxSeen = d.Seq
+	}
+	if d.Seq < g.nextSeq {
+		return // duplicate
+	}
+	g.buffered[d.Seq] = d
+	for {
+		nd, ok := g.buffered[g.nextSeq]
+		if !ok {
+			break
+		}
+		delete(g.buffered, g.nextSeq)
+		g.deliver(p, nd)
+		g.nextSeq++
+	}
+	if g.nextSeq <= g.maxSeen {
+		g.armGapTimer()
+	} else if g.gapTimer != nil {
+		g.gapTimer.Cancel()
+		g.gapTimer = nil
+	}
+}
+
+// deliver hands one sequenced message to the application stream and
+// maintains the delivered cache, uid dedup, and status reporting.
+func (g *Member) deliver(p *sim.Proc, d *dataMsg) {
+	delete(g.acceptedBB, d.Seq)
+	delete(g.pendingBB, d.UID)
+	if len(g.cache) > 0 {
+		g.cache[int(d.Seq)%len(g.cache)] = d
+	}
+	if g.dlvUID[d.UID] {
+		return // re-sequenced duplicate after an election
+	}
+	g.dlvUID[d.UID] = true
+	g.dlvOrder = append(g.dlvOrder, d.UID)
+	if len(g.dlvOrder) > 4*len(g.cache) && len(g.cache) > 0 {
+		delete(g.dlvUID, g.dlvOrder[0])
+		g.dlvOrder = g.dlvOrder[1:]
+	}
+	g.stats.Delivered++
+	g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Body: d.Body, Size: d.Size})
+	if !g.isSeq && g.cfg.StatusEvery > 0 && g.stats.Delivered%int64(g.cfg.StatusEvery) == 0 {
+		g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-status",
+			Body: statusMsg{Node: g.m.ID(), Delivered: g.nextSeq}, Size: hdrSmall})
+	}
+}
+
+// armGapTimer starts periodic retransmission requests while sequence
+// holes exist. Repeated stalls without progress make the member
+// suspect the sequencer and call an election.
+func (g *Member) armGapTimer() {
+	if g.gapTimer != nil {
+		return
+	}
+	lastNext := g.nextSeq
+	stalls := 0
+	var arm func()
+	arm = func() {
+		g.gapTimer = g.m.After(g.cfg.GapTimeout, func(p *sim.Proc) {
+			g.gapTimer = nil
+			if g.nextSeq > g.maxSeen {
+				return // caught up
+			}
+			if g.nextSeq == lastNext {
+				stalls++
+			} else {
+				lastNext, stalls = g.nextSeq, 0
+			}
+			if stalls > g.cfg.SenderRetries {
+				g.startElection(p)
+				stalls = 0
+			}
+			g.stats.GapRequests++
+			to := g.nextSeq + 31
+			if to > g.maxSeen {
+				to = g.maxSeen
+			}
+			g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-retx-req",
+				Body: retxReq{From: g.nextSeq, To: to, Node: g.m.ID(), Delivered: g.nextSeq - 1},
+				Size: hdrSmall})
+			arm()
+		})
+	}
+	arm()
+}

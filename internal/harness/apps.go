@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/acp"
+	"repro/internal/apps/atpg"
+	"repro/internal/apps/chess"
+	"repro/internal/apps/tsp"
+	"repro/internal/orca"
+)
+
+// Scale trims the processor sweeps (for quick runs and benchmarks).
+type Scale int
+
+// Scales.
+const (
+	Full  Scale = iota // the paper's full sweeps
+	Quick              // a few points, small inputs
+)
+
+func sweep(scale Scale, max int) []int {
+	if scale == Quick {
+		return []int{1, 2, 4}
+	}
+	var ps []int
+	for p := 1; p <= max; p++ {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Fig2TSP reproduces Figure 2: TSP speedup on a 14-city problem,
+// 1..16 processors, broadcast runtime.
+func Fig2TSP(w io.Writer, scale Scale) Series {
+	cities, seed := 14, int64(5)
+	if scale == Quick {
+		cities = 11
+	}
+	inst := tsp.Generate(cities, seed)
+	s := Series{Name: fmt.Sprintf("TSP %d cities", cities)}
+	var base orca.Report
+	var rows [][]string
+	for _, p := range sweep(scale, 16) {
+		r := tsp.RunOrca(orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1}, inst, tsp.Params{})
+		if p == 1 {
+			base = r.Report
+		}
+		pt := SpeedupPoint{
+			Procs: p, Elapsed: r.Report.Elapsed,
+			Speedup:  float64(base.Elapsed) / float64(r.Report.Elapsed),
+			Messages: r.Report.Net.Messages,
+		}
+		s.Points = append(s.Points, pt)
+		rows = append(rows, []string{
+			fmt.Sprint(p), fmtTime(r.Report.Elapsed), fmt.Sprintf("%.2f", pt.Speedup),
+			fmt.Sprint(r.Nodes), fmt.Sprint(r.Best), fmt.Sprint(pt.Messages),
+		})
+	}
+	fmt.Fprintf(w, "== FIG2: Traveling Salesman Problem (%d cities, branch and bound, broadcast RTS) ==\n", cities)
+	Table(w, []string{"procs", "time", "speedup", "nodes", "best", "messages"}, rows)
+	fmt.Fprintln(w)
+	RenderCurve(w, "Fig. 2 — Speedup for the Traveling Salesman Problem", []Series{s}, 16)
+	return s
+}
+
+// Fig3ACP reproduces Figure 3: Arc Consistency speedup with 64
+// variables, workers on processors 2..16 (the master has its own).
+func Fig3ACP(w io.Writer, scale Scale) Series {
+	nVars, dom, extra, seed := 64, 64, 40, int64(2)
+	if scale == Quick {
+		nVars, dom, extra = 24, 24, 16
+	}
+	inst := acp.GeneratePropagation(nVars, dom, extra, seed)
+	s := Series{Name: fmt.Sprintf("ACP %d variables", nVars)}
+	var base orca.Report
+	var rows [][]string
+	for _, p := range sweep(scale, 16) {
+		r := acp.RunOrca(orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1}, inst, acp.Params{})
+		if p == 1 {
+			base = r.Report
+		}
+		pt := SpeedupPoint{
+			Procs: p, Elapsed: r.Report.Elapsed,
+			Speedup:  float64(base.Elapsed) / float64(r.Report.Elapsed),
+			Messages: r.Report.Net.Messages,
+		}
+		s.Points = append(s.Points, pt)
+		rows = append(rows, []string{
+			fmt.Sprint(p), fmtTime(r.Report.Elapsed), fmt.Sprintf("%.2f", pt.Speedup),
+			fmt.Sprint(r.Revisions), fmt.Sprint(pt.Messages),
+		})
+	}
+	fmt.Fprintf(w, "== FIG3: Arc Consistency Problem (%d variables, static partition, broadcast RTS) ==\n", nVars)
+	Table(w, []string{"procs", "time", "speedup", "revisions", "messages"}, rows)
+	fmt.Fprintln(w)
+	RenderCurve(w, "Fig. 3 — Speedup for the Arc Consistency Problem", []Series{s}, 16)
+	return s
+}
+
+// ChessExperiment reproduces §4.3: Oracol speedups (the paper reports
+// 4.5-5.5 on 10 CPUs) and the shared-vs-local table comparison.
+func ChessExperiment(w io.Writer, scale Scale) []Series {
+	fen := "r1bq1rk1/pp1n1ppp/2pbpn2/3p4/2PP4/2NBPN2/PP3PPP/R1BQ1RK1 w - - 0 1"
+	depth := 6
+	procs := []int{1, 2, 4, 6, 8, 10}
+	if scale == Quick {
+		depth = 4
+		procs = []int{1, 2, 4}
+	}
+	b, err := chess.FromFEN(fen)
+	if err != nil {
+		panic(err)
+	}
+	var out []Series
+	var rows [][]string
+	for _, shared := range []bool{true, false} {
+		name := "local tables"
+		if shared {
+			name = "shared tables"
+		}
+		s := Series{Name: name}
+		var base orca.Report
+		for _, p := range procs {
+			r := chess.RunOrca(orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1}, b,
+				chess.Params{MaxDepth: depth, SharedTT: shared, SharedKiller: shared, SplitMinDepth: 1})
+			if p == procs[0] {
+				base = r.Report
+			}
+			pt := SpeedupPoint{
+				Procs: p, Elapsed: r.Report.Elapsed,
+				Speedup:  float64(base.Elapsed) / float64(r.Report.Elapsed),
+				Messages: r.Report.Net.Messages,
+			}
+			s.Points = append(s.Points, pt)
+			rows = append(rows, []string{
+				name, fmt.Sprint(p), fmtTime(r.Report.Elapsed),
+				fmt.Sprintf("%.2f", pt.Speedup), fmt.Sprint(r.Nodes), fmt.Sprint(pt.Messages),
+			})
+		}
+		out = append(out, s)
+	}
+	fmt.Fprintf(w, "== CHESS: Oracol parallel alpha-beta (depth %d, PV-splitting) ==\n", depth)
+	Table(w, []string{"tables", "procs", "time", "speedup", "nodes", "messages"}, rows)
+	fmt.Fprintln(w)
+	RenderCurve(w, "§4.3 — Oracol speedup, shared vs local tables", out, 10)
+	fmt.Fprintln(w, "Paper: speedups between 4.5 and 5.5 on 10 CPUs; almost all overhead")
+	fmt.Fprintln(w, "is search overhead. Shared tables are most efficient, especially the")
+	fmt.Fprintln(w, "killer table.")
+	return out
+}
+
+// ATPGExperiment reproduces §4.4: near-linear speedup without fault
+// simulation; with fault simulation about 3x faster in absolute terms
+// but inferior speedup. The dynamic work distribution the paper lists
+// as future work is included.
+func ATPGExperiment(w io.Writer, scale Scale) []Series {
+	inputs, layers, width, seed := 24, 10, 60, int64(42)
+	if scale == Quick {
+		inputs, layers, width = 12, 5, 20
+	}
+	c := atpg.Generate(inputs, layers, width, seed)
+	faults := atpg.AllFaults(c)
+	procs := []int{1, 2, 4, 8, 12, 16}
+	if scale == Quick {
+		procs = []int{1, 2, 4}
+	}
+	fmt.Fprintf(w, "== ATPG: PODEM on a generated circuit (%d lines, %d faults) ==\n", c.Lines(), len(faults))
+	var out []Series
+	var rows [][]string
+	for _, mode := range []atpg.Mode{atpg.Static, atpg.StaticFaultSim, atpg.DynamicFaultSim} {
+		s := Series{Name: mode.String()}
+		var base orca.Report
+		for _, p := range procs {
+			r := atpg.RunOrca(orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1}, c, faults,
+				atpg.Params{Mode: mode})
+			if p == procs[0] {
+				base = r.Report
+			}
+			pt := SpeedupPoint{
+				Procs: p, Elapsed: r.Report.Elapsed,
+				Speedup:  float64(base.Elapsed) / float64(r.Report.Elapsed),
+				Messages: r.Report.Net.Messages,
+			}
+			s.Points = append(s.Points, pt)
+			rows = append(rows, []string{
+				mode.String(), fmt.Sprint(p), fmtTime(r.Report.Elapsed),
+				fmt.Sprintf("%.2f", pt.Speedup), fmt.Sprint(r.Detected),
+				fmt.Sprint(r.Patterns), fmt.Sprint(pt.Messages),
+			})
+		}
+		out = append(out, s)
+	}
+	Table(w, []string{"mode", "procs", "time", "speedup", "detected", "patterns", "messages"}, rows)
+	fmt.Fprintln(w)
+	RenderCurve(w, "§4.4 — ATPG speedup by mode", out, 16)
+	fmt.Fprintln(w, "Paper: the basic program achieves speedups close to linear; the")
+	fmt.Fprintln(w, "fault-simulation version is about 3x faster in absolute speed but")
+	fmt.Fprintln(w, "obtains inferior speedups (communication overhead, load imbalance).")
+	return out
+}

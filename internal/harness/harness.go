@@ -1,0 +1,117 @@
+// Package harness drives the experiments that regenerate every table
+// and figure of the paper's evaluation, plus the protocol analyses of
+// §3. Each experiment returns a structured result and can render
+// itself as text (tables and ASCII speedup curves in the style of the
+// paper's figures).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// SpeedupPoint is one measurement in a processor sweep.
+type SpeedupPoint struct {
+	Procs    int
+	Elapsed  sim.Time
+	Speedup  float64
+	Messages int64
+	Extra    map[string]any
+}
+
+// Series is a named speedup curve.
+type Series struct {
+	Name   string
+	Points []SpeedupPoint
+}
+
+// RenderCurve draws an ASCII speedup-vs-processors plot in the style
+// of the paper's Figures 2 and 3, including the dotted perfect-speedup
+// diagonal.
+func RenderCurve(w io.Writer, title string, series []Series, maxProcs int) {
+	fmt.Fprintf(w, "%s\n", title)
+	height := maxProcs
+	if height > 16 {
+		height = 16
+	}
+	marks := []byte{'*', 'o', '+', 'x'}
+	grid := make([][]byte, height+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxProcs*3+2))
+	}
+	plot := func(p int, s float64, mark byte) {
+		row := int(s*float64(height)/float64(maxProcs) + 0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row > height {
+			row = height
+		}
+		col := p * 3
+		if col < len(grid[0]) {
+			grid[row][col] = mark
+		}
+	}
+	for p := 1; p <= maxProcs; p++ {
+		plot(p, float64(p), '.')
+	}
+	for si, s := range series {
+		for _, pt := range s.Points {
+			plot(pt.Procs, pt.Speedup, marks[si%len(marks)])
+		}
+	}
+	for row := height; row >= 0; row-- {
+		label := "  "
+		v := row * maxProcs / height
+		if row%2 == 0 {
+			label = fmt.Sprintf("%2d", v)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(w, "   +%s\n    ", strings.Repeat("-", maxProcs*3+2))
+	for p := 1; p <= maxProcs; p++ {
+		fmt.Fprintf(w, "%3d", p)
+	}
+	fmt.Fprintln(w)
+	for si, s := range series {
+		fmt.Fprintf(w, "    %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	fmt.Fprintln(w, "    . = perfect speedup")
+}
+
+// Table prints a simple aligned table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// fmtTime renders a virtual time compactly for tables.
+func fmtTime(t sim.Time) string { return t.String() }

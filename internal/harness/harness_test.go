@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rts"
+)
+
+// Smoke tests: every experiment must run at Quick scale and produce
+// plausible output. These keep the figure-regeneration paths honest.
+
+func TestFig2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	s := Fig2TSP(&buf, Quick)
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Points[0].Speedup != 1.0 {
+		t.Fatalf("base speedup = %f", s.Points[0].Speedup)
+	}
+	last := s.Points[len(s.Points)-1]
+	if last.Speedup < 1.5 {
+		t.Fatalf("TSP quick speedup at P=%d is %f", last.Procs, last.Speedup)
+	}
+	if !strings.Contains(buf.String(), "FIG2") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	s := Fig3ACP(&buf, Quick)
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if !strings.Contains(buf.String(), "Arc Consistency") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestChessQuick(t *testing.T) {
+	var buf bytes.Buffer
+	series := ChessExperiment(&buf, Quick)
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want shared+local", len(series))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shared tables") || !strings.Contains(out, "local tables") {
+		t.Fatal("missing table variants")
+	}
+}
+
+func TestATPGQuick(t *testing.T) {
+	var buf bytes.Buffer
+	series := ATPGExperiment(&buf, Quick)
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3 modes", len(series))
+	}
+}
+
+func TestPBBBQuick(t *testing.T) {
+	var buf bytes.Buffer
+	PBBBExperiment(&buf, Quick)
+	out := buf.String()
+	for _, want := range []string{"PB wire", "BB wire", "auto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing column %q", want)
+		}
+	}
+}
+
+func TestRTSCompareQuick(t *testing.T) {
+	var buf bytes.Buffer
+	RTSCompareExperiment(&buf, Quick)
+	if !strings.Contains(buf.String(), "winner") {
+		t.Fatal("missing winner column")
+	}
+}
+
+func TestDynReplQuick(t *testing.T) {
+	var buf bytes.Buffer
+	DynReplExperiment(&buf, Quick)
+	out := buf.String()
+	for _, want := range []string{"single", "full", "dynamic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing placement %q", want)
+		}
+	}
+}
+
+func TestMicroQuick(t *testing.T) {
+	var buf bytes.Buffer
+	MicroExperiment(&buf, Quick)
+	if !strings.Contains(buf.String(), "null RPC") {
+		t.Fatal("missing RPC measurement")
+	}
+}
+
+func TestPartReplQuick(t *testing.T) {
+	var buf bytes.Buffer
+	PartReplExperiment(&buf, Quick)
+	if !strings.Contains(buf.String(), "single-copy") {
+		t.Fatal("missing single-copy column")
+	}
+}
+
+func TestInterruptCostQuick(t *testing.T) {
+	var buf bytes.Buffer
+	InterruptCostExperiment(&buf, Quick)
+	if !strings.Contains(buf.String(), "16x") {
+		t.Fatal("missing multiplier rows")
+	}
+}
+
+func TestP2PWorkloadBothProtocols(t *testing.T) {
+	for _, proto := range []rts.P2PProtocol{rts.Update, rts.Invalidation} {
+		elapsed, msgs, _ := P2PWorkload(proto, rts.DynamicPlacement, 3, 4, 1, 2)
+		if elapsed <= 0 {
+			t.Fatalf("%v: no elapsed time", proto)
+		}
+		if msgs == 0 {
+			t.Fatalf("%v: no messages", proto)
+		}
+	}
+}
+
+func TestRenderCurveAndTable(t *testing.T) {
+	var buf bytes.Buffer
+	RenderCurve(&buf, "test", []Series{{
+		Name:   "s",
+		Points: []SpeedupPoint{{Procs: 1, Speedup: 1}, {Procs: 4, Speedup: 3.5}},
+	}}, 4)
+	out := buf.String()
+	if !strings.Contains(out, "perfect speedup") || !strings.Contains(out, "* = s") {
+		t.Fatalf("curve rendering broken:\n%s", out)
+	}
+	buf.Reset()
+	Table(&buf, []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(buf.String(), "333") {
+		t.Fatal("table rendering broken")
+	}
+}

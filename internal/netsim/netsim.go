@@ -1,0 +1,273 @@
+// Package netsim models the shared-medium network of the paper's
+// testbed: a 10 Mb/s Ethernet connecting the processor-pool machines.
+//
+// The model captures the two costs that drive the paper's protocol
+// analysis: bandwidth (all frames serialize over one bus) and per-frame
+// receiver interrupts (charged by the kernel layer for every fragment
+// delivered). Frames above the MTU are fragmented; messages occupy the
+// bus for all fragments back to back, as Amoeba's blast protocols did.
+// Losses are injected per receiver with a configurable probability so
+// the reliability machinery of the upper layers is actually exercised.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Broadcast is the destination address meaning "all nodes but the
+// sender".
+const Broadcast = -1
+
+// Params configures the physical network.
+type Params struct {
+	// BandwidthBps is the raw signalling rate. The paper's Ethernet
+	// runs at 10 Mb/s.
+	BandwidthBps int64
+	// PropDelay is the one-way propagation plus controller latency.
+	PropDelay sim.Time
+	// FrameOverhead is per-frame wire overhead in bytes (preamble,
+	// header, CRC, interframe gap).
+	FrameOverhead int
+	// MTU is the maximum payload per frame; larger messages fragment.
+	MTU int
+	// DropProb is the probability that a given receiver loses a given
+	// fragment (buffer overrun, CRC error). Zero for a perfect net.
+	DropProb float64
+	// BroadcastCapable reports whether the hardware supports
+	// broadcast. The point-to-point runtime system is measured on
+	// networks without it; calling BroadcastFrame then panics so an
+	// experiment cannot accidentally cheat.
+	BroadcastCapable bool
+}
+
+// DefaultParams returns the testbed network of the paper: 10 Mb/s
+// Ethernet, 1500-byte MTU, broadcast-capable, lossless.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps:     10_000_000,
+		PropDelay:        50 * sim.Microsecond,
+		FrameOverhead:    42, // preamble 8 + MAC header/CRC 22 + IFG 12
+		MTU:              1500,
+		DropProb:         0,
+		BroadcastCapable: true,
+	}
+}
+
+// Frame is a message handed to the network. Payload travels by
+// reference (the simulation shares memory); Size is the number of
+// payload bytes the frame occupies on the wire and is what the
+// bandwidth model uses.
+type Frame struct {
+	Src     int
+	Dst     int // node id, or Broadcast
+	Kind    string
+	Size    int
+	Payload any
+}
+
+// Delivery is what a node's handler receives: the frame plus the
+// number of wire fragments it arrived in, which the kernel charges one
+// interrupt each.
+type Delivery struct {
+	Frame     Frame
+	Fragments int
+	At        sim.Time
+}
+
+// Handler consumes deliveries for one node. Handlers run in event
+// context and must not block; kernels enqueue into their own interrupt
+// queues.
+type Handler func(d Delivery)
+
+// Stats aggregates wire-level measurements.
+type Stats struct {
+	Frames        int64 // fragments placed on the wire
+	Messages      int64 // logical sends
+	WireBytes     int64 // bytes on the wire including overhead
+	PayloadBytes  int64
+	Drops         int64 // per-receiver fragment losses
+	Interrupts    []int64
+	BytesByKind   map[string]int64
+	CountsByKind  map[string]int64
+	BusBusy       sim.Time
+	lastBusSample sim.Time
+}
+
+// Network is the shared bus connecting n nodes.
+type Network struct {
+	env       *sim.Env
+	params    Params
+	n         int
+	handlers  []Handler
+	down      []bool
+	busFreeAt sim.Time
+	stats     Stats
+}
+
+// New creates a network of n nodes with the given parameters.
+func New(env *sim.Env, n int, params Params) *Network {
+	if params.BandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	if params.MTU <= 0 {
+		panic("netsim: MTU must be positive")
+	}
+	return &Network{
+		env:      env,
+		params:   params,
+		n:        n,
+		handlers: make([]Handler, n),
+		down:     make([]bool, n),
+		stats: Stats{
+			Interrupts:   make([]int64, n),
+			BytesByKind:  map[string]int64{},
+			CountsByKind: map[string]int64{},
+		},
+	}
+}
+
+// Nodes reports the number of attached nodes.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Params returns the network configuration.
+func (nw *Network) Params() Params { return nw.params }
+
+// Handle registers the delivery handler for node.
+func (nw *Network) Handle(node int, h Handler) {
+	nw.handlers[node] = h
+}
+
+// SetDown marks a node crashed (true) or recovered (false). Down nodes
+// neither send nor receive.
+func (nw *Network) SetDown(node int, down bool) { nw.down[node] = down }
+
+// Down reports whether node is marked crashed.
+func (nw *Network) Down(node int) bool { return nw.down[node] }
+
+// fragments reports how many wire frames a payload of size bytes needs.
+func (nw *Network) fragments(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + nw.params.MTU - 1) / nw.params.MTU
+}
+
+// FragmentsFor exposes the fragmentation rule; the group layer uses it
+// to pick between the PB and BB methods ("over 1 packet").
+func (nw *Network) FragmentsFor(size int) int { return nw.fragments(size) }
+
+// transmit reserves the bus and returns the delivery time and fragment
+// count.
+func (nw *Network) transmit(f Frame) (deliverAt sim.Time, frags int) {
+	frags = nw.fragments(f.Size)
+	wireBytes := int64(f.Size) + int64(frags*nw.params.FrameOverhead)
+	txDur := sim.Time(wireBytes * 8 * int64(sim.Second) / nw.params.BandwidthBps)
+	start := nw.env.Now()
+	if nw.busFreeAt > start {
+		start = nw.busFreeAt
+	}
+	nw.busFreeAt = start + txDur
+	nw.stats.BusBusy += txDur
+	nw.stats.Frames += int64(frags)
+	nw.stats.Messages++
+	nw.stats.WireBytes += wireBytes
+	nw.stats.PayloadBytes += int64(f.Size)
+	nw.stats.BytesByKind[f.Kind] += wireBytes
+	nw.stats.CountsByKind[f.Kind]++
+	return nw.busFreeAt + nw.params.PropDelay, frags
+}
+
+// deliver schedules the frame's arrival at dst, applying loss.
+func (nw *Network) deliver(f Frame, dst int, at sim.Time, frags int) {
+	if nw.down[dst] || nw.handlers[dst] == nil {
+		return
+	}
+	// A message is lost to a receiver if any fragment is lost.
+	if nw.params.DropProb > 0 {
+		for i := 0; i < frags; i++ {
+			if nw.env.Rand().Float64() < nw.params.DropProb {
+				nw.stats.Drops++
+				nw.env.Tracef("net: drop %s %d->%d", f.Kind, f.Src, dst)
+				return
+			}
+		}
+	}
+	nw.env.At(at, func() {
+		if nw.down[dst] || nw.handlers[dst] == nil {
+			return
+		}
+		nw.stats.Interrupts[dst] += int64(frags)
+		nw.handlers[dst](Delivery{Frame: f, Fragments: frags, At: at})
+	})
+}
+
+// SendFrame transmits a unicast frame. The send is fire-and-forget;
+// reliability belongs to the protocols above.
+func (nw *Network) SendFrame(f Frame) {
+	if f.Dst == Broadcast {
+		nw.BroadcastFrame(f)
+		return
+	}
+	if f.Dst < 0 || f.Dst >= nw.n {
+		panic(fmt.Sprintf("netsim: bad destination %d", f.Dst))
+	}
+	if nw.down[f.Src] {
+		return
+	}
+	at, frags := nw.transmit(f)
+	nw.deliver(f, f.Dst, at, frags)
+}
+
+// BroadcastFrame transmits a frame to every node except the sender.
+// It panics if the hardware is not broadcast-capable, so experiments
+// on point-to-point networks cannot accidentally use it.
+func (nw *Network) BroadcastFrame(f Frame) {
+	if !nw.params.BroadcastCapable {
+		panic("netsim: broadcast on non-broadcast network")
+	}
+	if nw.down[f.Src] {
+		return
+	}
+	f.Dst = Broadcast
+	at, frags := nw.transmit(f)
+	for dst := 0; dst < nw.n; dst++ {
+		if dst == f.Src {
+			continue
+		}
+		nw.deliver(f, dst, at, frags)
+	}
+}
+
+// Stats returns a snapshot of the wire statistics.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.Interrupts = append([]int64(nil), nw.stats.Interrupts...)
+	s.BytesByKind = map[string]int64{}
+	for k, v := range nw.stats.BytesByKind {
+		s.BytesByKind[k] = v
+	}
+	s.CountsByKind = map[string]int64{}
+	for k, v := range nw.stats.CountsByKind {
+		s.CountsByKind[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the statistics, e.g. after a warm-up phase.
+func (nw *Network) ResetStats() {
+	nw.stats = Stats{
+		Interrupts:   make([]int64, nw.n),
+		BytesByKind:  map[string]int64{},
+		CountsByKind: map[string]int64{},
+	}
+}
+
+// TxTime reports how long a payload of size bytes occupies the bus,
+// useful for analytical checks in tests.
+func (nw *Network) TxTime(size int) sim.Time {
+	frags := nw.fragments(size)
+	wireBytes := int64(size) + int64(frags*nw.params.FrameOverhead)
+	return sim.Time(wireBytes * 8 * int64(sim.Second) / nw.params.BandwidthBps)
+}

@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testNet(n int, mutate func(*Params)) (*sim.Env, *Network) {
+	env := sim.New(42)
+	p := DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	return env, New(env, n, p)
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	env, nw := testNet(3, nil)
+	var got []Delivery
+	nw.Handle(1, func(d Delivery) { got = append(got, d) })
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Kind: "test", Size: 100, Payload: "hello"})
+	env.Run()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(got))
+	}
+	if got[0].Frame.Payload.(string) != "hello" {
+		t.Fatalf("payload = %v", got[0].Frame.Payload)
+	}
+	wantAt := nw.TxTime(100) + nw.Params().PropDelay
+	if got[0].At != wantAt {
+		t.Fatalf("delivered at %v, want %v", got[0].At, wantAt)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	env, nw := testNet(4, nil)
+	recv := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		nw.Handle(i, func(d Delivery) { recv[i]++ })
+	}
+	nw.BroadcastFrame(Frame{Src: 2, Kind: "bcast", Size: 64})
+	env.Run()
+	for i := 0; i < 4; i++ {
+		want := 1
+		if i == 2 {
+			want = 0
+		}
+		if recv[i] != want {
+			t.Fatalf("node %d received %d, want %d", i, recv[i], want)
+		}
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	env, nw := testNet(2, nil)
+	var times []sim.Time
+	nw.Handle(1, func(d Delivery) { times = append(times, d.At) })
+	// Two back-to-back frames: second waits for the bus.
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 1000})
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 1000})
+	env.Run()
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(times))
+	}
+	tx := nw.TxTime(1000)
+	if times[0] != tx+nw.Params().PropDelay {
+		t.Fatalf("first delivery at %v, want %v", times[0], tx+nw.Params().PropDelay)
+	}
+	if times[1] != 2*tx+nw.Params().PropDelay {
+		t.Fatalf("second delivery at %v, want %v (bus serialization)", times[1], 2*tx+nw.Params().PropDelay)
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	env, nw := testNet(2, nil)
+	var frags int
+	nw.Handle(1, func(d Delivery) { frags = d.Fragments })
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 4000}) // 1500-byte MTU -> 3 frames
+	env.Run()
+	if frags != 3 {
+		t.Fatalf("fragments = %d, want 3", frags)
+	}
+	s := nw.Stats()
+	if s.Frames != 3 {
+		t.Fatalf("stats frames = %d, want 3", s.Frames)
+	}
+	wantWire := int64(4000 + 3*nw.Params().FrameOverhead)
+	if s.WireBytes != wantWire {
+		t.Fatalf("wire bytes = %d, want %d", s.WireBytes, wantWire)
+	}
+}
+
+func TestInterruptAccounting(t *testing.T) {
+	env, nw := testNet(3, nil)
+	for i := 0; i < 3; i++ {
+		nw.Handle(i, func(d Delivery) {})
+	}
+	nw.BroadcastFrame(Frame{Src: 0, Size: 3000}) // 2 fragments
+	env.Run()
+	s := nw.Stats()
+	if s.Interrupts[0] != 0 {
+		t.Fatalf("sender interrupts = %d, want 0", s.Interrupts[0])
+	}
+	for i := 1; i < 3; i++ {
+		if s.Interrupts[i] != 2 {
+			t.Fatalf("node %d interrupts = %d, want 2 (one per fragment)", i, s.Interrupts[i])
+		}
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	env, nw := testNet(2, func(p *Params) { p.DropProb = 0.5 })
+	delivered := 0
+	nw.Handle(1, func(d Delivery) { delivered++ })
+	const total = 1000
+	for i := 0; i < total; i++ {
+		nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 100})
+	}
+	env.Run()
+	if delivered == 0 || delivered == total {
+		t.Fatalf("delivered = %d of %d; drop injection not working", delivered, total)
+	}
+	s := nw.Stats()
+	if s.Drops != int64(total-delivered) {
+		t.Fatalf("drops = %d, want %d", s.Drops, total-delivered)
+	}
+	// With p=0.5 the delivered count should be within 5 sigma of 500.
+	if delivered < 400 || delivered > 600 {
+		t.Fatalf("delivered = %d, improbable for p=0.5", delivered)
+	}
+}
+
+func TestDownNodeReceivesNothing(t *testing.T) {
+	env, nw := testNet(3, nil)
+	recv := 0
+	nw.Handle(1, func(d Delivery) { recv++ })
+	nw.Handle(2, func(d Delivery) { recv++ })
+	nw.SetDown(1, true)
+	nw.BroadcastFrame(Frame{Src: 0, Size: 10})
+	env.Run()
+	if recv != 1 {
+		t.Fatalf("deliveries = %d, want 1 (node 1 is down)", recv)
+	}
+}
+
+func TestDownNodeCannotSend(t *testing.T) {
+	env, nw := testNet(2, nil)
+	recv := 0
+	nw.Handle(1, func(d Delivery) { recv++ })
+	nw.SetDown(0, true)
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 10})
+	env.Run()
+	if recv != 0 {
+		t.Fatalf("down node managed to send")
+	}
+}
+
+func TestBroadcastOnP2PNetworkPanics(t *testing.T) {
+	_, nw := testNet(2, func(p *Params) { p.BroadcastCapable = false })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic broadcasting on point-to-point network")
+		}
+	}()
+	nw.BroadcastFrame(Frame{Src: 0, Size: 10})
+}
+
+func TestStatsByKind(t *testing.T) {
+	env, nw := testNet(2, nil)
+	nw.Handle(1, func(d Delivery) {})
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Kind: "rpc-req", Size: 128})
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Kind: "rpc-req", Size: 128})
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Kind: "rpc-rep", Size: 64})
+	env.Run()
+	s := nw.Stats()
+	if s.CountsByKind["rpc-req"] != 2 || s.CountsByKind["rpc-rep"] != 1 {
+		t.Fatalf("counts by kind = %v", s.CountsByKind)
+	}
+}
+
+// Property: fragmentation covers the payload with the minimum number of
+// MTU-sized frames and TxTime is monotone in size.
+func TestFragmentationProperty(t *testing.T) {
+	_, nw := testNet(2, nil)
+	mtu := nw.Params().MTU
+	f := func(size uint16) bool {
+		n := nw.FragmentsFor(int(size))
+		if size == 0 {
+			return n == 1
+		}
+		if n*mtu < int(size) {
+			return false // does not cover payload
+		}
+		if (n-1)*mtu >= int(size) {
+			return false // not minimal
+		}
+		return nw.TxTime(int(size)) >= nw.TxTime(int(size)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	env, nw := testNet(2, nil)
+	nw.Handle(1, func(d Delivery) {})
+	nw.SendFrame(Frame{Src: 0, Dst: 1, Size: 100})
+	env.Run()
+	nw.ResetStats()
+	s := nw.Stats()
+	if s.Frames != 0 || s.WireBytes != 0 || s.Interrupts[1] != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}

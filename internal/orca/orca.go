@@ -1,0 +1,406 @@
+// Package orca provides the programming model of the Orca language as
+// an embedded Go API: processes and shared data-objects.
+//
+// The paper's Orca is a procedural language whose parallel constructs
+// are `fork` (create a process, optionally on a chosen processor,
+// passing shared objects by reference) and operations on shared
+// objects, which are sequentially consistent and indivisible, with
+// guarded operations for condition synchronization. This package
+// reproduces exactly that semantic model; what a compiler front-end
+// would add is syntax, not behaviour (see DESIGN.md for the
+// substitution argument).
+//
+// A program is a function run as the main process on processor 0 of a
+// simulated Amoeba multicomputer. It creates objects (Proc.New), forks
+// workers (Proc.Fork), performs operations (Proc.Invoke), and charges
+// its computation in virtual time (Proc.Work). The runtime beneath is
+// selected by Config.RTS: the broadcast runtime on broadcast hardware,
+// or the point-to-point runtime with the invalidation or update
+// protocol.
+package orca
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/rts"
+	"repro/internal/sim"
+)
+
+// RTSKind selects the runtime system under the program.
+type RTSKind int
+
+const (
+	// Broadcast is the paper's §3.2.1 runtime (full replication over
+	// totally-ordered broadcast).
+	Broadcast RTSKind = iota
+	// P2PUpdate is the point-to-point runtime with the two-phase
+	// update protocol.
+	P2PUpdate
+	// P2PInvalidate is the point-to-point runtime with the
+	// invalidation protocol.
+	P2PInvalidate
+)
+
+func (k RTSKind) String() string {
+	switch k {
+	case Broadcast:
+		return "broadcast"
+	case P2PUpdate:
+		return "p2p-update"
+	case P2PInvalidate:
+		return "p2p-invalidate"
+	}
+	return fmt.Sprintf("RTSKind(%d)", int(k))
+}
+
+// Config describes the simulated machine and runtime choice.
+type Config struct {
+	// Processors is the number of pool machines.
+	Processors int
+	// RTS picks the runtime system.
+	RTS RTSKind
+	// Seed drives all randomness in the simulation.
+	Seed int64
+	// Net overrides the network parameters (zero value: the paper's
+	// 10 Mb/s Ethernet). BroadcastCapable is forced to match RTS.
+	Net *netsim.Params
+	// KernelCosts overrides kernel CPU costs (zero value: defaults).
+	KernelCosts *amoeba.Costs
+	// RTSCosts overrides runtime overheads (zero value: defaults).
+	RTSCosts *rts.Costs
+	// P2P tunes the point-to-point runtime (zero value: defaults).
+	P2P *rts.P2PConfig
+	// GroupMethod forces the broadcast method (PB/BB); zero is Auto.
+	GroupMethod group.Method
+	// MaxTime bounds the virtual run (default 1 hour of virtual
+	// time); a program still running then is reported as timed out.
+	MaxTime sim.Time
+}
+
+// Runtime is one configured simulated machine + runtime instance. A
+// Runtime runs exactly one program.
+type Runtime struct {
+	cfg      Config
+	env      *sim.Env
+	net      *netsim.Network
+	machines []*amoeba.Machine
+	members  []*group.Member
+	sys      rts.System
+	reg      *rts.Registry
+
+	liveProcs int
+	started   sim.Time
+	timedOut  bool
+
+	forkSeq int64
+	forks   map[int64]forkEntry
+}
+
+// forkMsg travels the wire so process creation is ordered with respect
+// to object operations, as Amoeba's process management messages were.
+// The closure itself stays in host memory (the simulation shares an
+// address space); only the identifier is "transmitted".
+type forkMsg struct {
+	FID    int64
+	Target int
+}
+
+type forkEntry struct {
+	name string
+	cpu  int
+	fn   func(p *Proc)
+}
+
+// New builds a runtime. setup registers the program's object types.
+func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
+	if cfg.Processors <= 0 {
+		panic("orca: need at least one processor")
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 3600 * sim.Second
+	}
+	env := sim.New(cfg.Seed)
+	np := netsim.DefaultParams()
+	if cfg.Net != nil {
+		np = *cfg.Net
+	}
+	np.BroadcastCapable = cfg.RTS == Broadcast
+	nw := netsim.New(env, cfg.Processors, np)
+	kc := amoeba.DefaultCosts()
+	if cfg.KernelCosts != nil {
+		kc = *cfg.KernelCosts
+	}
+	rt := &Runtime{cfg: cfg, env: env, net: nw, reg: rts.NewRegistry(), forks: make(map[int64]forkEntry)}
+	setup(rt.reg)
+	for i := 0; i < cfg.Processors; i++ {
+		rt.machines = append(rt.machines, amoeba.NewMachine(env, nw, i, kc))
+	}
+	rc := rts.DefaultCosts()
+	if cfg.RTSCosts != nil {
+		rc = *cfg.RTSCosts
+	}
+	switch cfg.RTS {
+	case Broadcast:
+		ids := make([]int, cfg.Processors)
+		for i := range ids {
+			ids[i] = i
+		}
+		gcfg := group.DefaultConfig(ids)
+		gcfg.Method = cfg.GroupMethod
+		for _, m := range rt.machines {
+			rt.members = append(rt.members, group.Join(m, gcfg))
+		}
+		br := rts.NewBroadcastRTS(rt.reg, rc, rt.machines, rt.members)
+		br.SetExtraHandler(func(node int, body any) {
+			if fm, ok := body.(forkMsg); ok && node == fm.Target {
+				rt.startFork(fm.FID)
+			}
+		})
+		rt.sys = br
+	case P2PUpdate, P2PInvalidate:
+		pc := rts.DefaultP2PConfig()
+		if cfg.P2P != nil {
+			pc = *cfg.P2P
+		}
+		if cfg.RTS == P2PUpdate {
+			pc.Protocol = rts.Update
+		} else {
+			pc.Protocol = rts.Invalidation
+		}
+		rt.sys = rts.NewP2PRTS(rt.reg, rc, pc, rt.machines)
+		for _, m := range rt.machines {
+			m.Bind("orca-fork", func(p *sim.Proc, from int, pkt amoeba.Packet) {
+				rt.startFork(pkt.Body.(forkMsg).FID)
+			})
+		}
+	default:
+		panic("orca: unknown RTS kind")
+	}
+	return rt
+}
+
+// startFork launches a previously registered fork on its target
+// processor. Called from delivery context when the fork message
+// arrives.
+func (rt *Runtime) startFork(fid int64) {
+	fe, ok := rt.forks[fid]
+	if !ok {
+		return
+	}
+	delete(rt.forks, fid)
+	rt.spawnProc(fe.cpu, fe.name, fe.fn)
+}
+
+// System exposes the runtime system (for harness statistics).
+func (rt *Runtime) System() rts.System { return rt.sys }
+
+// Net exposes the simulated network (for harness statistics).
+func (rt *Runtime) Net() *netsim.Network { return rt.net }
+
+// Machines exposes the simulated kernels.
+func (rt *Runtime) Machines() []*amoeba.Machine { return rt.machines }
+
+// GroupStats returns per-member broadcast protocol counters (empty for
+// the point-to-point runtimes).
+func (rt *Runtime) GroupStats() []group.Stats {
+	var out []group.Stats
+	for _, g := range rt.members {
+		out = append(out, g.Stats())
+	}
+	return out
+}
+
+// Env exposes the simulation environment.
+func (rt *Runtime) Env() *sim.Env { return rt.env }
+
+// Report summarizes one program run.
+type Report struct {
+	// Elapsed is the virtual time from program start to the
+	// completion of the last process.
+	Elapsed sim.Time
+	// TimedOut reports that MaxTime expired first.
+	TimedOut bool
+	// Net is the wire-level statistics snapshot.
+	Net netsim.Stats
+	// CPUBusy is each machine's total CPU-busy time (kernel +
+	// application).
+	CPUBusy []sim.Time
+	// AppBusy is each machine's application compute time.
+	AppBusy []sim.Time
+	// Blocked lists the simulated threads still parked when a run
+	// timed out — the first place to look at a deadlocked program.
+	Blocked []string
+}
+
+// Run executes main as the program's main Orca process on processor 0
+// and returns the run report. Run may be called once per Runtime.
+func (rt *Runtime) Run(main func(p *Proc)) Report {
+	rt.started = rt.env.Now()
+	rt.forkOn(0, "main", main)
+	rt.env.RunUntil(rt.cfg.MaxTime)
+	if rt.liveProcs > 0 {
+		rt.timedOut = true
+	}
+	rt.env.Stop()
+	rep := Report{
+		Elapsed:  rt.env.Now() - rt.started,
+		TimedOut: rt.timedOut,
+		Net:      rt.net.Stats(),
+	}
+	if rt.timedOut {
+		rep.Blocked = rt.env.Blocked()
+	}
+	for _, m := range rt.machines {
+		rep.CPUBusy = append(rep.CPUBusy, m.CPU().BusyTime())
+		rep.AppBusy = append(rep.AppBusy, m.AppBusy())
+	}
+	rt.env.Shutdown()
+	return rep
+}
+
+// forkOn starts an Orca process on a processor, counting it live from
+// this instant (so the run cannot terminate while forks are in
+// flight).
+func (rt *Runtime) forkOn(cpu int, name string, fn func(p *Proc)) {
+	if cpu < 0 || cpu >= len(rt.machines) {
+		panic(fmt.Sprintf("orca: fork on invalid processor %d", cpu))
+	}
+	rt.liveProcs++
+	rt.spawnProc(cpu, name, fn)
+}
+
+// spawnProc starts the process thread. The caller has already counted
+// it in liveProcs.
+func (rt *Runtime) spawnProc(cpu int, name string, fn func(p *Proc)) {
+	m := rt.machines[cpu]
+	m.SpawnThread(name, func(sp *sim.Proc) {
+		defer func() {
+			rt.liveProcs--
+			if rt.liveProcs == 0 {
+				rt.env.Stop()
+			}
+		}()
+		p := &Proc{rt: rt, w: rts.NewWorker(sp, m)}
+		fn(p)
+		p.w.Flush()
+	})
+}
+
+// Object is a handle to a shared data-object. Handles are passed to
+// forked processes exactly like Orca's shared call-by-reference
+// parameters; the object's replicas live inside the runtime system.
+type Object struct {
+	id rts.ObjID
+	rt *Runtime
+}
+
+// ID exposes the runtime object id (for harness statistics).
+func (o Object) ID() rts.ObjID { return o.id }
+
+// Proc is the execution context of one Orca process.
+type Proc struct {
+	rt *Runtime
+	w  *rts.Worker
+}
+
+// Runtime returns the owning runtime.
+func (p *Proc) Runtime() *Runtime { return p.rt }
+
+// CPU reports the processor this process runs on.
+func (p *Proc) CPU() int { return p.w.Node() }
+
+// Procs reports the number of processors in the machine.
+func (p *Proc) Procs() int { return p.rt.cfg.Processors }
+
+// Now reports current virtual time (flushing pending work first, so
+// timestamps are accurate).
+func (p *Proc) Now() sim.Time {
+	p.w.Flush()
+	return p.w.P.Now()
+}
+
+// Work charges d of computation to this process's processor.
+func (p *Proc) Work(d sim.Time) { p.w.Charge(d) }
+
+// Sleep idles the process for d of virtual time.
+func (p *Proc) Sleep(d sim.Time) {
+	p.w.Flush()
+	p.w.P.Sleep(d)
+}
+
+// New creates a shared object of a registered type.
+func (p *Proc) New(typeName string, args ...any) Object {
+	return Object{id: p.rt.sys.Create(p.w, typeName, args...), rt: p.rt}
+}
+
+// NewOn creates a shared object replicated only on the given
+// processors — the paper's partial-replication optimization ("an
+// optimizing scheme using partial replication is under development").
+// Operations from other processors are forwarded to a replica holder.
+// Only the broadcast runtime supports placements; nil nodes means full
+// replication.
+func (p *Proc) NewOn(typeName string, nodes []int, args ...any) Object {
+	br, ok := p.rt.sys.(*rts.BroadcastRTS)
+	if !ok {
+		panic("orca: NewOn requires the broadcast runtime (the point-to-point runtime places copies dynamically)")
+	}
+	return Object{id: br.CreateOn(p.w, typeName, nodes, args...), rt: p.rt}
+}
+
+// Fork creates a new Orca process running fn on the given processor
+// (the paper's `fork func(args) on cpu`; cpu < 0 means the current
+// one). Shared objects are passed by closing over their handles,
+// mirroring Orca's call-by-reference object parameters.
+//
+// Remote forks travel as messages: under the broadcast runtime the
+// fork joins the same total order as object writes, and under the
+// point-to-point runtime it is a kernel message to the target. Either
+// way a child never observes the shared objects as they were before
+// its parent's preceding writes.
+func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
+	rt := p.rt
+	if cpu < 0 {
+		cpu = p.CPU()
+	}
+	if cpu >= len(rt.machines) {
+		panic(fmt.Sprintf("orca: fork on invalid processor %d", cpu))
+	}
+	p.w.Flush()
+	if cpu == p.CPU() {
+		// A local fork needs no wire: the local replica already
+		// reflects every write this process completed.
+		rt.forkOn(cpu, name, fn)
+		return
+	}
+	rt.forkSeq++
+	fid := rt.forkSeq
+	rt.forks[fid] = forkEntry{name: name, cpu: cpu, fn: fn}
+	rt.liveProcs++
+	msg := forkMsg{FID: fid, Target: cpu}
+	if rt.cfg.RTS == Broadcast {
+		rt.members[p.CPU()].Broadcast(p.w.P, "orca-fork", msg, 32)
+		return
+	}
+	rt.machines[p.CPU()].Send(p.w.P, cpu, amoeba.Packet{
+		Port: "orca-fork", Kind: "orca-fork", Body: msg, Size: 32,
+	})
+}
+
+// Invoke performs an operation on a shared object: sequentially
+// consistent, indivisible, blocking on guards.
+func (p *Proc) Invoke(o Object, op string, args ...any) []any {
+	return p.rt.sys.Invoke(p.w, o.id, op, args...)
+}
+
+// InvokeI is Invoke for the common single-int-result case.
+func (p *Proc) InvokeI(o Object, op string, args ...any) int {
+	return p.rt.sys.Invoke(p.w, o.id, op, args...)[0].(int)
+}
+
+// InvokeB is Invoke for the single-bool-result case.
+func (p *Proc) InvokeB(o Object, op string, args ...any) bool {
+	return p.rt.sys.Invoke(p.w, o.id, op, args...)[0].(bool)
+}

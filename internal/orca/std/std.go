@@ -1,0 +1,500 @@
+// Package std provides the standard shared-object types the paper's
+// applications are built from: the global minimum bound and job queue
+// of TSP's replicated-worker paradigm, boolean arrays and flags for
+// ACP's termination protocol, transposition and killer tables for the
+// chess program, and bit sets for ATPG's fault sharing.
+//
+// Each type is an Orca abstract data type: encapsulated state, read
+// and write operations, guards where the paper's programs block. All
+// types register with an rts.Registry via Register.
+package std
+
+import "repro/internal/rts"
+
+// Type names, as registered.
+const (
+	IntObj    = "std.int"
+	JobQueue  = "std.jobqueue"
+	Barrier   = "std.barrier"
+	Flag      = "std.flag"
+	BoolArray = "std.boolarray"
+	Table     = "std.table"
+	Killer    = "std.killer"
+	BitSet    = "std.bitset"
+	Accum     = "std.accum"
+)
+
+// Register adds all standard types to a registry.
+func Register(reg *rts.Registry) {
+	reg.Register(intType())
+	reg.Register(jobQueueType())
+	reg.Register(barrierType())
+	reg.Register(flagType())
+	reg.Register(boolArrayType())
+	reg.Register(tableType())
+	reg.Register(killerType())
+	reg.Register(bitSetType())
+	reg.Register(accumType())
+}
+
+// --- IntObj -----------------------------------------------------------
+//
+// A shared integer. Its Min operation is TSP's global bound update:
+// "The indivisible operation that updates the object first checks if
+// the new value actually is less than the current value, to prevent
+// race conditions."
+
+type intState struct{ v int }
+
+func intType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: IntObj,
+		New: func(args []any) rts.State {
+			s := &intState{}
+			if len(args) > 0 {
+				s.v = args[0].(int)
+			}
+			return s
+		},
+		Clone:  func(s rts.State) rts.State { c := *s.(*intState); return &c },
+		SizeOf: func(rts.State) int { return 8 },
+		Ops: map[string]*rts.OpDef{
+			"value": {Name: "value", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*intState).v} }},
+			"assign": {Name: "assign", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any { s.(*intState).v = a[0].(int); return nil }},
+			"add": {Name: "add", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*intState)
+					st.v += a[0].(int)
+					return []any{st.v}
+				}},
+			"inc": {Name: "inc", Kind: rts.Write,
+				Apply: func(s rts.State, _ []any) []any {
+					st := s.(*intState)
+					old := st.v
+					st.v++
+					return []any{old}
+				}},
+			"min": {Name: "min", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*intState)
+					if v := a[0].(int); v < st.v {
+						st.v = v
+						return []any{true}
+					}
+					return []any{false}
+				}},
+			"max": {Name: "max", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*intState)
+					if v := a[0].(int); v > st.v {
+						st.v = v
+						return []any{true}
+					}
+					return []any{false}
+				}},
+			// awaitGE blocks until the value reaches the argument;
+			// used for simple completion counting.
+			"awaitGE": {Name: "awaitGE", Kind: rts.Read,
+				Guard: func(s rts.State, a []any) bool { return s.(*intState).v >= a[0].(int) },
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*intState).v} }},
+		},
+	}
+}
+
+// --- JobQueue ---------------------------------------------------------
+//
+// The replicated-worker job queue: workers repeatedly take a job; the
+// guarded GetJob suspends while the queue is empty and returns
+// (nil, false) once the queue is closed and drained.
+
+type jobQueueState struct {
+	jobs   []any
+	closed bool
+}
+
+func jobQueueType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: JobQueue,
+		New:  func([]any) rts.State { return &jobQueueState{} },
+		Clone: func(s rts.State) rts.State {
+			q := s.(*jobQueueState)
+			return &jobQueueState{jobs: append([]any(nil), q.jobs...), closed: q.closed}
+		},
+		SizeOf: func(s rts.State) int {
+			q := s.(*jobQueueState)
+			n := 16
+			for _, j := range q.jobs {
+				n += rts.SizeOfValue(j)
+			}
+			return n
+		},
+		Ops: map[string]*rts.OpDef{
+			"add": {Name: "add", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					q := s.(*jobQueueState)
+					q.jobs = append(q.jobs, a[0])
+					return nil
+				}},
+			"get": {Name: "get", Kind: rts.Write,
+				Guard: func(s rts.State, _ []any) bool {
+					q := s.(*jobQueueState)
+					return len(q.jobs) > 0 || q.closed
+				},
+				Apply: func(s rts.State, _ []any) []any {
+					q := s.(*jobQueueState)
+					if len(q.jobs) == 0 {
+						return []any{nil, false}
+					}
+					j := q.jobs[0]
+					q.jobs = q.jobs[1:]
+					return []any{j, true}
+				}},
+			"close": {Name: "close", Kind: rts.Write,
+				Apply: func(s rts.State, _ []any) []any { s.(*jobQueueState).closed = true; return nil }},
+			"len": {Name: "len", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{len(s.(*jobQueueState).jobs)} }},
+		},
+	}
+}
+
+// --- Barrier ----------------------------------------------------------
+//
+// A counting barrier: processes Arrive and then Wait until all n have
+// arrived. Reusable via generations is not needed by the paper's
+// programs; a fresh barrier per phase is idiomatic Orca.
+
+type barrierState struct {
+	target int
+	count  int
+}
+
+func barrierType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name:   Barrier,
+		New:    func(args []any) rts.State { return &barrierState{target: args[0].(int)} },
+		Clone:  func(s rts.State) rts.State { c := *s.(*barrierState); return &c },
+		SizeOf: func(rts.State) int { return 16 },
+		Ops: map[string]*rts.OpDef{
+			"arrive": {Name: "arrive", Kind: rts.Write,
+				Apply: func(s rts.State, _ []any) []any {
+					b := s.(*barrierState)
+					b.count++
+					return []any{b.count}
+				}},
+			"wait": {Name: "wait", Kind: rts.Read,
+				Guard: func(s rts.State, _ []any) bool {
+					b := s.(*barrierState)
+					return b.count >= b.target
+				},
+				Apply: func(s rts.State, _ []any) []any { return nil }},
+			"count": {Name: "count", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*barrierState).count} }},
+		},
+	}
+}
+
+// --- Flag -------------------------------------------------------------
+//
+// A shared boolean, e.g. ACP's "no solution exists" object: "Each
+// process reads the object before doing new work, and quits if the
+// value is true."
+
+type flagState struct{ b bool }
+
+func flagType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: Flag,
+		New: func(args []any) rts.State {
+			s := &flagState{}
+			if len(args) > 0 {
+				s.b = args[0].(bool)
+			}
+			return s
+		},
+		Clone:  func(s rts.State) rts.State { c := *s.(*flagState); return &c },
+		SizeOf: func(rts.State) int { return 1 },
+		Ops: map[string]*rts.OpDef{
+			"set": {Name: "set", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any { s.(*flagState).b = a[0].(bool); return nil }},
+			"value": {Name: "value", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*flagState).b} }},
+			"await": {Name: "await", Kind: rts.Read,
+				Guard: func(s rts.State, _ []any) bool { return s.(*flagState).b },
+				Apply: func(s rts.State, _ []any) []any { return nil }},
+		},
+	}
+}
+
+// --- BoolArray --------------------------------------------------------
+//
+// ACP's work and result objects: an array of booleans with indivisible
+// test operations for the termination protocol.
+
+type boolArrayState struct{ bits []bool }
+
+func boolArrayType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: BoolArray,
+		New: func(args []any) rts.State {
+			n := args[0].(int)
+			s := &boolArrayState{bits: make([]bool, n)}
+			if len(args) > 1 {
+				v := args[1].(bool)
+				for i := range s.bits {
+					s.bits[i] = v
+				}
+			}
+			return s
+		},
+		Clone: func(s rts.State) rts.State {
+			return &boolArrayState{bits: append([]bool(nil), s.(*boolArrayState).bits...)}
+		},
+		SizeOf: func(s rts.State) int { return 8 + len(s.(*boolArrayState).bits) },
+		Ops: map[string]*rts.OpDef{
+			"set": {Name: "set", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					s.(*boolArrayState).bits[a[0].(int)] = a[1].(bool)
+					return nil
+				}},
+			"setMany": {Name: "setMany", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*boolArrayState)
+					for _, i := range a[0].([]int) {
+						st.bits[i] = a[1].(bool)
+					}
+					return nil
+				}},
+			// claim indivisibly tests-and-clears a bit, so exactly one
+			// process wins a work item.
+			"claim": {Name: "claim", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*boolArrayState)
+					i := a[0].(int)
+					was := st.bits[i]
+					st.bits[i] = false
+					return []any{was}
+				}},
+			"get": {Name: "get", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any { return []any{s.(*boolArrayState).bits[a[0].(int)]} }},
+			"anyTrue": {Name: "anyTrue", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any {
+					for _, b := range s.(*boolArrayState).bits {
+						if b {
+							return []any{true}
+						}
+					}
+					return []any{false}
+				}},
+			"allTrue": {Name: "allTrue", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any {
+					for _, b := range s.(*boolArrayState).bits {
+						if !b {
+							return []any{false}
+						}
+					}
+					return []any{true}
+				}},
+			"countTrue": {Name: "countTrue", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any {
+					n := 0
+					for _, b := range s.(*boolArrayState).bits {
+						if b {
+							n++
+						}
+					}
+					return []any{n}
+				}},
+			// anyTrueIn reports whether any of the given indices is
+			// set; workers poll their own partition with one read.
+			"anyTrueIn": {Name: "anyTrueIn", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*boolArrayState)
+					for _, i := range a[0].([]int) {
+						if st.bits[i] {
+							return []any{true}
+						}
+					}
+					return []any{false}
+				}},
+		},
+	}
+}
+
+// --- Table ------------------------------------------------------------
+//
+// The chess transposition table: a fixed number of buckets indexed by
+// key modulo size with always-replace policy, the classic design. The
+// shared version broadcasts every store — exactly the communication
+// overhead the paper discusses.
+
+type tableEntry struct {
+	key uint64
+	val int64
+	ok  bool
+}
+
+type tableState struct{ buckets []tableEntry }
+
+func tableType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: Table,
+		New: func(args []any) rts.State {
+			return &tableState{buckets: make([]tableEntry, args[0].(int))}
+		},
+		Clone: func(s rts.State) rts.State {
+			return &tableState{buckets: append([]tableEntry(nil), s.(*tableState).buckets...)}
+		},
+		SizeOf: func(s rts.State) int { return 8 + 17*len(s.(*tableState).buckets) },
+		Ops: map[string]*rts.OpDef{
+			"store": {Name: "store", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*tableState)
+					k := a[0].(uint64)
+					st.buckets[k%uint64(len(st.buckets))] = tableEntry{key: k, val: a[1].(int64), ok: true}
+					return nil
+				}},
+			"lookup": {Name: "lookup", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*tableState)
+					k := a[0].(uint64)
+					e := st.buckets[k%uint64(len(st.buckets))]
+					if e.ok && e.key == k {
+						return []any{e.val, true}
+					}
+					return []any{int64(0), false}
+				}},
+		},
+	}
+}
+
+// --- Killer -----------------------------------------------------------
+//
+// The killer table: per search depth, the two most recent moves that
+// caused beta cutoffs. Moves are encoded as ints by the application.
+
+type killerState struct {
+	moves [][2]int
+}
+
+func killerType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: Killer,
+		New: func(args []any) rts.State {
+			return &killerState{moves: make([][2]int, args[0].(int))}
+		},
+		Clone: func(s rts.State) rts.State {
+			return &killerState{moves: append([][2]int(nil), s.(*killerState).moves...)}
+		},
+		SizeOf: func(s rts.State) int { return 8 + 16*len(s.(*killerState).moves) },
+		Ops: map[string]*rts.OpDef{
+			"add": {Name: "add", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*killerState)
+					d, mv := a[0].(int), a[1].(int)
+					if d < 0 || d >= len(st.moves) {
+						return nil
+					}
+					if st.moves[d][0] != mv {
+						st.moves[d][1] = st.moves[d][0]
+						st.moves[d][0] = mv
+					}
+					return nil
+				}},
+			"get": {Name: "get", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*killerState)
+					d := a[0].(int)
+					if d < 0 || d >= len(st.moves) {
+						return []any{0, 0}
+					}
+					return []any{st.moves[d][0], st.moves[d][1]}
+				}},
+		},
+	}
+}
+
+// --- BitSet -----------------------------------------------------------
+//
+// ATPG's detected-fault set: "All processes share an object containing
+// the gates for which test patterns have been generated."
+
+type bitSetState struct {
+	words []uint64
+	count int
+}
+
+func (b *bitSetState) has(i int) bool { return b.words[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b *bitSetState) set(i int) bool {
+	w, m := i/64, uint64(1)<<(uint(i)%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+func bitSetType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name: BitSet,
+		New: func(args []any) rts.State {
+			n := args[0].(int)
+			return &bitSetState{words: make([]uint64, (n+63)/64)}
+		},
+		Clone: func(s rts.State) rts.State {
+			st := s.(*bitSetState)
+			return &bitSetState{words: append([]uint64(nil), st.words...), count: st.count}
+		},
+		SizeOf: func(s rts.State) int { return 16 + 8*len(s.(*bitSetState).words) },
+		Ops: map[string]*rts.OpDef{
+			"add": {Name: "add", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					return []any{s.(*bitSetState).set(a[0].(int))}
+				}},
+			"addMany": {Name: "addMany", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					st := s.(*bitSetState)
+					added := 0
+					for _, i := range a[0].([]int) {
+						if st.set(i) {
+							added++
+						}
+					}
+					return []any{added}
+				}},
+			"contains": {Name: "contains", Kind: rts.Read,
+				Apply: func(s rts.State, a []any) []any {
+					return []any{s.(*bitSetState).has(a[0].(int))}
+				}},
+			"count": {Name: "count", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{s.(*bitSetState).count} }},
+		},
+	}
+}
+
+// --- Accum ------------------------------------------------------------
+//
+// An accumulating counter for collecting per-worker totals (nodes
+// searched, patterns generated) at the end of a run.
+
+type accumState struct{ total int64 }
+
+func accumType() *rts.ObjectType {
+	return &rts.ObjectType{
+		Name:   Accum,
+		New:    func([]any) rts.State { return &accumState{} },
+		Clone:  func(s rts.State) rts.State { c := *s.(*accumState); return &c },
+		SizeOf: func(rts.State) int { return 8 },
+		Ops: map[string]*rts.OpDef{
+			"add": {Name: "add", Kind: rts.Write,
+				Apply: func(s rts.State, a []any) []any {
+					s.(*accumState).total += int64(a[0].(int))
+					return nil
+				}},
+			"value": {Name: "value", Kind: rts.Read,
+				Apply: func(s rts.State, _ []any) []any { return []any{int(s.(*accumState).total)} }},
+		},
+	}
+}

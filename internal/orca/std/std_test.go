@@ -1,0 +1,338 @@
+package std
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rts"
+)
+
+// Direct unit tests of every standard object type's operations,
+// exercising New/Clone/SizeOf/Apply without a runtime underneath.
+
+func typeByName(t *testing.T, name string) *rts.ObjectType {
+	t.Helper()
+	reg := rts.NewRegistry()
+	Register(reg)
+	return reg.Lookup(name)
+}
+
+func apply(t *testing.T, typ *rts.ObjectType, s rts.State, op string, args ...any) []any {
+	t.Helper()
+	return typ.Op(op).Apply(s, args)
+}
+
+func TestIntObjOps(t *testing.T) {
+	typ := typeByName(t, IntObj)
+	s := typ.New([]any{10})
+	if got := apply(t, typ, s, "value")[0].(int); got != 10 {
+		t.Fatalf("value = %d", got)
+	}
+	apply(t, typ, s, "assign", 5)
+	if got := apply(t, typ, s, "add", 3)[0].(int); got != 8 {
+		t.Fatalf("add result = %d", got)
+	}
+	if old := apply(t, typ, s, "inc")[0].(int); old != 8 {
+		t.Fatalf("inc returned %d, want old value 8", old)
+	}
+	if ok := apply(t, typ, s, "min", 100)[0].(bool); ok {
+		t.Fatal("min(100) should not lower 9")
+	}
+	if ok := apply(t, typ, s, "min", 2)[0].(bool); !ok {
+		t.Fatal("min(2) should lower 9")
+	}
+	if ok := apply(t, typ, s, "max", 1)[0].(bool); ok {
+		t.Fatal("max(1) should not raise 2")
+	}
+	if ok := apply(t, typ, s, "max", 50)[0].(bool); !ok {
+		t.Fatal("max(50) should raise 2")
+	}
+	guard := typ.Op("awaitGE").Guard
+	if guard(s, []any{51}) {
+		t.Fatal("awaitGE(51) guard true at 50")
+	}
+	if !guard(s, []any{50}) {
+		t.Fatal("awaitGE(50) guard false at 50")
+	}
+}
+
+func TestIntObjMinProperty(t *testing.T) {
+	typ := typeByName(t, IntObj)
+	f := func(vals []int16) bool {
+		s := typ.New([]any{int(1 << 14)})
+		min := int(1 << 14)
+		for _, v := range vals {
+			apply(t, typ, s, "min", int(v))
+			if int(v) < min {
+				min = int(v)
+			}
+		}
+		return apply(t, typ, s, "value")[0].(int) == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobQueueOps(t *testing.T) {
+	typ := typeByName(t, JobQueue)
+	s := typ.New(nil)
+	getGuard := typ.Op("get").Guard
+	if getGuard(s, nil) {
+		t.Fatal("get guard true on empty open queue")
+	}
+	apply(t, typ, s, "add", "a")
+	apply(t, typ, s, "add", "b")
+	if n := apply(t, typ, s, "len")[0].(int); n != 2 {
+		t.Fatalf("len = %d", n)
+	}
+	if !getGuard(s, nil) {
+		t.Fatal("get guard false on non-empty queue")
+	}
+	res := apply(t, typ, s, "get")
+	if res[0].(string) != "a" || !res[1].(bool) {
+		t.Fatalf("get = %v, want FIFO", res)
+	}
+	apply(t, typ, s, "close")
+	apply(t, typ, s, "get") // drains "b"
+	res = apply(t, typ, s, "get")
+	if res[1].(bool) {
+		t.Fatal("get on closed+empty queue should report !ok")
+	}
+	if !getGuard(s, nil) {
+		t.Fatal("get guard must be true once closed")
+	}
+}
+
+func TestJobQueueClone(t *testing.T) {
+	typ := typeByName(t, JobQueue)
+	s := typ.New(nil)
+	apply(t, typ, s, "add", 1)
+	c := typ.Clone(s)
+	apply(t, typ, s, "get")
+	// The clone must be unaffected.
+	if n := apply(t, typ, c, "len")[0].(int); n != 1 {
+		t.Fatalf("clone len = %d after mutating original", n)
+	}
+}
+
+func TestBarrierOps(t *testing.T) {
+	typ := typeByName(t, Barrier)
+	s := typ.New([]any{3})
+	waitGuard := typ.Op("wait").Guard
+	for i := 1; i <= 2; i++ {
+		apply(t, typ, s, "arrive")
+		if waitGuard(s, nil) {
+			t.Fatalf("wait guard true after %d arrivals of 3", i)
+		}
+	}
+	apply(t, typ, s, "arrive")
+	if !waitGuard(s, nil) {
+		t.Fatal("wait guard false after all arrivals")
+	}
+	if n := apply(t, typ, s, "count")[0].(int); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestFlagOps(t *testing.T) {
+	typ := typeByName(t, Flag)
+	s := typ.New(nil)
+	if apply(t, typ, s, "value")[0].(bool) {
+		t.Fatal("default flag should be false")
+	}
+	await := typ.Op("await").Guard
+	if await(s, nil) {
+		t.Fatal("await guard true on false flag")
+	}
+	apply(t, typ, s, "set", true)
+	if !await(s, nil) {
+		t.Fatal("await guard false on true flag")
+	}
+	s2 := typ.New([]any{true})
+	if !apply(t, typ, s2, "value")[0].(bool) {
+		t.Fatal("constructor arg ignored")
+	}
+}
+
+func TestBoolArrayOps(t *testing.T) {
+	typ := typeByName(t, BoolArray)
+	s := typ.New([]any{5})
+	apply(t, typ, s, "set", 1, true)
+	apply(t, typ, s, "setMany", []int{2, 4}, true)
+	if !apply(t, typ, s, "get", 2)[0].(bool) {
+		t.Fatal("setMany missed index 2")
+	}
+	if n := apply(t, typ, s, "countTrue")[0].(int); n != 3 {
+		t.Fatalf("countTrue = %d", n)
+	}
+	if apply(t, typ, s, "allTrue")[0].(bool) {
+		t.Fatal("allTrue wrong")
+	}
+	if !apply(t, typ, s, "anyTrue")[0].(bool) {
+		t.Fatal("anyTrue wrong")
+	}
+	if !apply(t, typ, s, "anyTrueIn", []int{0, 4})[0].(bool) {
+		t.Fatal("anyTrueIn([0,4]) wrong")
+	}
+	if apply(t, typ, s, "anyTrueIn", []int{0, 3})[0].(bool) {
+		t.Fatal("anyTrueIn([0,3]) wrong")
+	}
+	if was := apply(t, typ, s, "claim", 1)[0].(bool); !was {
+		t.Fatal("claim(1) should win")
+	}
+	if was := apply(t, typ, s, "claim", 1)[0].(bool); was {
+		t.Fatal("second claim(1) should lose")
+	}
+	s2 := typ.New([]any{3, true})
+	if n := apply(t, typ, s2, "countTrue")[0].(int); n != 3 {
+		t.Fatalf("initializer true: countTrue = %d", n)
+	}
+}
+
+func TestTableOps(t *testing.T) {
+	typ := typeByName(t, Table)
+	s := typ.New([]any{8})
+	res := apply(t, typ, s, "lookup", uint64(5))
+	if res[1].(bool) {
+		t.Fatal("lookup hit on empty table")
+	}
+	apply(t, typ, s, "store", uint64(5), int64(-9))
+	res = apply(t, typ, s, "lookup", uint64(5))
+	if !res[1].(bool) || res[0].(int64) != -9 {
+		t.Fatalf("lookup = %v", res)
+	}
+	// Bucket collision (5 and 13 mod 8): always-replace policy.
+	apply(t, typ, s, "store", uint64(13), int64(7))
+	if res := apply(t, typ, s, "lookup", uint64(5)); res[1].(bool) {
+		t.Fatal("evicted key still found")
+	}
+	if res := apply(t, typ, s, "lookup", uint64(13)); !res[1].(bool) || res[0].(int64) != 7 {
+		t.Fatalf("replacement lookup = %v", res)
+	}
+}
+
+func TestKillerOps(t *testing.T) {
+	typ := typeByName(t, Killer)
+	s := typ.New([]any{4})
+	apply(t, typ, s, "add", 2, 100)
+	apply(t, typ, s, "add", 2, 200)
+	apply(t, typ, s, "add", 2, 200) // duplicate must not shift
+	res := apply(t, typ, s, "get", 2)
+	if res[0].(int) != 200 || res[1].(int) != 100 {
+		t.Fatalf("killers = %v", res)
+	}
+	// Out-of-range plies are ignored gracefully.
+	apply(t, typ, s, "add", 99, 1)
+	res = apply(t, typ, s, "get", 99)
+	if res[0].(int) != 0 {
+		t.Fatal("out-of-range get should be zero")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	typ := typeByName(t, BitSet)
+	s := typ.New([]any{200})
+	if !apply(t, typ, s, "add", 150)[0].(bool) {
+		t.Fatal("first add should report new")
+	}
+	if apply(t, typ, s, "add", 150)[0].(bool) {
+		t.Fatal("second add should report duplicate")
+	}
+	added := apply(t, typ, s, "addMany", []int{1, 2, 150, 199})[0].(int)
+	if added != 3 {
+		t.Fatalf("addMany added %d, want 3", added)
+	}
+	if n := apply(t, typ, s, "count")[0].(int); n != 4 {
+		t.Fatalf("count = %d", n)
+	}
+	if !apply(t, typ, s, "contains", 199)[0].(bool) {
+		t.Fatal("contains(199) wrong")
+	}
+}
+
+func TestBitSetCountProperty(t *testing.T) {
+	typ := typeByName(t, BitSet)
+	f := func(idxs []uint16) bool {
+		s := typ.New([]any{1 << 16})
+		seen := map[int]bool{}
+		for _, raw := range idxs {
+			i := int(raw)
+			apply(t, typ, s, "add", i)
+			seen[i] = true
+		}
+		return apply(t, typ, s, "count")[0].(int) == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumOps(t *testing.T) {
+	typ := typeByName(t, Accum)
+	s := typ.New(nil)
+	apply(t, typ, s, "add", 5)
+	apply(t, typ, s, "add", -2)
+	if v := apply(t, typ, s, "value")[0].(int); v != 3 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+// TestClonesAreDeep verifies every type's Clone produces a state
+// disjoint from the original (required by the point-to-point RTS).
+func TestClonesAreDeep(t *testing.T) {
+	reg := rts.NewRegistry()
+	Register(reg)
+	cases := []struct {
+		name    string
+		args    []any
+		mutate  string
+		mutArgs []any
+		probe   string
+		pArgs   []any
+	}{
+		{IntObj, []any{1}, "assign", []any{9}, "value", nil},
+		{JobQueue, nil, "add", []any{1}, "len", nil},
+		{Barrier, []any{2}, "arrive", nil, "count", nil},
+		{Flag, nil, "set", []any{true}, "value", nil},
+		{BoolArray, []any{4}, "set", []any{0, true}, "countTrue", nil},
+		{Table, []any{4}, "store", []any{uint64(1), int64(2)}, "lookup", []any{uint64(1)}},
+		{Killer, []any{4}, "add", []any{0, 7}, "get", []any{0}},
+		{BitSet, []any{64}, "add", []any{3}, "count", nil},
+		{Accum, nil, "add", []any{5}, "value", nil},
+	}
+	for _, tc := range cases {
+		typ := reg.Lookup(tc.name)
+		orig := typ.New(tc.args)
+		clone := typ.Clone(orig)
+		before := typ.Op(tc.probe).Apply(clone, tc.pArgs)
+		typ.Op(tc.mutate).Apply(orig, tc.mutArgs)
+		after := typ.Op(tc.probe).Apply(clone, tc.pArgs)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Errorf("%s: clone observed mutation of original (%v -> %v)", tc.name, before, after)
+			}
+		}
+	}
+}
+
+// TestSizeOfGrowsWithContent checks the storage model: object sizes
+// must track their content (the RTS resizes replica segments on every
+// write).
+func TestSizeOfGrowsWithContent(t *testing.T) {
+	reg := rts.NewRegistry()
+	Register(reg)
+	q := reg.Lookup(JobQueue)
+	s := q.New(nil)
+	small := q.SizeOf(s)
+	for i := 0; i < 10; i++ {
+		apply(t, q, s, "add", "payload")
+	}
+	if big := q.SizeOf(s); big <= small {
+		t.Fatalf("queue size did not grow: %d -> %d", small, big)
+	}
+	bs := reg.Lookup(BitSet)
+	if sz := bs.SizeOf(bs.New([]any{1024})); sz < 128 {
+		t.Fatalf("bitset(1024) size = %d, want >= 128", sz)
+	}
+}

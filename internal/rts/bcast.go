@@ -1,0 +1,395 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// BroadcastRTS is the paper's §3.2.1 runtime system, used when the
+// network supports (reliable, totally-ordered) broadcasting. Every
+// object is replicated on all machines. Reads are performed directly
+// on the local replica, bypassing the object manager. Writes ship the
+// operation code and parameters through the group layer; every
+// machine's object manager applies incoming writes in strict sequence
+// order, which enforces sequential consistency.
+//
+// Guarded writes whose guard is false at their position in the total
+// order are queued and deterministically retried after each subsequent
+// write — identically on every replica, so replicas never diverge.
+type BroadcastRTS struct {
+	reg    *Registry
+	costs  Costs
+	mgrs   []*bcastManager
+	nextID ObjID
+
+	// placements maps partially replicated objects to their replica
+	// machines; absent means replicated everywhere (see CreateOn).
+	placements map[ObjID][]int
+
+	// Stats
+	localReads  int64
+	guardWaits  int64
+	bcastWrites int64
+	forwarded   int64
+}
+
+// System is the interface shared by the runtime systems; the Orca
+// layer programs against it.
+type System interface {
+	// Create instantiates a shared object of a registered type and
+	// returns its id. It blocks until the creating machine can use
+	// the object.
+	Create(w *Worker, typeName string, args ...any) ObjID
+	// Invoke performs an operation on a shared object with the
+	// sequential-consistency and indivisibility guarantees of the
+	// shared data-object model. It blocks for guards, locks, and
+	// write completion.
+	Invoke(w *Worker, id ObjID, op string, args ...any) []any
+	// Nodes reports the machine count.
+	Nodes() int
+	// PeekState returns a machine's current replica state (nil if the
+	// machine holds no copy). It is an inspection hook for tests and
+	// experiment harnesses, not part of the programming model.
+	PeekState(node int, id ObjID) (State, bool)
+}
+
+var _ System = (*BroadcastRTS)(nil)
+
+// Wire bodies for the group stream.
+type (
+	wireCreate struct {
+		Obj  ObjID
+		Type string
+		Args []any
+	}
+	wireOp struct {
+		Obj  ObjID
+		Op   string
+		Args []any
+	}
+)
+
+// bcastManager is the per-machine object manager: it owns the local
+// replicas and applies the totally-ordered write stream.
+type bcastManager struct {
+	rts      *BroadcastRTS
+	m        *amoeba.Machine
+	g        *group.Member
+	insts    map[ObjID]*bcastInstance
+	waiters  map[int64]*opWaiter
+	early    map[int64][]any // completions that beat their waiter
+	instCond *sim.Cond       // signalled when a replica is instantiated
+	extra    func(node int, body any)
+
+	// Partial replication plumbing (see bcast_partial.go).
+	fwdSrv    *amoeba.Server
+	fwdClient *amoeba.Client
+}
+
+// bcastInstance is one local replica.
+type bcastInstance struct {
+	typ     *ObjectType
+	state   State
+	cond    *sim.Cond // wakes guard-blocked readers after each write
+	pending []*pendingWrite
+	seg     *amoeba.Segment
+	reads   int64
+	writes  int64
+}
+
+// pendingWrite is a guarded write waiting for its guard, in total
+// order position.
+type pendingWrite struct {
+	uid  int64
+	src  int
+	op   *OpDef
+	args []any
+}
+
+// opWaiter lets the invoking thread sleep until its own write has been
+// applied locally (which, given total order, is the linearization
+// point visible to it).
+type opWaiter struct {
+	cond *sim.Cond
+	done bool
+	res  []any
+}
+
+// NewBroadcastRTS builds the runtime over one group member per
+// machine. machines[i] and members[i] must be node i.
+func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, members []*group.Member) *BroadcastRTS {
+	r := &BroadcastRTS{reg: reg, costs: costs}
+	for i, m := range machines {
+		mgr := &bcastManager{
+			rts:      r,
+			m:        m,
+			g:        members[i],
+			insts:    make(map[ObjID]*bcastInstance),
+			waiters:  make(map[int64]*opWaiter),
+			early:    make(map[int64][]any),
+			instCond: sim.NewCond(m.Env()),
+		}
+		r.mgrs = append(r.mgrs, mgr)
+		m.SpawnThread("objmgr", mgr.run)
+	}
+	r.startForwarders(machines)
+	return r
+}
+
+// Nodes reports the machine count.
+func (r *BroadcastRTS) Nodes() int { return len(r.mgrs) }
+
+// Stats reports aggregate runtime counters: local reads served without
+// communication, broadcast writes, and guard suspensions.
+func (r *BroadcastRTS) Stats() (localReads, bcastWrites, guardWaits int64) {
+	return r.localReads, r.bcastWrites, r.guardWaits
+}
+
+// Create broadcasts object creation so every machine instantiates a
+// replica, and waits until the local replica exists.
+func (r *BroadcastRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	t := r.reg.Lookup(typeName) // validate before broadcasting
+	r.nextID++
+	id := r.nextID
+	w.Flush()
+	mgr := r.mgrs[w.Node()]
+	body := wireCreate{Obj: id, Type: t.Name, Args: args}
+	uid := mgr.g.Broadcast(w.P, "rts-create", body, SizeOfArgs(args)+len(typeName)+16)
+	mgr.await(w.P, uid)
+	return id
+}
+
+// Invoke implements System.
+func (r *BroadcastRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) []any {
+	mgr := r.mgrs[w.Node()]
+	if pl := r.placement(id); pl != nil && !r.replicatedOn(w.Node(), id) {
+		// No local replica: forward the operation to a holder.
+		return mgr.forward(w, id, pl, opName, args)
+	}
+	inst := mgr.instance(w.P, id)
+	op := inst.typ.Op(opName)
+	if op.Kind == Read {
+		return mgr.localRead(w, inst, op, args)
+	}
+	if pl := r.placement(id); len(pl) == 1 {
+		// Single-copy object at its only holder: apply directly, no
+		// broadcast needed.
+		return mgr.directWrite(w, inst, op, args)
+	}
+	// Write: ship the operation through the total order and wait for
+	// it to be applied on this machine.
+	w.Flush()
+	r.bcastWrites++
+	body := wireOp{Obj: id, Op: opName, Args: args}
+	uid := mgr.g.Broadcast(w.P, "rts-op", body, SizeOfArgs(args)+len(opName)+16)
+	return mgr.await(w.P, uid)
+}
+
+// PeekState implements System.
+func (r *BroadcastRTS) PeekState(node int, id ObjID) (State, bool) {
+	inst, ok := r.mgrs[node].insts[id]
+	if !ok {
+		return nil, false
+	}
+	return inst.state, true
+}
+
+// PendingWrites reports how many guarded writes are queued on a
+// machine's replica; exposed for tests.
+func (r *BroadcastRTS) PendingWrites(node int, id ObjID) int {
+	inst, ok := r.mgrs[node].insts[id]
+	if !ok {
+		return 0
+	}
+	return len(inst.pending)
+}
+
+// instance returns the local replica, waiting for the creation
+// broadcast if it has not arrived yet (a freshly forked worker can
+// race the create message).
+func (mgr *bcastManager) instance(p *sim.Proc, id ObjID) *bcastInstance {
+	for {
+		if inst, ok := mgr.insts[id]; ok {
+			return inst
+		}
+		mgr.instCond.Wait(p)
+	}
+}
+
+// localRead performs a read on the local replica: no network traffic,
+// just accumulated CPU. Guard-blocked reads wait on the replica's
+// condition and re-check after every applied write.
+func (mgr *bcastManager) localRead(w *Worker, inst *bcastInstance, op *OpDef, args []any) []any {
+	r := mgr.rts
+	if op.Guard == nil {
+		r.localReads++
+		inst.reads++
+		w.Charge(r.costs.ReadLocal + r.costs.opCost(op))
+		return op.Apply(inst.state, args)
+	}
+	for {
+		// Flush before evaluating the guard: flushing blocks on the
+		// CPU, and a wakeup that fires while this thread is neither
+		// checking the guard nor on the wait queue would be lost.
+		// Between the guard check and Wait (or Apply) nothing may
+		// block, so costs are accrued, not charged.
+		w.Flush()
+		w.Accrue(r.costs.GuardCheck)
+		if !op.Guard(inst.state, args) {
+			r.guardWaits++
+			inst.cond.Wait(w.P)
+			continue
+		}
+		r.localReads++
+		inst.reads++
+		w.Accrue(r.costs.ReadLocal + r.costs.opCost(op))
+		return op.Apply(inst.state, args)
+	}
+}
+
+// await blocks until the manager applies the message with this uid
+// locally and returns its results. The apply can race ahead of the
+// invoker (broadcasting blocks on the CPU, and the manager may apply
+// the local delivery meanwhile), so completions that arrive before the
+// waiter registers are buffered in mgr.early.
+func (mgr *bcastManager) await(p *sim.Proc, uid int64) []any {
+	if res, done := mgr.early[uid]; done {
+		delete(mgr.early, uid)
+		return res
+	}
+	wt := &opWaiter{cond: sim.NewCond(mgr.m.Env())}
+	mgr.waiters[uid] = wt
+	for !wt.done {
+		wt.cond.Wait(p)
+	}
+	delete(mgr.waiters, uid)
+	return wt.res
+}
+
+// complete finishes a waiting invocation. src is the originating node:
+// completions for locally originated messages with no registered
+// waiter yet are buffered until await claims them.
+func (mgr *bcastManager) complete(uid int64, src int, res []any) {
+	if wt, ok := mgr.waiters[uid]; ok {
+		wt.done = true
+		wt.res = res
+		wt.cond.Broadcast()
+		return
+	}
+	if src == mgr.m.ID() {
+		mgr.early[uid] = res
+	}
+}
+
+// SetExtraHandler installs a callback for group messages the runtime
+// does not recognize. The Orca layer uses it to order process creation
+// within the same total order as object writes, which is what makes a
+// freshly forked process observe all writes its parent issued before
+// the fork.
+func (r *BroadcastRTS) SetExtraHandler(h func(node int, body any)) {
+	for _, mgr := range r.mgrs {
+		mgr.extra = h
+	}
+}
+
+// run is the object-manager thread: it consumes the totally-ordered
+// delivery stream and applies creations and writes.
+func (mgr *bcastManager) run(p *sim.Proc) {
+	for {
+		d, ok := mgr.g.Deliveries().Get(p)
+		if !ok {
+			return
+		}
+		switch body := d.Body.(type) {
+		case wireCreate:
+			mgr.applyCreate(p, d.UID, d.Src, body)
+		case wireOp:
+			mgr.applyWrite(p, d.UID, d.Src, body)
+		default:
+			if mgr.extra == nil {
+				panic(fmt.Sprintf("rts: unexpected group message %T", d.Body))
+			}
+			mgr.extra(mgr.m.ID(), d.Body)
+		}
+	}
+}
+
+// applyCreate instantiates the replica (on replica holders only, for
+// partially replicated objects).
+func (mgr *bcastManager) applyCreate(p *sim.Proc, uid int64, src int, c wireCreate) {
+	r := mgr.rts
+	if !r.replicatedOn(mgr.m.ID(), c.Obj) {
+		mgr.complete(uid, src, nil)
+		return
+	}
+	t := r.reg.Lookup(c.Type)
+	mgr.m.Compute(p, r.costs.Create)
+	state := t.New(c.Args)
+	inst := &bcastInstance{
+		typ:   t,
+		state: state,
+		cond:  sim.NewCond(mgr.m.Env()),
+		seg:   mgr.m.AllocSegment(int64(t.stateSize(state))),
+	}
+	mgr.insts[c.Obj] = inst
+	mgr.instCond.Broadcast()
+	mgr.complete(uid, src, nil)
+}
+
+// applyWrite executes one write from the total order: check the guard
+// (queue if false), apply, complete the local invoker, retry pending
+// guarded writes, and wake guard-blocked readers.
+func (mgr *bcastManager) applyWrite(p *sim.Proc, uid int64, src int, wo wireOp) {
+	r := mgr.rts
+	inst, ok := mgr.insts[wo.Obj]
+	if !ok {
+		if !mgr.rts.replicatedOn(mgr.m.ID(), wo.Obj) {
+			return // not a replica holder: the write does not apply here
+		}
+		panic(fmt.Sprintf("rts: write to unknown object %d on node %d", wo.Obj, mgr.m.ID()))
+	}
+	op := inst.typ.Op(wo.Op)
+	if op.Guard != nil {
+		mgr.m.Compute(p, r.costs.GuardCheck)
+		if !op.Guard(inst.state, wo.Args) {
+			inst.pending = append(inst.pending, &pendingWrite{uid: uid, src: src, op: op, args: wo.Args})
+			return
+		}
+	}
+	mgr.execWrite(p, inst, uid, src, op, wo.Args)
+	mgr.drainPending(p, inst)
+}
+
+// execWrite applies one write to the replica.
+func (mgr *bcastManager) execWrite(p *sim.Proc, inst *bcastInstance, uid int64, src int, op *OpDef, args []any) {
+	r := mgr.rts
+	mgr.m.Compute(p, r.costs.WriteApply+r.costs.opCost(op))
+	res := op.Apply(inst.state, args)
+	inst.writes++
+	inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	mgr.complete(uid, src, res)
+	inst.cond.Broadcast()
+}
+
+// drainPending retries queued guarded writes in arrival (sequence)
+// order after each state change, looping until none can run. Every
+// replica performs the identical retry sequence, preserving
+// determinism.
+func (mgr *bcastManager) drainPending(p *sim.Proc, inst *bcastInstance) {
+	r := mgr.rts
+	for progress := true; progress; {
+		progress = false
+		for i, pw := range inst.pending {
+			mgr.m.Compute(p, r.costs.GuardCheck)
+			if pw.op.Guard(inst.state, pw.args) {
+				inst.pending = append(inst.pending[:i], inst.pending[i+1:]...)
+				mgr.execWrite(p, inst, pw.uid, pw.src, pw.op, pw.args)
+				progress = true
+				break
+			}
+		}
+	}
+}

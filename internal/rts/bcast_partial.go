@@ -1,0 +1,162 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// Partial replication — the optimization the paper reports as under
+// development ("In the initial implementation, every object is
+// replicated on all machines that need it (an optimizing scheme using
+// partial replication is under development)").
+//
+// CreateOn places an object's replicas on a subset of the machines.
+// Machines inside the placement behave exactly as with full
+// replication: local reads, broadcast writes. Machines outside the
+// placement forward their operations over RPC to a replica holder,
+// which executes the operation through the normal path and returns the
+// results. Write-heavy objects (like TSP's job queue, which the paper
+// notes would be better off unreplicated) can thus be pinned to one
+// machine, trading everyone's update-application cost for the
+// forwarders' round trips.
+
+// fwdPort is the RPC port serving forwarded operations.
+const fwdPort = "objfwd"
+
+// fwdOp is the forwarded-operation request body.
+type fwdOp struct {
+	Obj  ObjID
+	Op   string
+	Args []any
+}
+
+// placement returns the replica set for an object; nil means all
+// machines.
+func (r *BroadcastRTS) placement(id ObjID) []int {
+	if r.placements == nil {
+		return nil
+	}
+	return r.placements[id]
+}
+
+// replicatedOn reports whether node holds a replica of id.
+func (r *BroadcastRTS) replicatedOn(node int, id ObjID) bool {
+	pl := r.placement(id)
+	if pl == nil {
+		return true
+	}
+	for _, n := range pl {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// CreateOn creates a shared object replicated only on the given
+// machines (nil or empty means all machines, i.e. plain Create). The
+// creating machine must be in the placement so creation can complete
+// locally.
+func (r *BroadcastRTS) CreateOn(w *Worker, typeName string, nodes []int, args ...any) ObjID {
+	if len(nodes) == 0 {
+		return r.Create(w, typeName, args...)
+	}
+	holder := false
+	for _, n := range nodes {
+		if n == w.Node() {
+			holder = true
+			break
+		}
+	}
+	if !holder {
+		panic(fmt.Sprintf("rts: CreateOn from node %d outside placement %v", w.Node(), nodes))
+	}
+	t := r.reg.Lookup(typeName)
+	r.nextID++
+	id := r.nextID
+	if r.placements == nil {
+		r.placements = make(map[ObjID][]int)
+	}
+	r.placements[id] = append([]int(nil), nodes...)
+	w.Flush()
+	mgr := r.mgrs[w.Node()]
+	body := wireCreate{Obj: id, Type: t.Name, Args: args}
+	uid := mgr.g.Broadcast(w.P, "rts-create", body, SizeOfArgs(args)+len(typeName)+16)
+	mgr.await(w.P, uid)
+	return id
+}
+
+// startForwarders binds the forwarded-operation service on every
+// machine. Each request is handled on a fresh thread so a guarded
+// operation cannot stall other forwarded work.
+func (r *BroadcastRTS) startForwarders(machines []*amoeba.Machine) {
+	for i, m := range machines {
+		mgr := r.mgrs[i]
+		srv := amoeba.NewServer(m, fwdPort)
+		mgr.fwdSrv = srv
+		mgr.fwdClient = amoeba.NewClient(m, amoeba.RPCDefaults{Timeout: 2 * sim.Second, Retries: 1 << 20})
+		m.SpawnThread("objfwd", func(p *sim.Proc) {
+			for {
+				req, ok := srv.GetRequest(p)
+				if !ok {
+					return
+				}
+				body := req.Body.(fwdOp)
+				mgr.m.SpawnThread("objfwd-op", func(hp *sim.Proc) {
+					hw := NewWorker(hp, mgr.m)
+					res := r.Invoke(hw, body.Obj, body.Op, body.Args...)
+					hw.Flush()
+					srv.PutReply(hp, req, res, SizeOfArgs(res))
+				})
+			}
+		})
+	}
+}
+
+// forward executes an operation at a replica holder on behalf of a
+// machine outside the placement.
+func (mgr *bcastManager) forward(w *Worker, id ObjID, pl []int, opName string, args []any) []any {
+	w.Flush()
+	mgr.rts.forwarded++
+	rep, err := mgr.fwdClient.Trans(w.P, pl[0], fwdPort, opName,
+		fwdOp{Obj: id, Op: opName, Args: args}, SizeOfArgs(args)+len(opName)+16)
+	if err != nil {
+		panic(fmt.Sprintf("rts: forwarded op %s on object %d failed: %v", opName, id, err))
+	}
+	if rep == nil {
+		return nil
+	}
+	return rep.([]any)
+}
+
+// Forwarded reports how many operations were forwarded to replica
+// holders (partial replication statistics).
+func (r *BroadcastRTS) Forwarded() int64 { return r.forwarded }
+
+// directWrite applies a write to a single-copy object at its only
+// holder, bypassing the broadcast entirely: with exactly one replica
+// there is nothing to keep consistent, and the holder's execution
+// order is the object's total order. Guarded writes wait on the
+// replica's condition like guarded reads do.
+func (mgr *bcastManager) directWrite(w *Worker, inst *bcastInstance, op *OpDef, args []any) []any {
+	r := mgr.rts
+	for {
+		w.Flush()
+		if op.Guard != nil {
+			w.Accrue(r.costs.GuardCheck)
+			if !op.Guard(inst.state, args) {
+				r.guardWaits++
+				inst.cond.Wait(w.P)
+				continue
+			}
+		}
+		w.Accrue(r.costs.WriteApply + r.costs.opCost(op))
+		res := op.Apply(inst.state, args)
+		inst.writes++
+		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+		inst.cond.Broadcast()
+		return res
+	}
+}

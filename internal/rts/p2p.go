@@ -1,0 +1,495 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// P2PRTS is the paper's §3.2.2 runtime system, for networks without
+// hardware broadcast. Each object has a primary copy on one machine;
+// other machines may hold secondary copies. Writes go to the primary,
+// which keeps the secondaries consistent with one of two protocols:
+//
+//   - Invalidation: the primary locks the object, sends invalidation
+//     messages to all secondaries, collects acknowledgements, applies
+//     the write, and unlocks. Secondaries re-fetch on demand.
+//   - Update: a two-phase protocol. Phase one ships the operation code
+//     and parameters to every secondary, which locks its copy, applies
+//     the operation, and acknowledges while staying locked. When all
+//     acknowledgements arrive the primary applies the write and phase
+//     two unlocks all copies. Reads attempted while a copy is locked
+//     suspend until it is unlocked.
+//
+// Replication is decided dynamically from per-machine read/write
+// statistics: a machine whose read/write ratio for an object exceeds a
+// threshold fetches a copy from the primary; when the ratio falls
+// below another threshold it discards its copy.
+type P2PRTS struct {
+	reg    *Registry
+	costs  Costs
+	cfg    P2PConfig
+	nodes  []*p2pNode
+	objs   map[ObjID]*p2pMeta
+	nextID ObjID
+
+	stats P2PStats
+}
+
+var _ System = (*P2PRTS)(nil)
+
+// P2PProtocol selects how the primary keeps secondaries consistent.
+type P2PProtocol int
+
+const (
+	// Invalidation discards secondary copies on writes.
+	Invalidation P2PProtocol = iota
+	// Update ships operations to secondary copies with a two-phase
+	// commit/unlock protocol.
+	Update
+)
+
+func (p P2PProtocol) String() string {
+	if p == Invalidation {
+		return "invalidate"
+	}
+	return "update"
+}
+
+// Placement controls the replication policy.
+type Placement int
+
+const (
+	// DynamicPlacement is the paper's scheme: one copy initially,
+	// replicas created and discarded from read/write-ratio statistics.
+	DynamicPlacement Placement = iota
+	// SingleCopy never replicates: all remote accesses are RPCs.
+	SingleCopy
+	// FullReplication installs a copy on every machine at creation
+	// and never discards (an ablation baseline).
+	FullReplication
+)
+
+func (pl Placement) String() string {
+	switch pl {
+	case DynamicPlacement:
+		return "dynamic"
+	case SingleCopy:
+		return "single"
+	default:
+		return "full"
+	}
+}
+
+// P2PConfig parameterizes the runtime.
+type P2PConfig struct {
+	Protocol  P2PProtocol
+	Placement Placement
+	// FetchRatio: fetch a copy when reads/writes exceeds this.
+	FetchRatio float64
+	// DiscardRatio: discard the copy when reads/writes drops below.
+	DiscardRatio float64
+	// WindowMin is the minimum accesses before acting on statistics.
+	WindowMin int64
+	// RPCPolicy overrides the kernel RPC policy; guarded operations
+	// can legitimately block for a long time, so retries are high.
+	RPCPolicy amoeba.RPCDefaults
+}
+
+// DefaultP2PConfig returns the paper's dynamic-update configuration.
+func DefaultP2PConfig() P2PConfig {
+	return P2PConfig{
+		Protocol:     Update,
+		Placement:    DynamicPlacement,
+		FetchRatio:   4,
+		DiscardRatio: 1,
+		WindowMin:    8,
+		RPCPolicy:    amoeba.RPCDefaults{Timeout: 2 * sim.Second, Retries: 1 << 20},
+	}
+}
+
+// P2PStats aggregates runtime counters.
+type P2PStats struct {
+	LocalReads    int64
+	RemoteReads   int64
+	Writes        int64
+	Fetches       int64
+	Discards      int64
+	Invalidations int64 // invalidation messages sent
+	Updates       int64 // update messages sent
+}
+
+// p2pMeta is the global registry entry for an object: its type and the
+// (static) primary machine.
+type p2pMeta struct {
+	id      ObjID
+	typ     *ObjectType
+	primary int
+}
+
+// p2pInstance is one machine's copy of an object.
+type p2pInstance struct {
+	typ     *ObjectType
+	state   State
+	locked  bool
+	valid   bool
+	primary bool
+	cond    *sim.Cond    // readers wait for unlock / guard / invalidation
+	copyset map[int]bool // primary only
+	seg     *amoeba.Segment
+}
+
+// p2pTask is a unit of work for an object's primary thread. Tasks
+// from remote machines carry the RPC request to reply to; local tasks
+// carry a condition the invoking thread waits on.
+type p2pTask struct {
+	kind string // "write", "read", "fetch"
+	op   *OpDef
+	args []any
+	from int
+	done bool
+	res  []any
+	cond *sim.Cond
+	req  *amoeba.Request
+}
+
+// p2pNode is the per-machine runtime state.
+type p2pNode struct {
+	rts    *P2PRTS
+	m      *amoeba.Machine
+	client *amoeba.Client
+	srv    *amoeba.Server
+	insts  map[ObjID]*p2pInstance
+	queues map[ObjID]*sim.Queue[*p2pTask]
+	access map[ObjID]*accessStats
+}
+
+// accessStats tracks one machine's accesses to one object for the
+// dynamic replication decision.
+type accessStats struct {
+	reads, writes int64
+}
+
+func (a *accessStats) ratio() float64 {
+	w := a.writes
+	if w == 0 {
+		w = 1
+	}
+	return float64(a.reads) / float64(w)
+}
+
+// Wire bodies for the point-to-point protocols.
+type (
+	p2pOpReq struct { // client -> primary: execute op (write or read)
+		Obj  ObjID
+		Op   string
+		Args []any
+	}
+	p2pInvalReq  struct{ Obj ObjID } // primary -> secondary
+	p2pUpdateReq struct {            // primary -> secondary, phase 1
+		Obj  ObjID
+		Op   string
+		Args []any
+	}
+	p2pUnlock struct{ Obj ObjID } // primary -> secondary, phase 2 (one-way)
+	p2pDrop   struct {            // secondary -> primary (one-way)
+		Obj  ObjID
+		Node int
+	}
+	p2pFetchReq struct { // secondary -> primary
+		Obj  ObjID
+		Node int
+	}
+	p2pInstall struct { // primary -> node (one-way, full replication)
+		Obj   ObjID
+		State State
+	}
+)
+
+const (
+	p2pRPCPort = "objsvc" // RPC: op, update, inval, fetch
+	p2pCtlPort = "objctl" // one-way: unlock, drop, install
+)
+
+// NewP2PRTS builds the point-to-point runtime over the machines.
+func NewP2PRTS(reg *Registry, costs Costs, cfg P2PConfig, machines []*amoeba.Machine) *P2PRTS {
+	if cfg.RPCPolicy.Timeout == 0 {
+		cfg.RPCPolicy = DefaultP2PConfig().RPCPolicy
+	}
+	r := &P2PRTS{reg: reg, costs: costs, cfg: cfg, objs: make(map[ObjID]*p2pMeta)}
+	for _, m := range machines {
+		n := &p2pNode{
+			rts:    r,
+			m:      m,
+			client: amoeba.NewClient(m, cfg.RPCPolicy),
+			insts:  make(map[ObjID]*p2pInstance),
+			queues: make(map[ObjID]*sim.Queue[*p2pTask]),
+			access: make(map[ObjID]*accessStats),
+		}
+		n.srv = amoeba.NewServer(m, p2pRPCPort)
+		m.Bind(p2pCtlPort, n.handleCtl)
+		m.SpawnThread("objsvc", n.serve)
+		r.nodes = append(r.nodes, n)
+	}
+	return r
+}
+
+// Nodes implements System.
+func (r *P2PRTS) Nodes() int { return len(r.nodes) }
+
+// Stats returns a snapshot of runtime counters.
+func (r *P2PRTS) Stats() P2PStats { return r.stats }
+
+// Primary reports an object's primary machine.
+func (r *P2PRTS) Primary(id ObjID) int { return r.meta(id).primary }
+
+// CopyCount reports how many machines currently hold a copy.
+func (r *P2PRTS) CopyCount(id ObjID) int {
+	n := 0
+	for _, node := range r.nodes {
+		if inst, ok := node.insts[id]; ok && inst.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCopy reports whether a machine holds a valid copy.
+func (r *P2PRTS) HasCopy(node int, id ObjID) bool {
+	inst, ok := r.nodes[node].insts[id]
+	return ok && inst.valid
+}
+
+// PeekState implements System.
+func (r *P2PRTS) PeekState(node int, id ObjID) (State, bool) {
+	inst, ok := r.nodes[node].insts[id]
+	if !ok || !inst.valid {
+		return nil, false
+	}
+	return inst.state, true
+}
+
+func (r *P2PRTS) meta(id ObjID) *p2pMeta {
+	m, ok := r.objs[id]
+	if !ok {
+		panic(fmt.Sprintf("rts: unknown object %d", id))
+	}
+	return m
+}
+
+// Create instantiates the object with its single primary copy on the
+// creating machine (the paper: "Initially, only one copy of each
+// object is maintained"). Under FullReplication, copies are pushed to
+// every machine over the wire.
+func (r *P2PRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	t := r.reg.Lookup(typeName)
+	r.nextID++
+	id := r.nextID
+	node := r.nodes[w.Node()]
+	w.Flush()
+	w.M.Compute(w.P, r.costs.Create)
+	state := t.New(args)
+	inst := &p2pInstance{
+		typ: t, state: state, valid: true, primary: true,
+		cond:    sim.NewCond(w.M.Env()),
+		copyset: make(map[int]bool),
+		seg:     w.M.AllocSegment(int64(t.stateSize(state))),
+	}
+	node.insts[id] = inst
+	r.objs[id] = &p2pMeta{id: id, typ: t, primary: w.Node()}
+	q := sim.NewQueue[*p2pTask](w.M.Env())
+	node.queues[id] = q
+	node.m.SpawnThread(fmt.Sprintf("obj%d", id), func(p *sim.Proc) { node.objectLoop(p, id, q) })
+	if r.cfg.Placement == FullReplication {
+		for _, other := range r.nodes {
+			if other.m.ID() == w.Node() {
+				continue
+			}
+			inst.copyset[other.m.ID()] = true
+			w.M.Send(w.P, other.m.ID(), amoeba.Packet{
+				Port: p2pCtlPort, Kind: "rts-install",
+				Body: p2pInstall{Obj: id, State: t.Clone(state)},
+				Size: t.stateSize(state) + 16,
+			})
+		}
+	}
+	return id
+}
+
+// Invoke implements System.
+func (r *P2PRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) []any {
+	meta := r.meta(id)
+	op := meta.typ.Op(opName)
+	node := r.nodes[w.Node()]
+	if op.Kind == Read {
+		return node.invokeRead(w, meta, op, args)
+	}
+	return node.invokeWrite(w, meta, op, args)
+}
+
+// --- invocation paths -------------------------------------------------
+
+// invokeRead serves a read locally when a valid copy exists, otherwise
+// remotely at the primary; it then updates statistics and may fetch a
+// copy.
+func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []any {
+	r := n.rts
+	st := n.accessFor(meta.id)
+	st.reads++
+	for {
+		inst, ok := n.insts[meta.id]
+		if ok && inst.valid {
+			// Local read; suspend while the copy is locked or the
+			// guard is false. Flush before inspecting the replica:
+			// flushing blocks on the CPU and a wakeup firing during
+			// it would otherwise be lost; the check-then-Wait path
+			// itself must never block.
+			w.Flush()
+			if !inst.valid {
+				continue // invalidated while flushing
+			}
+			if inst.locked {
+				inst.cond.Wait(w.P)
+				continue
+			}
+			if op.Guard != nil {
+				w.Accrue(r.costs.GuardCheck)
+				if !op.Guard(inst.state, args) {
+					inst.cond.Wait(w.P)
+					continue
+				}
+			}
+			r.stats.LocalReads++
+			w.Accrue(r.costs.ReadLocal + r.costs.opCost(op))
+			return op.Apply(inst.state, args)
+		}
+		// No local copy: maybe fetch one first, else read remotely.
+		if n.shouldFetch(meta, st) {
+			n.fetchCopy(w, meta)
+			continue
+		}
+		r.stats.RemoteReads++
+		w.Flush()
+		res := n.remoteOp(w.P, meta, op, args)
+		return res
+	}
+}
+
+// invokeWrite routes a write to the primary and afterwards applies the
+// discard heuristic.
+func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) []any {
+	r := n.rts
+	st := n.accessFor(meta.id)
+	st.writes++
+	r.stats.Writes++
+	w.Flush()
+	var res []any
+	if meta.primary == n.m.ID() {
+		t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID(), cond: sim.NewCond(n.m.Env())}
+		n.queues[meta.id].Put(t)
+		for !t.done {
+			t.cond.Wait(w.P)
+		}
+		res = t.res
+	} else {
+		res = n.remoteOp(w.P, meta, op, args)
+	}
+	n.maybeDiscard(w, meta, st)
+	return res
+}
+
+// remoteOp performs the operation at the primary over RPC.
+func (n *p2pNode) remoteOp(p *sim.Proc, meta *p2pMeta, op *OpDef, args []any) []any {
+	body := p2pOpReq{Obj: meta.id, Op: op.Name, Args: args}
+	rep, err := n.client.Trans(p, meta.primary, p2pRPCPort, "op", body, SizeOfArgs(args)+len(op.Name)+16)
+	if err != nil {
+		panic(fmt.Sprintf("rts: remote op %s on object %d failed: %v", op.Name, meta.id, err))
+	}
+	if rep == nil {
+		return nil
+	}
+	return rep.([]any)
+}
+
+// accessFor returns this machine's statistics for an object.
+func (n *p2pNode) accessFor(id ObjID) *accessStats {
+	st, ok := n.access[id]
+	if !ok {
+		st = &accessStats{}
+		n.access[id] = st
+	}
+	return st
+}
+
+// shouldFetch applies the fetch threshold.
+func (n *p2pNode) shouldFetch(meta *p2pMeta, st *accessStats) bool {
+	if n.rts.cfg.Placement != DynamicPlacement {
+		return false
+	}
+	if st.reads+st.writes < n.rts.cfg.WindowMin {
+		return false
+	}
+	return st.ratio() >= n.rts.cfg.FetchRatio
+}
+
+// maybeDiscard applies the discard threshold to a local secondary.
+func (n *p2pNode) maybeDiscard(w *Worker, meta *p2pMeta, st *accessStats) {
+	if n.rts.cfg.Placement != DynamicPlacement {
+		return
+	}
+	inst, ok := n.insts[meta.id]
+	if !ok || !inst.valid || inst.primary {
+		return
+	}
+	if st.reads+st.writes < n.rts.cfg.WindowMin || st.ratio() > n.rts.cfg.DiscardRatio {
+		return
+	}
+	n.rts.stats.Discards++
+	n.dropLocal(meta.id)
+	n.m.Send(w.P, meta.primary, amoeba.Packet{
+		Port: p2pCtlPort, Kind: "rts-drop",
+		Body: p2pDrop{Obj: meta.id, Node: n.m.ID()}, Size: 16,
+	})
+	st.reads, st.writes = 0, 0
+}
+
+// fetchCopy installs a secondary copy from the primary.
+func (n *p2pNode) fetchCopy(w *Worker, meta *p2pMeta) {
+	r := n.rts
+	r.stats.Fetches++
+	st := n.accessFor(meta.id)
+	st.reads, st.writes = 0, 0
+	rep, err := n.client.Trans(w.P, meta.primary, p2pRPCPort, "fetch",
+		p2pFetchReq{Obj: meta.id, Node: n.m.ID()}, 16)
+	if err != nil {
+		panic(fmt.Sprintf("rts: fetch of object %d failed: %v", meta.id, err))
+	}
+	state := rep.(State)
+	n.installCopy(meta.id, meta.typ, state)
+}
+
+// installCopy places a (cloned) state as a valid secondary.
+func (n *p2pNode) installCopy(id ObjID, t *ObjectType, state State) {
+	if old, ok := n.insts[id]; ok {
+		old.seg.Free()
+	}
+	n.insts[id] = &p2pInstance{
+		typ: t, state: state, valid: true,
+		cond: sim.NewCond(n.m.Env()),
+		seg:  n.m.AllocSegment(int64(t.stateSize(state))),
+	}
+}
+
+// dropLocal removes the local copy and wakes any blocked readers so
+// they re-route to the primary.
+func (n *p2pNode) dropLocal(id ObjID) {
+	inst, ok := n.insts[id]
+	if !ok {
+		return
+	}
+	inst.valid = false
+	inst.cond.Broadcast()
+	inst.seg.Free()
+	delete(n.insts, id)
+}

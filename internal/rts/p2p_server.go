@@ -1,0 +1,252 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// Server side of the point-to-point runtime: the per-machine RPC
+// dispatcher, the one-way control port, and the per-object primary
+// thread that runs the invalidation and update protocols.
+
+// serve is the machine's RPC dispatcher thread. Potentially blocking
+// work (operations at the primary, fetches) is routed to per-object
+// threads so one blocked object cannot stall the machine's service.
+// Secondary-side protocol steps (update apply, invalidation) are quick
+// and handled inline.
+func (n *p2pNode) serve(p *sim.Proc) {
+	r := n.rts
+	for {
+		req, ok := n.srv.GetRequest(p)
+		if !ok {
+			return
+		}
+		switch body := req.Body.(type) {
+		case p2pOpReq:
+			meta := r.meta(body.Obj)
+			if meta.primary != n.m.ID() {
+				panic(fmt.Sprintf("rts: op for object %d routed to non-primary node %d", body.Obj, n.m.ID()))
+			}
+			op := meta.typ.Op(body.Op)
+			kind := "write"
+			if op.Kind == Read {
+				kind = "read"
+			}
+			n.queues[body.Obj].Put(&p2pTask{kind: kind, op: op, args: body.Args, from: req.From, req: req})
+
+		case p2pFetchReq:
+			n.queues[body.Obj].Put(&p2pTask{kind: "fetch", from: body.Node, req: req})
+
+		case p2pUpdateReq:
+			// Phase one at a secondary: lock, apply, ack, stay locked.
+			n.applyUpdate(p, req, body)
+
+		case p2pInvalReq:
+			// Invalidate the local copy and acknowledge.
+			r.stats.Invalidations++
+			n.dropLocal(body.Obj)
+			n.srv.PutReply(p, req, nil, 4)
+
+		default:
+			panic(fmt.Sprintf("rts: unexpected RPC body %T", req.Body))
+		}
+	}
+}
+
+// applyUpdate performs phase one of the update protocol at a
+// secondary.
+func (n *p2pNode) applyUpdate(p *sim.Proc, req *amoeba.Request, u p2pUpdateReq) {
+	r := n.rts
+	inst, ok := n.insts[u.Obj]
+	if !ok || !inst.valid {
+		// The copy was discarded while the update was in flight; the
+		// drop notice will reach the primary. Acknowledge vacuously.
+		n.srv.PutReply(p, req, nil, 4)
+		return
+	}
+	op := inst.typ.Op(u.Op)
+	inst.locked = true
+	n.m.Compute(p, r.costs.WriteApply+r.costs.opCost(op))
+	op.Apply(inst.state, u.Args)
+	inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	n.srv.PutReply(p, req, nil, 4)
+}
+
+// handleCtl services the one-way control port: unlocks (phase two),
+// copyset drops, and pushed installs. It runs on the interrupt thread
+// and never blocks.
+func (n *p2pNode) handleCtl(p *sim.Proc, from int, pkt amoeba.Packet) {
+	switch body := pkt.Body.(type) {
+	case p2pUnlock:
+		if inst, ok := n.insts[body.Obj]; ok {
+			inst.locked = false
+			inst.cond.Broadcast()
+		}
+	case p2pDrop:
+		if inst, ok := n.insts[body.Obj]; ok && inst.primary {
+			delete(inst.copyset, body.Node)
+		}
+	case p2pInstall:
+		meta := n.rts.meta(body.Obj)
+		n.installCopy(body.Obj, meta.typ, body.State)
+	}
+}
+
+// objectLoop is the primary's per-object protocol thread. It
+// serializes all writes, remote reads, and fetches on the object, and
+// holds guarded tasks until a committed write enables them.
+func (n *p2pNode) objectLoop(p *sim.Proc, id ObjID, q *sim.Queue[*p2pTask]) {
+	var pending []*p2pTask
+	for {
+		t, ok := q.Get(p)
+		if !ok {
+			return
+		}
+		n.execTask(p, id, t, &pending)
+	}
+}
+
+// execTask runs one task, parking it if its guard is false.
+func (n *p2pNode) execTask(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTask) {
+	r := n.rts
+	inst := n.insts[id]
+	switch t.kind {
+	case "fetch":
+		state := inst.typ.Clone(inst.state)
+		inst.copyset[t.from] = true
+		n.srv.PutReply(p, t.req, state, inst.typ.stateSize(state)+16)
+
+	case "read":
+		if t.op.Guard != nil {
+			n.m.Compute(p, r.costs.GuardCheck)
+			if !t.op.Guard(inst.state, t.args) {
+				*pending = append(*pending, t)
+				return
+			}
+		}
+		n.m.Compute(p, r.costs.ReadLocal+r.costs.opCost(t.op))
+		n.finishTask(p, t, t.op.Apply(inst.state, t.args))
+
+	case "write":
+		if t.op.Guard != nil {
+			n.m.Compute(p, r.costs.GuardCheck)
+			if !t.op.Guard(inst.state, t.args) {
+				*pending = append(*pending, t)
+				return
+			}
+		}
+		n.commitWrite(p, id, inst, t)
+		n.drainPending(p, id, pending)
+
+	default:
+		panic("rts: unknown task kind " + t.kind)
+	}
+}
+
+// finishTask completes a task toward its (local or remote) invoker.
+func (n *p2pNode) finishTask(p *sim.Proc, t *p2pTask, res []any) {
+	if t.req != nil {
+		n.srv.PutReply(p, t.req, res, SizeOfArgs(res))
+		return
+	}
+	t.res = res
+	t.done = true
+	t.cond.Broadcast()
+}
+
+// commitWrite runs the configured write protocol at the primary.
+func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTask) {
+	r := n.rts
+	inst.locked = true
+	secs := make([]int, 0, len(inst.copyset))
+	for node := range inst.copyset {
+		secs = append(secs, node)
+	}
+	sortInts(secs)
+	if len(secs) > 0 {
+		switch r.cfg.Protocol {
+		case Invalidation:
+			// Lock, invalidate every secondary, collect acks.
+			n.fanoutRPC(p, secs, "inval", func(int) any { return p2pInvalReq{Obj: id} }, 8)
+			inst.copyset = make(map[int]bool)
+		case Update:
+			// Phase one: ship the operation, collect acks; copies
+			// stay locked.
+			r.stats.Updates += int64(len(secs))
+			n.fanoutRPC(p, secs, "update", func(int) any {
+				return p2pUpdateReq{Obj: id, Op: t.op.Name, Args: t.args}
+			}, SizeOfArgs(t.args)+len(t.op.Name)+16)
+		}
+	}
+	// Apply at the primary.
+	n.m.Compute(p, r.costs.WriteApply+r.costs.opCost(t.op))
+	res := t.op.Apply(inst.state, t.args)
+	inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	if r.cfg.Protocol == Update {
+		// Phase two: unlock all copies.
+		for _, dst := range secs {
+			n.m.Send(p, dst, amoeba.Packet{
+				Port: p2pCtlPort, Kind: "rts-unlock", Body: p2pUnlock{Obj: id}, Size: 12,
+			})
+		}
+	}
+	inst.locked = false
+	inst.cond.Broadcast()
+	n.finishTask(p, t, res)
+}
+
+// drainPending retries guarded tasks after each committed write until
+// no more can run.
+func (n *p2pNode) drainPending(p *sim.Proc, id ObjID, pending *[]*p2pTask) {
+	for progress := true; progress; {
+		progress = false
+		for i, t := range *pending {
+			n.m.Compute(p, n.rts.costs.GuardCheck)
+			inst := n.insts[id]
+			if !t.op.Guard(inst.state, t.args) {
+				continue
+			}
+			*pending = append((*pending)[:i], (*pending)[i+1:]...)
+			if t.kind == "write" {
+				n.commitWrite(p, id, inst, t)
+			} else {
+				n.m.Compute(p, n.rts.costs.ReadLocal+n.rts.costs.opCost(t.op))
+				n.finishTask(p, t, t.op.Apply(inst.state, t.args))
+			}
+			progress = true
+			break
+		}
+	}
+}
+
+// fanoutRPC issues the same RPC to several machines in parallel and
+// waits for all acknowledgements.
+func (n *p2pNode) fanoutRPC(p *sim.Proc, targets []int, op string, body func(dst int) any, size int) {
+	remaining := len(targets)
+	cond := sim.NewCond(n.m.Env())
+	for _, dst := range targets {
+		dst := dst
+		n.m.SpawnThread("fan-"+op, func(pp *sim.Proc) {
+			if _, err := n.client.Trans(pp, dst, p2pRPCPort, op, body(dst), size); err != nil {
+				panic(fmt.Sprintf("rts: %s to node %d failed: %v", op, dst, err))
+			}
+			remaining--
+			cond.Broadcast()
+		})
+	}
+	for remaining > 0 {
+		cond.Wait(p)
+	}
+}
+
+// sortInts sorts a small int slice (insertion sort; avoids pulling in
+// sort for three-element slices on hot paths).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package rts
+
+import (
+	"testing"
+
+	"repro/internal/amoeba"
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Test object types: a settable integer cell, a FIFO queue with a
+// guarded Get, and a boolean flag with a guarded read.
+
+type intCellState struct{ v int }
+
+func intCellType() *ObjectType {
+	return &ObjectType{
+		Name: "intcell",
+		New: func(args []any) State {
+			s := &intCellState{}
+			if len(args) > 0 {
+				s.v = args[0].(int)
+			}
+			return s
+		},
+		Clone:  func(s State) State { c := *s.(*intCellState); return &c },
+		SizeOf: func(State) int { return 8 },
+		Ops: map[string]*OpDef{
+			"get": {Name: "get", Kind: Read,
+				Apply: func(s State, _ []any) []any { return []any{s.(*intCellState).v} }},
+			"set": {Name: "set", Kind: Write,
+				Apply: func(s State, a []any) []any { s.(*intCellState).v = a[0].(int); return nil }},
+			"inc": {Name: "inc", Kind: Write,
+				Apply: func(s State, _ []any) []any {
+					st := s.(*intCellState)
+					old := st.v
+					st.v++
+					return []any{old}
+				}},
+			"min": {Name: "min", Kind: Write, // conditional lower, like the TSP bound
+				Apply: func(s State, a []any) []any {
+					st := s.(*intCellState)
+					if v := a[0].(int); v < st.v {
+						st.v = v
+						return []any{true}
+					}
+					return []any{false}
+				}},
+		},
+	}
+}
+
+type queueState struct{ items []any }
+
+func queueType() *ObjectType {
+	return &ObjectType{
+		Name: "queue",
+		New:  func([]any) State { return &queueState{} },
+		Clone: func(s State) State {
+			c := &queueState{}
+			c.items = append([]any(nil), s.(*queueState).items...)
+			return c
+		},
+		SizeOf: func(s State) int { return 8 + 16*len(s.(*queueState).items) },
+		Ops: map[string]*OpDef{
+			"put": {Name: "put", Kind: Write,
+				Apply: func(s State, a []any) []any {
+					q := s.(*queueState)
+					q.items = append(q.items, a[0])
+					return nil
+				}},
+			"get": {Name: "get", Kind: Write,
+				Guard: func(s State, _ []any) bool { return len(s.(*queueState).items) > 0 },
+				Apply: func(s State, _ []any) []any {
+					q := s.(*queueState)
+					v := q.items[0]
+					q.items = q.items[1:]
+					return []any{v}
+				}},
+			"len": {Name: "len", Kind: Read,
+				Apply: func(s State, _ []any) []any { return []any{len(s.(*queueState).items)} }},
+		},
+	}
+}
+
+type flagState struct{ b bool }
+
+func flagType() *ObjectType {
+	return &ObjectType{
+		Name:   "flag",
+		New:    func([]any) State { return &flagState{} },
+		Clone:  func(s State) State { c := *s.(*flagState); return &c },
+		SizeOf: func(State) int { return 1 },
+		Ops: map[string]*OpDef{
+			"set": {Name: "set", Kind: Write,
+				Apply: func(s State, a []any) []any { s.(*flagState).b = a[0].(bool); return nil }},
+			"get": {Name: "get", Kind: Read,
+				Apply: func(s State, _ []any) []any { return []any{s.(*flagState).b} }},
+			"await": {Name: "await", Kind: Read,
+				Guard: func(s State, _ []any) bool { return s.(*flagState).b },
+				Apply: func(s State, _ []any) []any { return []any{true} }},
+		},
+	}
+}
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register(intCellType())
+	reg.Register(queueType())
+	reg.Register(flagType())
+	return reg
+}
+
+// tb is a test cluster running one of the runtime systems.
+type tb struct {
+	env *sim.Env
+	net *netsim.Network
+	ms  []*amoeba.Machine
+	sys System
+}
+
+// spawn runs fn as an application thread on the given node.
+func (b *tb) spawn(node int, name string, fn func(w *Worker)) {
+	b.ms[node].SpawnThread(name, func(p *sim.Proc) {
+		fn(NewWorker(p, b.ms[node]))
+	})
+}
+
+// run drives the simulation for the given virtual horizon and shuts
+// down.
+func (b *tb) run(horizon sim.Time) {
+	b.env.RunUntil(horizon)
+	b.env.Stop()
+}
+
+func (b *tb) done() { b.env.Shutdown() }
+
+// newBcastTB builds a broadcast-RTS cluster.
+func newBcastTB(t *testing.T, seed int64, n int, netMut func(*netsim.Params)) (*tb, *BroadcastRTS) {
+	t.Helper()
+	env := sim.New(seed)
+	np := netsim.DefaultParams()
+	if netMut != nil {
+		netMut(&np)
+	}
+	nw := netsim.New(env, n, np)
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	gcfg := group.DefaultConfig(members)
+	ms := make([]*amoeba.Machine, n)
+	gs := make([]*group.Member, n)
+	for i := 0; i < n; i++ {
+		ms[i] = amoeba.NewMachine(env, nw, i, amoeba.DefaultCosts())
+		gs[i] = group.Join(ms[i], gcfg)
+	}
+	r := NewBroadcastRTS(testRegistry(), DefaultCosts(), ms, gs)
+	return &tb{env: env, net: nw, ms: ms, sys: r}, r
+}
+
+// newP2PTB builds a point-to-point-RTS cluster.
+func newP2PTB(t *testing.T, seed int64, n int, cfg P2PConfig) (*tb, *P2PRTS) {
+	t.Helper()
+	env := sim.New(seed)
+	np := netsim.DefaultParams()
+	np.BroadcastCapable = false // the paper's point-to-point scenario
+	nw := netsim.New(env, n, np)
+	ms := make([]*amoeba.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = amoeba.NewMachine(env, nw, i, amoeba.DefaultCosts())
+	}
+	r := NewP2PRTS(testRegistry(), DefaultCosts(), cfg, ms)
+	return &tb{env: env, net: nw, ms: ms, sys: r}, r
+}

@@ -1,0 +1,68 @@
+package rts
+
+import (
+	"repro/internal/amoeba"
+	"repro/internal/sim"
+)
+
+// Worker is the execution context a simulated application thread uses
+// to talk to a runtime system: a process bound to a machine, plus a
+// pending-work accumulator.
+//
+// Application compute and cheap local operations (object reads) accrue
+// into the accumulator instead of becoming individual simulation
+// events; the total is flushed to the machine's CPU before any
+// communication or blocking step, and whenever it exceeds
+// FlushThreshold. This keeps event counts tractable for workloads that
+// perform millions of local reads while bounding the timing error well
+// below protocol latencies.
+type Worker struct {
+	P *sim.Proc
+	M *amoeba.Machine
+
+	// FlushThreshold bounds the accumulation lag. Zero means the
+	// DefaultFlushThreshold.
+	FlushThreshold sim.Time
+
+	pending sim.Time
+}
+
+// DefaultFlushThreshold is the default accumulation bound.
+const DefaultFlushThreshold = 500 * sim.Microsecond
+
+// NewWorker creates a worker context for process p on machine m.
+func NewWorker(p *sim.Proc, m *amoeba.Machine) *Worker {
+	return &Worker{P: p, M: m, FlushThreshold: DefaultFlushThreshold}
+}
+
+// Charge accrues d of CPU work, flushing if the pending total crosses
+// the threshold.
+func (w *Worker) Charge(d sim.Time) {
+	w.pending += d
+	thr := w.FlushThreshold
+	if thr <= 0 {
+		thr = DefaultFlushThreshold
+	}
+	if w.pending >= thr {
+		w.Flush()
+	}
+}
+
+// Accrue adds d of CPU work without ever flushing (and therefore
+// without blocking). Runtime code uses it on paths that must stay
+// non-blocking between a guard evaluation and the operation's
+// execution; the accrued work is charged at the next Flush.
+func (w *Worker) Accrue(d sim.Time) { w.pending += d }
+
+// Flush charges all pending work to the machine's CPU, blocking while
+// the CPU is busy. Call before any externally visible action.
+func (w *Worker) Flush() {
+	if w.pending > 0 {
+		d := w.pending
+		w.pending = 0
+		w.M.Compute(w.P, d)
+	}
+}
+
+// Node reports the machine id the worker runs on.
+func (w *Worker) Node() int { return w.M.ID() }

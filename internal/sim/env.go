@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Event is a scheduled occurrence in virtual time. It is returned by
+// At and After so callers can cancel pending events (e.g. protocol
+// retransmission timers).
+type Event struct {
+	t         Time
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Time reports the virtual time at which the event fires.
+func (ev *Event) Time() Time { return ev.t }
+
+// eventQueue is a min-heap ordered by (time, sequence). The sequence
+// number breaks ties deterministically in scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Env is a discrete-event simulation environment: a virtual clock, an
+// event queue, and a set of cooperatively scheduled processes. All
+// methods must be called from simulation context (from inside an event
+// handler or a process body), except New, Spawn before Run, Run itself,
+// and Shutdown after Run returns.
+type Env struct {
+	now     Time
+	queue   eventQueue
+	seqGen  int64
+	yield   chan struct{} // process -> scheduler handoff
+	live    map[*Proc]struct{}
+	wg      sync.WaitGroup
+	rng     *rand.Rand
+	stopped bool
+
+	// Trace, when non-nil, receives a line per traced occurrence.
+	// It exists for debugging protocol implementations and is nil in
+	// normal runs.
+	Trace func(t Time, format string, args ...any)
+}
+
+// New creates an environment whose random source is seeded with seed.
+// The same seed always yields the same simulation.
+func New(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Tracef emits a trace line if tracing is enabled.
+func (e *Env) Tracef(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(e.now, format, args...)
+	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// panics: it would violate causality.
+func (e *Env) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.now))
+	}
+	e.seqGen++
+	ev := &Event{t: t, seq: e.seqGen, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run processes events until the queue is empty or Stop is called.
+// It returns the final virtual time. Processes that are still blocked
+// when the queue drains are left parked; call Shutdown to reap them
+// (Blocked lists them for deadlock diagnosis).
+func (e *Env) Run() Time {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events until virtual time t is reached, the queue
+// empties, or Stop is called.
+func (e *Env) RunUntil(t Time) Time {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].t > t {
+			e.now = t
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Blocked returns the names of processes that are alive but parked,
+// sorted for stable output. After Run returns, a non-empty result
+// usually means the simulated program deadlocked.
+func (e *Env) Blocked() []string {
+	var names []string
+	for p := range e.live {
+		if !p.terminated {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LiveProcs reports the number of processes that have been spawned and
+// have not yet terminated.
+func (e *Env) LiveProcs() int { return len(e.live) }
+
+// Shutdown force-kills all parked processes and waits for their
+// goroutines to exit. It must be called only after Run has returned.
+func (e *Env) Shutdown() {
+	for p := range e.live {
+		if !p.terminated {
+			p.killed = true
+			close(p.resume)
+		}
+	}
+	e.wg.Wait()
+	e.live = make(map[*Proc]struct{})
+}
+
+// runProc transfers control to p until it parks or terminates.
+func (e *Env) runProc(p *Proc) {
+	if p.terminated || p.killed {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// wake schedules p to resume at the current virtual time.
+func (e *Env) wake(p *Proc) {
+	e.At(e.now, func() { e.runProc(p) })
+}

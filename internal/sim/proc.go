@@ -1,0 +1,90 @@
+package sim
+
+import "runtime"
+
+// Proc is a cooperatively scheduled simulated process. A Proc runs on
+// its own goroutine, but the scheduler guarantees that at most one Proc
+// (or event handler) executes at a time, handing control back and forth
+// through channel handshakes. Blocking primitives (Sleep, Cond.Wait,
+// Resource.Acquire, ...) park the process and return control to the
+// scheduler.
+type Proc struct {
+	env        *Env
+	name       string
+	resume     chan struct{}
+	terminated bool
+	killed     bool
+}
+
+// Spawn creates a process named name running fn and schedules it to
+// start at the current virtual time. It may be called before Run (to
+// seed the simulation) or from simulation context (to fork).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (e *Env) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live[p] = struct{}{}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		<-p.resume // wait for the start event
+		if p.killed {
+			return
+		}
+		defer func() {
+			p.terminated = true
+			delete(e.live, p)
+			if !p.killed {
+				// Hand control back to the scheduler one last time.
+				e.yield <- struct{}{}
+			}
+		}()
+		fn(p)
+	}()
+	e.At(t, func() { e.runProc(p) })
+	return p
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park suspends the process until the scheduler resumes it. All
+// blocking primitives funnel through here.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		// Shutdown in progress: unwind this goroutine. Deferred
+		// handlers must not touch the scheduler when killed.
+		runtime.Goexit()
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		p.Yield()
+		return
+	}
+	p.env.After(d, func() { p.env.runProc(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// event already queued for this instant run first.
+func (p *Proc) Yield() {
+	p.env.wake(p)
+	p.park()
+}

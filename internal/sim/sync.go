@@ -1,0 +1,205 @@
+package sim
+
+// Cond is a condition variable in virtual time. Waiters are woken in
+// FIFO order, which keeps simulations deterministic.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable bound to e.
+func NewCond(e *Env) *Cond { return &Cond{env: e} }
+
+// Wait parks p until Signal or Broadcast wakes it. As with
+// sync.Cond, callers re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.wake(p)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.env.wake(p)
+	}
+	c.waiters = nil
+}
+
+// Waiting reports how many processes are parked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Resource is an exclusively held resource (a node's CPU, for example)
+// with a FIFO wait queue and an optional high-priority lane used for
+// interrupt handling.
+type Resource struct {
+	env     *Env
+	holder  *Proc
+	waiters []*Proc
+	// busy accumulates total held time, for utilization reports.
+	busy       Time
+	acquiredAt Time
+}
+
+// NewResource creates a free resource bound to e.
+func NewResource(e *Env) *Resource { return &Resource{env: e} }
+
+// Acquire blocks p until it holds the resource.
+func (r *Resource) Acquire(p *Proc) {
+	if r.holder == nil {
+		r.holder = p
+		r.acquiredAt = r.env.now
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// AcquireFront is Acquire, but p jumps the wait queue. Interrupt
+// service threads use it so device handling preempts queued user work
+// (though not the current holder: the kernel is not preemptive
+// mid-instruction).
+func (r *Resource) AcquireFront(p *Proc) {
+	if r.holder == nil {
+		r.holder = p
+		r.acquiredAt = r.env.now
+		return
+	}
+	r.waiters = append([]*Proc{p}, r.waiters...)
+	p.park()
+}
+
+// Release passes the resource to the next waiter, if any. Only the
+// holder may call Release.
+func (r *Resource) Release(p *Proc) {
+	if r.holder != p {
+		panic("sim: Release by non-holder " + p.name)
+	}
+	r.busy += r.env.now - r.acquiredAt
+	if len(r.waiters) == 0 {
+		r.holder = nil
+		return
+	}
+	next := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	r.holder = next
+	r.acquiredAt = r.env.now
+	r.env.wake(next)
+}
+
+// Use acquires the resource, holds it for d of virtual time, and
+// releases it. It models a burst of exclusive work such as CPU time.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// UseFront is Use with queue-jumping acquisition.
+func (r *Resource) UseFront(p *Proc, d Time) {
+	r.AcquireFront(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// BusyTime reports the total virtual time the resource has been held.
+func (r *Resource) BusyTime() Time {
+	t := r.busy
+	if r.holder != nil {
+		t += r.env.now - r.acquiredAt
+	}
+	return t
+}
+
+// Queue is an unbounded FIFO mailbox between simulated processes.
+// Items are handed directly to waiting receivers, preserving FIFO
+// fairness among both items and receivers.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	waiters []*queueWaiter[T]
+	closed  bool
+}
+
+type queueWaiter[T any] struct {
+	p     *Proc
+	item  T
+	ok    bool
+	ready bool
+}
+
+// NewQueue creates an empty queue bound to e.
+func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e} }
+
+// Put appends an item, waking the longest-waiting receiver if one
+// exists. Put never blocks. Put on a closed queue panics.
+func (q *Queue[T]) Put(x T) {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.item, w.ok, w.ready = x, true, true
+		q.env.wake(w.p)
+		return
+	}
+	q.items = append(q.items, x)
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
+	if len(q.items) > 0 {
+		item = q.items[0]
+		var zero T
+		q.items[0] = zero
+		q.items = q.items[1:]
+		return item, true
+	}
+	if q.closed {
+		return item, false
+	}
+	w := &queueWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park()
+	return w.item, w.ok
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Close marks the queue closed and wakes all blocked receivers with
+// ok=false. Items already queued can still be drained with Get.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		w.ready = true
+		q.env.wake(w.p)
+	}
+	q.waiters = nil
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

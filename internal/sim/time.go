@@ -1,0 +1,54 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel models virtual time with an event queue and cooperatively
+// scheduled processes. Exactly one simulated process (or event handler)
+// executes at any instant, so simulations are fully deterministic and
+// race-free by construction: the entire run is a single logical thread
+// of control that hops between goroutines via channel handshakes.
+//
+// Higher layers (the simulated Ethernet, the Amoeba kernel, the shared
+// object runtime, and the Orca applications) are all built on this
+// package. Because time is virtual, a 16-processor run is exact and
+// repeatable on a single-core host.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration constants for building virtual times. These mirror
+// time.Duration but are deliberately a distinct type: virtual time
+// never mixes with wall-clock time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of virtual seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of virtual
+// milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as a floating-point number of virtual
+// microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats t with a unit chosen by magnitude, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
