@@ -263,3 +263,31 @@ func BenchmarkOrcaOps(b *testing.B) {
 		b.ReportMetric(per.Microseconds(), "virtual-µs/op")
 	})
 }
+
+// BenchmarkTypedOps measures the same primitives through the typed
+// API v2 surface (std.Counter over the descriptor layer); the virtual
+// costs must match BenchmarkOrcaOps, since the typed surface is a
+// facade over the same untyped Invoke path.
+func BenchmarkTypedOps(b *testing.B) {
+	run := func(b *testing.B, op func(p *orca.Proc, c std.Counter, i int)) sim.Time {
+		rt := orca.New(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, std.Register)
+		var per sim.Time
+		rt.Run(func(p *orca.Proc) {
+			c := std.NewCounter(p, 0)
+			start := p.Now()
+			for i := 0; i < b.N; i++ {
+				op(p, c, i)
+			}
+			per = (p.Now() - start) / sim.Time(b.N)
+		})
+		return per
+	}
+	b.Run("LocalRead", func(b *testing.B) {
+		per := run(b, func(p *orca.Proc, c std.Counter, _ int) { c.Value(p) })
+		b.ReportMetric(per.Microseconds(), "virtual-µs/op")
+	})
+	b.Run("BroadcastWrite", func(b *testing.B) {
+		per := run(b, func(p *orca.Proc, c std.Counter, i int) { c.Assign(p, i) })
+		b.ReportMetric(per.Microseconds(), "virtual-µs/op")
+	})
+}

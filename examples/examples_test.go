@@ -1,0 +1,23 @@
+// Package examples_test keeps the example programs honest: every
+// main under examples/ must keep building (and passing vet) against
+// the current API, so API changes cannot silently rot the examples.
+package examples_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild vets (and therefore type-checks and builds) all
+// example mains. `go test ./...` compiles them too, but only this
+// test fails loudly with the compiler output when one drifts.
+func TestExamplesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command(goBin, "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -1,7 +1,10 @@
 // Quickstart: the shared data-object programming model in a dozen
 // lines. Four processes on four simulated processors share a counter
 // and a job queue; operations are sequentially consistent and guarded
-// operations block, exactly as in Orca.
+// operations block, exactly as in Orca. The objects are typed: the
+// queue is a Queue[int], the counter's methods take and return ints,
+// and using them wrongly is a compile error — the role Orca's
+// compiler played.
 package main
 
 import (
@@ -22,33 +25,32 @@ func main() {
 
 	var total int
 	report := rt.Run(func(p *orca.Proc) {
-		counter := p.New(std.IntObj) // replicated on every machine
-		queue := p.New(std.JobQueue)
-		done := p.New(std.Barrier, 3)
+		counter := std.NewCounter(p, 0) // replicated on every machine
+		queue := std.NewQueue[int](p)
+		done := std.NewBarrier(p, 3)
 
 		// Fork one worker per remaining processor, sharing the
 		// objects (Orca: fork worker(counter, queue) on cpu).
 		for cpu := 1; cpu <= 3; cpu++ {
 			p.Fork(cpu, fmt.Sprintf("worker%d", cpu), func(wp *orca.Proc) {
 				for {
-					res := wp.Invoke(queue, "get") // guarded: blocks until a job or close
-					if !res[1].(bool) {
+					n, ok := queue.Get(wp) // guarded: blocks until a job or close
+					if !ok {
 						break
 					}
-					n := res[0].(int)
 					wp.Work(sim.Time(n) * sim.Millisecond) // simulate n ms of computing
-					wp.Invoke(counter, "add", n)           // indivisible update
+					counter.Add(wp, n)                     // indivisible update
 				}
-				wp.Invoke(done, "arrive")
+				done.Arrive(wp)
 			})
 		}
 
 		for j := 1; j <= 10; j++ {
-			p.Invoke(queue, "add", j)
+			queue.Add(p, j)
 		}
-		p.Invoke(queue, "close")
-		p.Invoke(done, "wait")
-		total = p.InvokeI(counter, "value")
+		queue.Close(p)
+		done.Wait(p)
+		total = counter.Value(p)
 	})
 
 	fmt.Printf("sum computed by 3 workers: %d (want 55)\n", total)

@@ -1,6 +1,7 @@
 package acp
 
 import (
+	"repro/internal/orca"
 	"repro/internal/rts"
 )
 
@@ -8,7 +9,10 @@ import (
 // the array of value sets ("This object thus contains an array of
 // sets, one for each variable"); the work object holds the recheck
 // flags plus the indivisible claim/idle operations the termination
-// protocol needs.
+// protocol needs. Both are declared with the typed builder of package
+// orca: the Domains and Work wrapper types are the programming
+// surface, and every operation is a typed descriptor compiled down to
+// the registry's wire-level definitions.
 
 // Type names registered by RegisterTypes.
 const (
@@ -18,55 +22,70 @@ const (
 
 // RegisterTypes adds the ACP object types to a registry.
 func RegisterTypes(reg *rts.Registry) {
-	reg.Register(domainType())
-	reg.Register(workType())
+	domainB.Register(reg)
+	workB.Register(reg)
 }
 
 type domainState struct{ masks []uint64 }
 
-func domainType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: DomainObj,
-		New: func(args []any) rts.State {
-			n, full := args[0].(int), args[1].(uint64)
-			s := &domainState{masks: make([]uint64, n)}
-			for i := range s.masks {
-				s.masks[i] = full
-			}
-			return s
-		},
-		Clone: func(s rts.State) rts.State {
-			return &domainState{masks: append([]uint64(nil), s.(*domainState).masks...)}
-		},
-		SizeOf: func(s rts.State) int { return 8 + 8*len(s.(*domainState).masks) },
-		Ops: map[string]*rts.OpDef{
-			"get": {Name: "get", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					return []any{s.(*domainState).masks[a[0].(int)]}
-				}},
-			// get2 reads two domains in one indivisible operation, the
-			// pair a revise needs.
-			"get2": {Name: "get2", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*domainState)
-					return []any{st.masks[a[0].(int)], st.masks[a[1].(int)]}
-				}},
-			// remove deletes the given values from a variable's set
-			// and reports (newMask, becameEmpty).
-			"remove": {Name: "remove", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*domainState)
-					i, mask := a[0].(int), a[1].(uint64)
-					st.masks[i] &^= mask
-					return []any{st.masks[i], st.masks[i] == 0}
-				}},
-			"snapshot": {Name: "snapshot", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any {
-					return []any{append([]uint64(nil), s.(*domainState).masks...)}
-				}},
-		},
-	}
+var (
+	domainB = orca.NewType(DomainObj, func(args []any) *domainState {
+		n, full := args[0].(int), args[1].(uint64)
+		s := &domainState{masks: make([]uint64, n)}
+		for i := range s.masks {
+			s.masks[i] = full
+		}
+		return s
+	}).
+		CloneWith(func(s *domainState) *domainState {
+			return &domainState{masks: append([]uint64(nil), s.masks...)}
+		}).
+		SizedBy(func(s *domainState) int { return 8 + 8*len(s.masks) })
+
+	domainGet = orca.DefRead(domainB, "get", func(s *domainState, i int) uint64 {
+		return s.masks[i]
+	})
+	// get2 reads two domains in one indivisible operation, the pair a
+	// revise needs.
+	domainGet2 = orca.DefRead2x2(domainB, "get2", func(s *domainState, i, j int) (uint64, uint64) {
+		return s.masks[i], s.masks[j]
+	})
+	// remove deletes the given values from a variable's set and
+	// reports (newMask, becameEmpty).
+	domainRemove = orca.DefWrite2x2(domainB, "remove", func(s *domainState, i int, mask uint64) (uint64, bool) {
+		s.masks[i] &^= mask
+		return s.masks[i], s.masks[i] == 0
+	})
+	domainSnapshot = orca.DefRead0(domainB, "snapshot", func(s *domainState) []uint64 {
+		return append([]uint64(nil), s.masks...)
+	})
+)
+
+// Domains is the shared array of per-variable value sets.
+type Domains struct{ h orca.Handle[*domainState] }
+
+// NewDomains creates the domain object with n variables, each holding
+// the full value set.
+func NewDomains(p *orca.Proc, n int, full uint64) Domains {
+	return Domains{h: domainB.New(p, n, full)}
 }
+
+// Get reads one variable's set.
+func (d Domains) Get(p *orca.Proc, v int) uint64 { return domainGet.Call(p, d.h, v) }
+
+// Get2 reads two variables' sets in one indivisible operation.
+func (d Domains) Get2(p *orca.Proc, v, other int) (uint64, uint64) {
+	return domainGet2.Call(p, d.h, v, other)
+}
+
+// Remove deletes the masked values from v's set, returning the new
+// set and whether it became empty (a wipeout: no solution exists).
+func (d Domains) Remove(p *orca.Proc, v int, mask uint64) (uint64, bool) {
+	return domainRemove.Call(p, d.h, v, mask)
+}
+
+// Snapshot copies out all the sets.
+func (d Domains) Snapshot(p *orca.Proc) []uint64 { return domainSnapshot.Call(p, d.h) }
 
 // workState combines the per-variable recheck flags with the
 // termination bookkeeping: which workers are idle and whether the
@@ -79,125 +98,139 @@ type workState struct {
 	done bool
 }
 
-func workType() *rts.ObjectType {
-	claim := func(st *workState, me int, vars []int) (int, bool) {
-		if st.done {
-			return -1, true
-		}
-		for _, v := range vars {
-			if st.bits[v] {
-				st.bits[v] = false
-				st.idle[me] = false
-				return v, false
-			}
-		}
-		return -1, false
+// claim is the shared core of the claim and await operations.
+func (st *workState) claim(me int, vars []int) (int, bool) {
+	if st.done {
+		return -1, true
 	}
-	return &rts.ObjectType{
-		Name: WorkObj,
-		New: func(args []any) rts.State {
-			nVars, workers := args[0].(int), args[1].(int)
-			s := &workState{bits: make([]bool, nVars), idle: make([]bool, workers)}
-			for i := range s.bits {
-				s.bits[i] = true
-			}
-			return s
-		},
-		Clone: func(s rts.State) rts.State {
-			st := s.(*workState)
+	for _, v := range vars {
+		if st.bits[v] {
+			st.bits[v] = false
+			st.idle[me] = false
+			return v, false
+		}
+	}
+	return -1, false
+}
+
+var (
+	workB = orca.NewType(WorkObj, func(args []any) *workState {
+		nVars, workers := args[0].(int), args[1].(int)
+		s := &workState{bits: make([]bool, nVars), idle: make([]bool, workers)}
+		for i := range s.bits {
+			s.bits[i] = true
+		}
+		return s
+	}).
+		CloneWith(func(st *workState) *workState {
 			return &workState{
 				bits: append([]bool(nil), st.bits...),
 				idle: append([]bool(nil), st.idle...),
 				done: st.done,
 			}
-		},
-		SizeOf: func(s rts.State) int {
-			st := s.(*workState)
-			return 9 + len(st.bits) + len(st.idle)
-		},
-		Ops: map[string]*rts.OpDef{
-			// mark flags variables for rechecking.
-			"mark": {Name: "mark", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*workState)
-					for _, v := range a[0].([]int) {
-						st.bits[v] = true
+		}).
+		SizedBy(func(st *workState) int { return 9 + len(st.bits) + len(st.idle) })
+
+	// mark flags variables for rechecking.
+	workMark = orca.DefUpdate(workB, "mark", func(st *workState, vars []int) {
+		for _, v := range vars {
+			st.bits[v] = true
+		}
+	})
+	// claim indivisibly takes one flagged variable from the caller's
+	// partition (non-blocking): (var, done).
+	workClaim = orca.DefWrite2x2(workB, "claim", func(st *workState, me int, vars []int) (int, bool) {
+		return st.claim(me, vars)
+	})
+	// await blocks until the caller's partition has work or the
+	// computation is finished, then claims indivisibly.
+	workAwait = orca.DefWrite2x2(workB, "await", func(st *workState, me int, vars []int) (int, bool) {
+		return st.claim(me, vars)
+	}).Guard(func(st *workState, _ int, vars []int) bool {
+		if st.done {
+			return true
+		}
+		for _, v := range vars {
+			if st.bits[v] {
+				return true
+			}
+		}
+		return false
+	})
+	// setIdle declares the caller out of work; if every worker is idle
+	// and no flags remain, the computation is done. Returns done.
+	workSetIdle = orca.DefWrite(workB, "setIdle", func(st *workState, me int) bool {
+		st.idle[me] = true
+		if !st.done {
+			all := true
+			for _, id := range st.idle {
+				if !id {
+					all = false
+					break
+				}
+			}
+			if all {
+				any := false
+				for _, b := range st.bits {
+					if b {
+						any = true
+						break
 					}
-					return nil
-				}},
-			// claim indivisibly takes one flagged variable from the
-			// caller's partition (non-blocking): (var, done).
-			"claim": {Name: "claim", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					v, done := claim(s.(*workState), a[0].(int), a[1].([]int))
-					return []any{v, done}
-				}},
-			// await blocks until the caller's partition has work or
-			// the computation is finished, then claims indivisibly.
-			"await": {Name: "await", Kind: rts.Write,
-				Guard: func(s rts.State, a []any) bool {
-					st := s.(*workState)
-					if st.done {
-						return true
-					}
-					for _, v := range a[1].([]int) {
-						if st.bits[v] {
-							return true
-						}
-					}
-					return false
-				},
-				Apply: func(s rts.State, a []any) []any {
-					v, done := claim(s.(*workState), a[0].(int), a[1].([]int))
-					return []any{v, done}
-				}},
-			// setIdle declares the caller out of work; if every worker
-			// is idle and no flags remain, the computation is done.
-			// Returns done.
-			"setIdle": {Name: "setIdle", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*workState)
-					st.idle[a[0].(int)] = true
-					if !st.done {
-						all := true
-						for _, id := range st.idle {
-							if !id {
-								all = false
-								break
-							}
-						}
-						if all {
-							any := false
-							for _, b := range st.bits {
-								if b {
-									any = true
-									break
-								}
-							}
-							if !any {
-								st.done = true
-							}
-						}
-					}
-					return []any{st.done}
-				}},
-			// finish aborts the computation (no solution exists).
-			"finish": {Name: "finish", Kind: rts.Write,
-				Apply: func(s rts.State, _ []any) []any {
-					s.(*workState).done = true
-					return nil
-				}},
-			"isDone": {Name: "isDone", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*workState).done} }},
-			"anyWork": {Name: "anyWork", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any {
-					for _, b := range s.(*workState).bits {
-						if b {
-							return []any{true}
-						}
-					}
-					return []any{false}
-				}},
-		},
-	}
+				}
+				if !any {
+					st.done = true
+				}
+			}
+		}
+		return st.done
+	})
+	// finish aborts the computation (no solution exists).
+	workFinish = orca.DefUpdate0(workB, "finish", func(st *workState) { st.done = true })
+	workIsDone = orca.DefRead0(workB, "isDone", func(st *workState) bool { return st.done })
+	workAny    = orca.DefRead0(workB, "anyWork", func(st *workState) bool {
+		for _, b := range st.bits {
+			if b {
+				return true
+			}
+		}
+		return false
+	})
+)
+
+// Work is the shared recheck-flag and termination object.
+type Work struct{ h orca.Handle[*workState] }
+
+// NewWork creates the work object for nVars variables and the given
+// worker count, with every variable initially flagged.
+func NewWork(p *orca.Proc, nVars, workers int) Work {
+	return Work{h: workB.New(p, nVars, workers)}
 }
+
+// Mark flags variables for rechecking.
+func (w Work) Mark(p *orca.Proc, vars []int) { workMark.Call(p, w.h, vars) }
+
+// Claim indivisibly takes one flagged variable from the caller's
+// partition without blocking, returning (variable, done); variable is
+// -1 when the partition has no flagged work.
+func (w Work) Claim(p *orca.Proc, me int, vars []int) (int, bool) {
+	return workClaim.Call(p, w.h, me, vars)
+}
+
+// Await blocks until the caller's partition has work or the
+// computation finished, then claims indivisibly like Claim.
+func (w Work) Await(p *orca.Proc, me int, vars []int) (int, bool) {
+	return workAwait.Call(p, w.h, me, vars)
+}
+
+// SetIdle declares the caller out of work and returns whether the
+// whole computation is now done.
+func (w Work) SetIdle(p *orca.Proc, me int) bool { return workSetIdle.Call(p, w.h, me) }
+
+// Finish aborts the computation (no solution exists).
+func (w Work) Finish(p *orca.Proc) { workFinish.Call(p, w.h) }
+
+// IsDone reads the termination bit.
+func (w Work) IsDone(p *orca.Proc) bool { return workIsDone.Call(p, w.h) }
+
+// AnyWork reports whether any variable is flagged.
+func (w Work) AnyWork(p *orca.Proc) bool { return workAny.Call(p, w.h) }

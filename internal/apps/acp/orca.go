@@ -43,12 +43,12 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 	rt := orca.New(cfg, setup)
 	res := Result{}
 	rep := rt.Run(func(p *orca.Proc) {
-		domains := p.New(DomainObj, inst.NVars, inst.FullDomain())
-		work := p.New(WorkObj, inst.NVars, workers)
-		result := p.New(std.BoolArray, workers)
-		nosolution := p.New(std.Flag)
-		revAcc := p.New(std.Accum)
-		fin := p.New(std.Barrier, workers)
+		domains := NewDomains(p, inst.NVars, inst.FullDomain())
+		work := NewWork(p, inst.NVars, workers)
+		result := std.NewBoolArray(p, workers, false)
+		nosolution := std.NewFlag(p, false)
+		revAcc := std.NewAccum(p)
+		fin := std.NewBarrier(p, workers)
 
 		// Static partition of the variables among the workers.
 		parts := make([][]int, workers)
@@ -78,20 +78,19 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 						if other == v {
 							other = c.J
 						}
-						pair := wp.Invoke(domains, "get2", v, other)
-						dv, do := pair[0].(uint64), pair[1].(uint64)
+						dv, do := domains.Get2(wp, v, other)
 						nv := Revise(c, v, dv, do, inst.DomainSize)
 						wp.Work(inst.ReviseCost())
 						revisions++
 						if nv == dv {
 							continue
 						}
-						rem := wp.Invoke(domains, "remove", v, dv&^nv)
+						_, wipeout := domains.Remove(wp, v, dv&^nv)
 						changed = true
-						if rem[1].(bool) {
+						if wipeout {
 							// Empty set: no solution exists.
-							wp.Invoke(nosolution, "set", true)
-							wp.Invoke(work, "finish")
+							nosolution.Set(wp, true)
+							work.Finish(wp)
 							return false
 						}
 					}
@@ -99,7 +98,7 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 						// Neighbors must be rechecked; so must v
 						// itself, since its set changed.
 						nbs := append([]int{v}, inst.Neighbors(v)...)
-						wp.Invoke(work, "mark", nbs)
+						work.Mark(wp, nbs)
 					}
 					return true
 				}
@@ -108,14 +107,14 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 					// "Each process reads the object before doing new
 					// work, and quits if the value is true." (a local
 					// read on the replicated flag)
-					if wp.InvokeB(nosolution, "value") {
+					if nosolution.Value(wp) {
 						break
 					}
-					got := wp.Invoke(work, "claim", me, myVars)
-					if got[1].(bool) {
-						break // done
+					v, done := work.Claim(wp, me, myVars)
+					if done {
+						break
 					}
-					if v := got[0].(int); v >= 0 {
+					if v >= 0 {
 						if !process(v) {
 							break
 						}
@@ -123,28 +122,28 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 					}
 					// Out of work: declare willingness to terminate,
 					// then block for more work or termination.
-					wp.Invoke(result, "set", me, true)
-					if wp.InvokeB(work, "setIdle", me) {
+					result.Set(wp, me, true)
+					if work.SetIdle(wp, me) {
 						break
 					}
-					got = wp.Invoke(work, "await", me, myVars)
-					if got[1].(bool) {
+					v, done = work.Await(wp, me, myVars)
+					if done {
 						break
 					}
-					wp.Invoke(result, "set", me, false)
-					if v := got[0].(int); v >= 0 && !process(v) {
+					result.Set(wp, me, false)
+					if v >= 0 && !process(v) {
 						break
 					}
 				}
-				wp.Invoke(revAcc, "add", int(revisions))
-				wp.Invoke(fin, "arrive")
+				revAcc.Add(wp, int(revisions))
+				fin.Arrive(wp)
 			})
 		}
 
-		p.Invoke(fin, "wait")
-		res.NoSolution = p.InvokeB(nosolution, "value")
-		res.Revisions = int64(p.InvokeI(revAcc, "value"))
-		res.Domains = p.Invoke(domains, "snapshot")[0].([]uint64)
+		fin.Wait(p)
+		res.NoSolution = nosolution.Value(p)
+		res.Revisions = int64(revAcc.Value(p))
+		res.Domains = domains.Snapshot(p)
 	})
 	res.Report = rep
 	res.Runtime = rt

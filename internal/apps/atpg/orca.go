@@ -72,15 +72,15 @@ func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result 
 	rt := orca.New(cfg, std.Register)
 	res := Result{}
 	rep := rt.Run(func(p *orca.Proc) {
-		detected := p.New(std.BitSet, len(faults))
-		detAcc := p.New(std.Accum)
-		abortAcc := p.New(std.Accum)
-		untestAcc := p.New(std.Accum)
-		patAcc := p.New(std.Accum)
-		fin := p.New(std.Barrier, workers)
-		var queue orca.Object
+		detected := std.NewBitSet(p, len(faults))
+		detAcc := std.NewAccum(p)
+		abortAcc := std.NewAccum(p)
+		untestAcc := std.NewAccum(p)
+		patAcc := std.NewAccum(p)
+		fin := std.NewBarrier(p, workers)
+		var queue std.Queue[[]int]
 		if params.Mode == DynamicFaultSim {
-			queue = p.New(std.JobQueue)
+			queue = std.NewQueue[[]int](p)
 		}
 
 		worker := func(wp *orca.Proc, nextFault func() (int, bool)) {
@@ -91,7 +91,7 @@ func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result 
 				if !ok {
 					break
 				}
-				if useFS && wp.InvokeB(detected, "contains", fi) {
+				if useFS && detected.Contains(wp, fi) {
 					continue // covered by an earlier pattern
 				}
 				pr := Podem(c, faults[fi], params.MaxBacktracks)
@@ -107,25 +107,25 @@ func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result 
 					newly := []int{fi}
 					fs := NewFaultSimulator(c, pr.Pattern)
 					for oi := range faults {
-						if oi != fi && !wp.InvokeB(detected, "contains", oi) && fs.Detects(faults[oi]) {
+						if oi != fi && !detected.Contains(wp, oi) && fs.Detects(faults[oi]) {
 							newly = append(newly, oi)
 						}
 					}
 					wp.Work(sim.Time(fs.GateEvals) * GateEvalCost)
 					// One indivisible write shares everything this
 					// pattern covers.
-					det += wp.InvokeI(detected, "addMany", newly)
+					det += detected.AddMany(wp, newly)
 				case pr.Aborted:
 					abrt++
 				default:
 					untest++
 				}
 			}
-			wp.Invoke(detAcc, "add", det)
-			wp.Invoke(abortAcc, "add", abrt)
-			wp.Invoke(untestAcc, "add", untest)
-			wp.Invoke(patAcc, "add", pats)
-			wp.Invoke(fin, "arrive")
+			detAcc.Add(wp, det)
+			abortAcc.Add(wp, abrt)
+			untestAcc.Add(wp, untest)
+			patAcc.Add(wp, pats)
+			fin.Arrive(wp)
 		}
 
 		for wdx := 0; wdx < workers; wdx++ {
@@ -146,11 +146,11 @@ func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result 
 					var chunk []int
 					worker(wp, func() (int, bool) {
 						for len(chunk) == 0 {
-							got := wp.Invoke(queue, "get")
-							if !got[1].(bool) {
+							next, ok := queue.Get(wp)
+							if !ok {
 								return 0, false
 							}
-							chunk = got[0].([]int)
+							chunk = next
 						}
 						fi := chunk[0]
 						chunk = chunk[1:]
@@ -170,16 +170,16 @@ func RunOrca(cfg orca.Config, c *Circuit, faults []Fault, params Params) Result 
 				for i := lo; i < hi; i++ {
 					idxs = append(idxs, i)
 				}
-				p.Invoke(queue, "add", idxs)
+				queue.Add(p, idxs)
 			}
-			p.Invoke(queue, "close")
+			queue.Close(p)
 		}
 
-		p.Invoke(fin, "wait")
-		res.Detected = p.InvokeI(detAcc, "value")
-		res.Aborted = p.InvokeI(abortAcc, "value")
-		res.Untestable = p.InvokeI(untestAcc, "value")
-		res.Patterns = p.InvokeI(patAcc, "value")
+		fin.Wait(p)
+		res.Detected = detAcc.Value(p)
+		res.Aborted = abortAcc.Value(p)
+		res.Untestable = untestAcc.Value(p)
+		res.Patterns = patAcc.Value(p)
 	})
 	res.Report = rep
 	res.Runtime = rt

@@ -94,8 +94,8 @@ func (j searchJob) WireSize() int { return 24 + 4*len(j.Path) }
 type sharedTables struct {
 	wp           *orca.Proc
 	local        *LocalTables
-	tt           orca.Object
-	killer       orca.Object
+	tt           std.Table
+	killer       std.Killer
 	useTT        bool
 	useKiller    bool
 	ttMinDepth   int
@@ -110,23 +110,21 @@ func (t *sharedTables) TTLookup(key uint64) (int64, bool) {
 	if !t.useTT {
 		return 0, false
 	}
-	res := t.wp.Invoke(t.tt, "lookup", key)
-	return res[0].(int64), res[1].(bool)
+	return t.tt.Lookup(t.wp, key)
 }
 
 // TTStore implements Tables.
 func (t *sharedTables) TTStore(key uint64, entry int64, depth int) {
 	t.local.TTStore(key, entry, depth)
 	if t.useTT && depth >= t.ttMinDepth {
-		t.wp.Invoke(t.tt, "store", key, entry)
+		t.tt.Store(t.wp, key, entry)
 	}
 }
 
 // Killers implements Tables.
 func (t *sharedTables) Killers(ply int) (int, int) {
 	if t.useKiller && ply < t.killerMaxPly {
-		res := t.wp.Invoke(t.killer, "get", ply)
-		return res[0].(int), res[1].(int)
+		return t.killer.Get(t.wp, ply)
 	}
 	return t.local.Killers(ply)
 }
@@ -134,7 +132,7 @@ func (t *sharedTables) Killers(ply int) (int, int) {
 // AddKiller implements Tables.
 func (t *sharedTables) AddKiller(ply int, move int) {
 	if t.useKiller && ply < t.killerMaxPly {
-		t.wp.Invoke(t.killer, "add", ply, move)
+		t.killer.Add(t.wp, ply, move)
 		return
 	}
 	t.local.AddKiller(ply, move)
@@ -164,19 +162,19 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 	}
 	rt := orca.New(cfg, std.Register)
 	rep := rt.Run(func(p *orca.Proc) {
-		queue := p.New(std.JobQueue)
-		scores := p.New(std.Table, 512)
-		done := p.New(std.IntObj, 0)
-		nodesAcc := p.New(std.Accum)
-		tt := p.New(std.Table, params.TTBuckets)
-		killer := p.New(std.Killer, 64)
-		fin := p.New(std.Barrier, workers)
+		queue := std.NewQueue[searchJob](p)
+		scores := std.NewTable(p, 512)
+		done := std.NewCounter(p, 0)
+		nodesAcc := std.NewAccum(p)
+		tt := std.NewTable(p, params.TTBuckets)
+		killer := std.NewKiller(p, 64)
+		fin := std.NewBarrier(p, workers)
 		// One bound object per spine level; siblings at level L are
 		// pruned against levelBest[L] (the paper's shared-object idiom
 		// for dynamic tree partitioning).
-		levelBest := make([]orca.Object, params.MaxDepth+1)
+		levelBest := make([]std.Counter, params.MaxDepth+1)
 		for i := range levelBest {
-			levelBest[i] = p.New(std.IntObj, -Infinity)
+			levelBest[i] = std.NewCounter(p, -Infinity)
 		}
 
 		for wdx := 0; wdx < workers; wdx++ {
@@ -190,31 +188,30 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 				}
 				var total int64
 				for {
-					got := wp.Invoke(queue, "get")
-					if !got[1].(bool) {
+					job, ok := queue.Get(wp)
+					if !ok {
 						break
 					}
-					job := got[0].(searchJob)
 					s := NewSearcher(applyPath(b, job.Path), tabs)
 					s.Charge = func(n int64) { wp.Work(sim.Time(n) * NodeCost) }
 					// The parent's bound is a local read of the
 					// replicated level object.
-					parentBound := wp.InvokeI(levelBest[job.Level], "value")
+					parentBound := levelBest[job.Level].Value(wp)
 					v := s.AlphaBeta(job.Depth, -Infinity, -parentBound, len(job.Path))
 					cand := -v
 					if cand > parentBound {
-						wp.Invoke(levelBest[job.Level], "max", cand)
+						levelBest[job.Level].Max(wp, cand)
 					}
 					if job.RootIdx >= 0 {
-						wp.Invoke(scores, "store", uint64(job.RootIdx), int64(cand))
+						scores.Store(wp, uint64(job.RootIdx), int64(cand))
 					}
 					s.flush()
 					total += s.Nodes
 					s.Nodes, s.lastChg = 0, 0
-					wp.Invoke(done, "inc")
+					done.Inc(wp)
 				}
-				wp.Invoke(nodesAcc, "add", int(total))
-				wp.Invoke(fin, "arrive")
+				nodesAcc.Add(wp, int(total))
+				fin.Arrive(wp)
 			})
 		}
 
@@ -222,7 +219,7 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 		finished := 0
 		await := func(n int) {
 			finished += n
-			p.Invoke(done, "awaitGE", finished)
+			done.AwaitGE(p, finished)
 		}
 		// hashMoveFor consults the shared transposition table (a local
 		// read) to order the spine like the previous iteration.
@@ -230,11 +227,11 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 			if !params.SharedTT {
 				return Move{}
 			}
-			got := p.Invoke(tt, "lookup", pos.Hash())
-			if !got[1].(bool) {
+			entry, ok := tt.Lookup(p, pos.Hash())
+			if !ok {
 				return Move{}
 			}
-			_, _, _, mv := UnpackTT(got[0].(int64))
+			_, _, _, mv := UnpackTT(entry)
 			return mv
 		}
 
@@ -279,18 +276,18 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 				if level == 0 {
 					ri = order[0]
 				}
-				p.Invoke(levelBest[level], "assign", -Infinity)
-				p.Invoke(queue, "add", searchJob{
+				levelBest[level].Assign(p, -Infinity)
+				queue.Add(p, searchJob{
 					Path:  append(append([]int(nil), path...), first.Encode()),
 					Depth: depth - 1, Level: level, RootIdx: ri,
 				})
 				await(1)
-				v0 = p.InvokeI(levelBest[level], "value")
+				v0 = levelBest[level].Value(p)
 			} else {
 				v0 = -pvsplit(child, append(append([]int(nil), path...), first.Encode()), depth-1, level+1)
-				p.Invoke(levelBest[level], "assign", v0)
+				levelBest[level].Assign(p, v0)
 				if level == 0 {
-					p.Invoke(scores, "store", uint64(order[0]), int64(v0))
+					scores.Store(p, uint64(order[0]), int64(v0))
 				}
 			}
 			// Remaining successors fan out to the workers, pruned
@@ -301,21 +298,21 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 					if level == 0 {
 						ri = order[i]
 					}
-					p.Invoke(queue, "add", searchJob{
+					queue.Add(p, searchJob{
 						Path:  append(append([]int(nil), path...), moves[i].Encode()),
 						Depth: depth - 1, Level: level, RootIdx: ri,
 					})
 				}
 				await(len(moves) - 1)
 			}
-			return p.InvokeI(levelBest[level], "value")
+			return levelBest[level].Value(p)
 		}
 
 		for d := 1; d <= params.MaxDepth; d++ {
 			score := pvsplit(b, nil, d, 0)
 			for i := range rootMoves {
-				got := p.Invoke(scores, "lookup", uint64(i))
-				lastScores[i] = int(got[0].(int64))
+				sc, _ := scores.Lookup(p, uint64(i))
+				lastScores[i] = int(sc)
 			}
 			sort.SliceStable(order, func(a, c int) bool {
 				return lastScores[order[a]] > lastScores[order[c]]
@@ -326,9 +323,9 @@ func RunOrca(cfg orca.Config, b *Board, params Params) Result {
 				break
 			}
 		}
-		p.Invoke(queue, "close")
-		p.Invoke(fin, "wait")
-		res.Nodes = int64(p.InvokeI(nodesAcc, "value"))
+		queue.Close(p)
+		fin.Wait(p)
+		res.Nodes = int64(nodesAcc.Value(p))
 	})
 	res.Report = rep
 	res.Runtime = rt

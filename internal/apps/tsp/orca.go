@@ -71,15 +71,15 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 		// the start on every worker.
 		nn := InitialBound(inst)
 		p.Work(sim.Time(inst.N*inst.N) * 2 * sim.Microsecond)
-		bound := p.New(std.IntObj, nn+1)
-		var queue orca.Object
+		bound := std.NewCounter(p, nn+1)
+		var queue std.Queue[Chunk]
 		if params.SingleCopyQueue {
-			queue = p.NewOn(std.JobQueue, []int{p.CPU()})
+			queue = std.NewQueueOn[Chunk](p, []int{p.CPU()})
 		} else {
-			queue = p.New(std.JobQueue)
+			queue = std.NewQueue[Chunk](p)
 		}
-		nodesAcc := p.New(std.Accum)
-		fin := p.New(std.Barrier, workers)
+		nodesAcc := std.NewAccum(p)
+		fin := std.NewBarrier(p, workers)
 
 		// Workers: replicated across the processors.
 		for wdx := 0; wdx < workers; wdx++ {
@@ -87,23 +87,23 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 			p.Fork(cpu, fmt.Sprintf("tsp-worker%d", wdx), func(wp *orca.Proc) {
 				var total int64
 				for {
-					got := wp.Invoke(queue, "get")
-					if !got[1].(bool) {
+					chunk, ok := queue.Get(wp)
+					if !ok {
 						break
 					}
-					for _, job := range got[0].(Chunk).Jobs {
+					for _, job := range chunk.Jobs {
 						n := SearchJob(inst, job,
 							func() int {
 								wp.Work(BoundReadCost)
-								return wp.InvokeI(bound, "value")
+								return bound.Value(wp)
 							},
 							func(totalLen int) {
 								// Only write when the route actually improves
 								// on the (locally readable) bound; the min
 								// operation re-checks indivisibly, so the
 								// read-then-write race is benign.
-								if totalLen < wp.InvokeI(bound, "value") {
-									wp.Invoke(bound, "min", totalLen)
+								if totalLen < bound.Value(wp) {
+									bound.Min(wp, totalLen)
 								}
 							},
 							func(n int64) {
@@ -112,8 +112,8 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 						total += n
 					}
 				}
-				wp.Invoke(nodesAcc, "add", int(total))
-				wp.Invoke(fin, "arrive")
+				nodesAcc.Add(wp, int(total))
+				fin.Arrive(wp)
 			})
 		}
 
@@ -129,20 +129,20 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 			singles = len(jobs)
 		}
 		for i := 0; i < singles; i++ {
-			p.Invoke(queue, "add", Chunk{Jobs: jobs[i : i+1]})
+			queue.Add(p, Chunk{Jobs: jobs[i : i+1]})
 		}
 		for lo := singles; lo < len(jobs); lo += params.ChunkSize {
 			hi := lo + params.ChunkSize
 			if hi > len(jobs) {
 				hi = len(jobs)
 			}
-			p.Invoke(queue, "add", Chunk{Jobs: jobs[lo:hi]})
+			queue.Add(p, Chunk{Jobs: jobs[lo:hi]})
 		}
-		p.Invoke(queue, "close")
+		queue.Close(p)
 
-		p.Invoke(fin, "wait")
-		res.Best = p.InvokeI(bound, "value")
-		res.Nodes = int64(p.InvokeI(nodesAcc, "value"))
+		fin.Wait(p)
+		res.Best = bound.Value(p)
+		res.Nodes = int64(nodesAcc.Value(p))
 	})
 	res.Report = rep
 	res.Runtime = rt

@@ -1,22 +1,22 @@
-package orca
+package orca_test
 
 import (
 	"fmt"
 	"testing"
 
+	"repro/internal/orca"
 	"repro/internal/orca/std"
-	"repro/internal/rts"
 	"repro/internal/sim"
 )
 
-func bcastCfg(n int, seed int64) Config {
-	return Config{Processors: n, RTS: Broadcast, Seed: seed}
+func bcastCfg(n int, seed int64) orca.Config {
+	return orca.Config{Processors: n, RTS: orca.Broadcast, Seed: seed}
 }
 
 func TestRunSimpleProgram(t *testing.T) {
-	rt := New(bcastCfg(2, 1), std.Register)
+	rt := orca.New(bcastCfg(2, 1), std.Register)
 	var final int
-	rep := rt.Run(func(p *Proc) {
+	rep := rt.Run(func(p *orca.Proc) {
 		o := p.New(std.IntObj, 10)
 		p.Invoke(o, "add", 5)
 		final = p.InvokeI(o, "value")
@@ -34,14 +34,14 @@ func TestRunSimpleProgram(t *testing.T) {
 
 func TestForkPlacementAndSharing(t *testing.T) {
 	const workers = 4
-	rt := New(bcastCfg(workers, 2), std.Register)
+	rt := orca.New(bcastCfg(workers, 2), std.Register)
 	cpus := make([]int, workers)
-	rt.Run(func(p *Proc) {
+	rt.Run(func(p *orca.Proc) {
 		counter := p.New(std.IntObj)
-		done := p.New(std.Barrier, workers)
+		done := p.New(std.BarrierObj, workers)
 		for i := 0; i < workers; i++ {
 			i := i
-			p.Fork(i, fmt.Sprintf("worker%d", i), func(wp *Proc) {
+			p.Fork(i, fmt.Sprintf("worker%d", i), func(wp *orca.Proc) {
 				cpus[i] = wp.CPU()
 				wp.Invoke(counter, "inc")
 				wp.Invoke(done, "arrive")
@@ -59,18 +59,9 @@ func TestForkPlacementAndSharing(t *testing.T) {
 	}
 }
 
-func TestWorkAdvancesVirtualTime(t *testing.T) {
-	rt := New(bcastCfg(1, 3), Config{}.noop)
-	_ = rt
-}
-
-// noop is a registry setup that registers nothing; defined on Config
-// only to keep the test above compiling if unused.
-func (Config) noop(*rts.Registry) {}
-
 func TestWorkCharging(t *testing.T) {
-	rt := New(bcastCfg(1, 3), std.Register)
-	rep := rt.Run(func(p *Proc) {
+	rt := orca.New(bcastCfg(1, 3), std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
 		p.Work(250 * sim.Millisecond)
 	})
 	if rep.Elapsed < 250*sim.Millisecond {
@@ -85,11 +76,11 @@ func TestParallelWorkSpeedsUp(t *testing.T) {
 	// The core promise: the same total work on more processors takes
 	// less virtual time.
 	elapsed := func(procs int) sim.Time {
-		rt := New(bcastCfg(procs, 4), std.Register)
-		rep := rt.Run(func(p *Proc) {
-			done := p.New(std.Barrier, procs)
+		rt := orca.New(bcastCfg(procs, 4), std.Register)
+		rep := rt.Run(func(p *orca.Proc) {
+			done := p.New(std.BarrierObj, procs)
 			for i := 0; i < procs; i++ {
-				p.Fork(i, fmt.Sprintf("w%d", i), func(wp *Proc) {
+				p.Fork(i, fmt.Sprintf("w%d", i), func(wp *orca.Proc) {
 					wp.Work(sim.Second / sim.Time(procs) * 16) // fixed total
 					wp.Invoke(done, "arrive")
 				})
@@ -108,17 +99,17 @@ func TestParallelWorkSpeedsUp(t *testing.T) {
 
 func TestJobQueueReplicatedWorkers(t *testing.T) {
 	const jobs, workers = 30, 3
-	for _, kind := range []RTSKind{Broadcast, P2PUpdate, P2PInvalidate} {
+	for _, kind := range []orca.RTSKind{orca.Broadcast, orca.P2PUpdate, orca.P2PInvalidate} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
-			rt := New(Config{Processors: workers + 1, RTS: kind, Seed: 5}, std.Register)
+			rt := orca.New(orca.Config{Processors: workers + 1, RTS: kind, Seed: 5}, std.Register)
 			var sum int
-			rt.Run(func(p *Proc) {
-				q := p.New(std.JobQueue)
-				acc := p.New(std.Accum)
-				fin := p.New(std.Barrier, workers)
+			rt.Run(func(p *orca.Proc) {
+				q := p.New(std.JobQueueObj)
+				acc := p.New(std.AccumObj)
+				fin := p.New(std.BarrierObj, workers)
 				for i := 1; i <= workers; i++ {
-					p.Fork(i, fmt.Sprintf("worker%d", i), func(wp *Proc) {
+					p.Fork(i, fmt.Sprintf("worker%d", i), func(wp *orca.Proc) {
 						local := 0
 						for {
 							res := wp.Invoke(q, "get")
@@ -149,18 +140,18 @@ func TestJobQueueReplicatedWorkers(t *testing.T) {
 
 const time1ms = sim.Millisecond
 
-func wp0Value(p *Proc, acc Object) int { return p.InvokeI(acc, "value") }
+func wp0Value(p *orca.Proc, acc orca.Object) int { return p.InvokeI(acc, "value") }
 
 func TestFlagAwaitAcrossRTS(t *testing.T) {
-	for _, kind := range []RTSKind{Broadcast, P2PUpdate} {
+	for _, kind := range []orca.RTSKind{orca.Broadcast, orca.P2PUpdate} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
-			rt := New(Config{Processors: 2, RTS: kind, Seed: 6}, std.Register)
+			rt := orca.New(orca.Config{Processors: 2, RTS: kind, Seed: 6}, std.Register)
 			var awoke sim.Time
 			var setAt sim.Time
-			rt.Run(func(p *Proc) {
-				f := p.New(std.Flag)
-				p.Fork(1, "waiter", func(wp *Proc) {
+			rt.Run(func(p *orca.Proc) {
+				f := p.New(std.FlagObj)
+				p.Fork(1, "waiter", func(wp *orca.Proc) {
 					wp.Invoke(f, "await")
 					awoke = wp.Now()
 				})
@@ -177,13 +168,13 @@ func TestFlagAwaitAcrossRTS(t *testing.T) {
 
 func TestBoolArrayClaimExactlyOnce(t *testing.T) {
 	const items, workers = 24, 4
-	rt := New(bcastCfg(workers, 7), std.Register)
+	rt := orca.New(bcastCfg(workers, 7), std.Register)
 	claims := make([]int, items)
-	rt.Run(func(p *Proc) {
-		work := p.New(std.BoolArray, items, true)
-		fin := p.New(std.Barrier, workers)
+	rt.Run(func(p *orca.Proc) {
+		work := p.New(std.BoolArrayObj, items, true)
+		fin := p.New(std.BarrierObj, workers)
 		for wdx := 0; wdx < workers; wdx++ {
-			p.Fork(wdx, fmt.Sprintf("w%d", wdx), func(wp *Proc) {
+			p.Fork(wdx, fmt.Sprintf("w%d", wdx), func(wp *orca.Proc) {
 				for i := 0; i < items; i++ {
 					if wp.InvokeB(work, "claim", i) {
 						claims[i]++
@@ -202,11 +193,11 @@ func TestBoolArrayClaimExactlyOnce(t *testing.T) {
 }
 
 func TestTableStoreLookup(t *testing.T) {
-	rt := New(bcastCfg(2, 8), std.Register)
-	rt.Run(func(p *Proc) {
-		tab := p.New(std.Table, 128)
+	rt := orca.New(bcastCfg(2, 8), std.Register)
+	rt.Run(func(p *orca.Proc) {
+		tab := p.New(std.TableObj, 128)
 		p.Invoke(tab, "store", uint64(12345), int64(-77))
-		p.Fork(1, "reader", func(wp *Proc) {
+		p.Fork(1, "reader", func(wp *orca.Proc) {
 			res := wp.Invoke(tab, "lookup", uint64(12345))
 			if !res[1].(bool) || res[0].(int64) != -77 {
 				t.Errorf("lookup = %v", res)
@@ -220,9 +211,9 @@ func TestTableStoreLookup(t *testing.T) {
 }
 
 func TestKillerTable(t *testing.T) {
-	rt := New(bcastCfg(1, 9), std.Register)
-	rt.Run(func(p *Proc) {
-		k := p.New(std.Killer, 8)
+	rt := orca.New(bcastCfg(1, 9), std.Register)
+	rt.Run(func(p *orca.Proc) {
+		k := p.New(std.KillerObj, 8)
 		p.Invoke(k, "add", 3, 111)
 		p.Invoke(k, "add", 3, 222)
 		res := p.Invoke(k, "get", 3)
@@ -233,9 +224,9 @@ func TestKillerTable(t *testing.T) {
 }
 
 func TestBitSetAddMany(t *testing.T) {
-	rt := New(bcastCfg(2, 10), std.Register)
-	rt.Run(func(p *Proc) {
-		s := p.New(std.BitSet, 1000)
+	rt := orca.New(bcastCfg(2, 10), std.Register)
+	rt.Run(func(p *orca.Proc) {
+		s := p.New(std.BitSetObj, 1000)
 		added := p.InvokeI(s, "addMany", []int{1, 5, 900, 5})
 		if added != 3 {
 			t.Errorf("added = %d, want 3 (one duplicate)", added)
@@ -255,9 +246,9 @@ func TestBitSetAddMany(t *testing.T) {
 func TestTimeoutDetection(t *testing.T) {
 	cfg := bcastCfg(2, 11)
 	cfg.MaxTime = 100 * sim.Millisecond
-	rt := New(cfg, std.Register)
-	rep := rt.Run(func(p *Proc) {
-		f := p.New(std.Flag)
+	rt := orca.New(cfg, std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
+		f := p.New(std.FlagObj)
 		p.Invoke(f, "await") // never set: deadlock by design
 	})
 	if !rep.TimedOut {
@@ -266,8 +257,8 @@ func TestTimeoutDetection(t *testing.T) {
 }
 
 func TestReportStatistics(t *testing.T) {
-	rt := New(bcastCfg(3, 12), std.Register)
-	rep := rt.Run(func(p *Proc) {
+	rt := orca.New(bcastCfg(3, 12), std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
 		o := p.New(std.IntObj)
 		for i := 0; i < 10; i++ {
 			p.Invoke(o, "assign", i)
@@ -287,12 +278,12 @@ func TestReportStatistics(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	run := func() (sim.Time, int64) {
-		rt := New(bcastCfg(4, 77), std.Register)
-		rep := rt.Run(func(p *Proc) {
-			q := p.New(std.JobQueue)
-			fin := p.New(std.Barrier, 3)
+		rt := orca.New(bcastCfg(4, 77), std.Register)
+		rep := rt.Run(func(p *orca.Proc) {
+			q := p.New(std.JobQueueObj)
+			fin := p.New(std.BarrierObj, 3)
 			for i := 1; i <= 3; i++ {
-				p.Fork(i, fmt.Sprintf("w%d", i), func(wp *Proc) {
+				p.Fork(i, fmt.Sprintf("w%d", i), func(wp *orca.Proc) {
 					for {
 						res := wp.Invoke(q, "get")
 						if !res[1].(bool) {
@@ -319,8 +310,8 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestNewOnRequiresBroadcastRTS(t *testing.T) {
-	rt := New(Config{Processors: 2, RTS: P2PUpdate, Seed: 20}, std.Register)
-	rt.Run(func(p *Proc) {
+	rt := orca.New(orca.Config{Processors: 2, RTS: orca.P2PUpdate, Seed: 20}, std.Register)
+	rt.Run(func(p *orca.Proc) {
 		defer func() {
 			if recover() == nil {
 				t.Error("expected panic: NewOn on the point-to-point runtime")
@@ -331,11 +322,11 @@ func TestNewOnRequiresBroadcastRTS(t *testing.T) {
 }
 
 func TestNewOnPartialPlacement(t *testing.T) {
-	rt := New(bcastCfg(4, 21), std.Register)
+	rt := orca.New(bcastCfg(4, 21), std.Register)
 	var forwarded bool
-	rt.Run(func(p *Proc) {
+	rt.Run(func(p *orca.Proc) {
 		o := p.NewOn(std.IntObj, []int{0, 1}, 3)
-		p.Fork(3, "outsider", func(wp *Proc) {
+		p.Fork(3, "outsider", func(wp *orca.Proc) {
 			// Node 3 holds no replica: the operation forwards and
 			// still returns the right answer.
 			if got := wp.InvokeI(o, "value"); got != 3 {
@@ -350,11 +341,11 @@ func TestNewOnPartialPlacement(t *testing.T) {
 }
 
 func TestRemoteForkOnP2PRuntime(t *testing.T) {
-	rt := New(Config{Processors: 3, RTS: P2PInvalidate, Seed: 22}, std.Register)
+	rt := orca.New(orca.Config{Processors: 3, RTS: orca.P2PInvalidate, Seed: 22}, std.Register)
 	var ranOn int
-	rt.Run(func(p *Proc) {
-		f := p.New(std.Flag)
-		p.Fork(2, "remote", func(wp *Proc) {
+	rt.Run(func(p *orca.Proc) {
+		f := p.New(std.FlagObj)
+		p.Fork(2, "remote", func(wp *orca.Proc) {
 			ranOn = wp.CPU()
 			wp.Invoke(f, "set", true)
 		})
@@ -366,8 +357,8 @@ func TestRemoteForkOnP2PRuntime(t *testing.T) {
 }
 
 func TestGroupStatsExposed(t *testing.T) {
-	rt := New(bcastCfg(3, 23), std.Register)
-	rt.Run(func(p *Proc) {
+	rt := orca.New(bcastCfg(3, 23), std.Register)
+	rt.Run(func(p *orca.Proc) {
 		o := p.New(std.IntObj)
 		for i := 0; i < 5; i++ {
 			p.Invoke(o, "assign", i)

@@ -1,0 +1,182 @@
+package std
+
+// Guard semantics through the typed wrapper layer, on every runtime
+// kind. The paper's condition synchronization — guarded operations
+// suspend until a write makes the guard true, then execute
+// indivisibly — must behave identically whether the runtime is the
+// broadcast RTS or the point-to-point RTS with either protocol; these
+// tests drive blocking Queue.Get, Counter.AwaitGE and Barrier.Wait
+// through all three and require identical results.
+
+import (
+	"testing"
+
+	"repro/internal/orca"
+	"repro/internal/sim"
+)
+
+var allKinds = []orca.RTSKind{orca.Broadcast, orca.P2PUpdate, orca.P2PInvalidate}
+
+// TestQueueGetBlocksAcrossRTS runs a producer/consumer pair where
+// every Get necessarily blocks (the producer adds jobs strictly after
+// consumers ask), checking sums and drain behaviour per runtime.
+func TestQueueGetBlocksAcrossRTS(t *testing.T) {
+	const jobs, workers = 18, 3
+	type outcome struct {
+		sum     int
+		arrived int
+	}
+	results := make(map[string]outcome)
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rt := orca.New(orca.Config{Processors: workers + 1, RTS: kind, Seed: 41}, Register)
+			var out outcome
+			rep := rt.Run(func(p *orca.Proc) {
+				q := NewQueue[int](p)
+				acc := NewAccum(p)
+				fin := NewBarrier(p, workers)
+				for i := 1; i <= workers; i++ {
+					p.Fork(i, "consumer", func(wp *orca.Proc) {
+						local := 0
+						for {
+							n, ok := q.Get(wp) // blocks: producer is slower
+							if !ok {
+								break
+							}
+							local += n
+							wp.Work(sim.Millisecond)
+						}
+						acc.Add(wp, local)
+						fin.Arrive(wp)
+					})
+				}
+				// Produce slowly so consumers always find the queue
+				// empty and suspend on the guard.
+				for j := 1; j <= jobs; j++ {
+					p.Sleep(5 * sim.Millisecond)
+					q.Add(p, j)
+				}
+				q.Close(p)
+				fin.Wait(p)
+				out = outcome{sum: acc.Value(p), arrived: fin.Count(p)}
+			})
+			if rep.TimedOut {
+				t.Fatalf("%v: run timed out (guard never woke)", kind)
+			}
+			want := jobs * (jobs + 1) / 2
+			if out.sum != want {
+				t.Fatalf("%v: sum = %d, want %d", kind, out.sum, want)
+			}
+			if out.arrived != workers {
+				t.Fatalf("%v: %d workers arrived, want %d", kind, out.arrived, workers)
+			}
+			results[kind.String()] = out
+		})
+	}
+	base := results[orca.Broadcast.String()]
+	for k, o := range results {
+		if o != base {
+			t.Fatalf("outcome differs across runtimes: %s=%+v, broadcast=%+v", k, o, base)
+		}
+	}
+}
+
+// TestCounterAwaitGEAcrossRTS checks the guarded read wakes exactly
+// when the threshold is crossed, under every runtime.
+func TestCounterAwaitGEAcrossRTS(t *testing.T) {
+	const target = 4
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rt := orca.New(orca.Config{Processors: 2, RTS: kind, Seed: 42}, Register)
+			var seen int
+			var woke, lastInc sim.Time
+			rep := rt.Run(func(p *orca.Proc) {
+				c := NewCounter(p, 0)
+				p.Fork(1, "waiter", func(wp *orca.Proc) {
+					seen = c.AwaitGE(wp, target)
+					woke = wp.Now()
+				})
+				for i := 0; i < target; i++ {
+					p.Sleep(20 * sim.Millisecond)
+					lastInc = p.Now()
+					c.Inc(p)
+				}
+			})
+			if rep.TimedOut {
+				t.Fatalf("%v: timed out", kind)
+			}
+			if seen < target {
+				t.Fatalf("%v: awaitGE returned %d, want >= %d", kind, seen, target)
+			}
+			if woke < lastInc {
+				t.Fatalf("%v: woke at %v before the enabling increment at %v", kind, woke, lastInc)
+			}
+		})
+	}
+}
+
+// TestBarrierWaitAcrossRTS checks no process passes Wait before the
+// last Arrive, under every runtime.
+func TestBarrierWaitAcrossRTS(t *testing.T) {
+	const workers = 3
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rt := orca.New(orca.Config{Processors: workers + 1, RTS: kind, Seed: 43}, Register)
+			passed := make([]sim.Time, workers)
+			var lastArrive sim.Time
+			rep := rt.Run(func(p *orca.Proc) {
+				bar := NewBarrier(p, workers+1) // workers + the main process
+				for i := 0; i < workers; i++ {
+					i := i
+					p.Fork(i+1, "worker", func(wp *orca.Proc) {
+						// Stagger arrivals so the barrier is reached at
+						// genuinely different times.
+						wp.Sleep(sim.Time(i+1) * 30 * sim.Millisecond)
+						bar.Arrive(wp)
+						bar.Wait(wp)
+						passed[i] = wp.Now()
+					})
+				}
+				p.Sleep(200 * sim.Millisecond)
+				lastArrive = p.Now()
+				bar.Arrive(p)
+				bar.Wait(p)
+			})
+			if rep.TimedOut {
+				t.Fatalf("%v: timed out", kind)
+			}
+			for i, ts := range passed {
+				if ts < lastArrive {
+					t.Fatalf("%v: worker %d passed the barrier at %v, before the last arrival at %v",
+						kind, i, ts, lastArrive)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueNilElement checks a nil stored under an interface element
+// type round-trips through Get without panicking.
+func TestQueueNilElement(t *testing.T) {
+	rt := orca.New(orca.Config{Processors: 1, RTS: orca.Broadcast, Seed: 44}, Register)
+	rt.Run(func(p *orca.Proc) {
+		q := NewQueue[any](p)
+		q.Add(p, nil)
+		q.Add(p, "x")
+		v, ok := q.Get(p)
+		if !ok || v != nil {
+			t.Errorf("Get = (%v, %v), want (nil, true)", v, ok)
+		}
+		v, ok = q.Get(p)
+		if !ok || v != "x" {
+			t.Errorf("Get = (%v, %v), want (x, true)", v, ok)
+		}
+		q.Close(p)
+		if _, ok := q.Get(p); ok {
+			t.Error("Get on drained closed queue reported ok")
+		}
+	})
+}

@@ -5,39 +5,49 @@
 // chess program, and bit sets for ATPG's fault sharing.
 //
 // Each type is an Orca abstract data type: encapsulated state, read
-// and write operations, guards where the paper's programs block. All
-// types register with an rts.Registry via Register.
+// and write operations, guards where the paper's programs block. The
+// types are declared with the typed builder of package orca, so every
+// operation is a typed descriptor; the concrete wrapper types
+// (Counter, Queue, Barrier, Flag, BoolArray, Table, Killer, BitSet,
+// Accum) are the programming surface — their methods take a *orca.Proc
+// and real Go values, and the wire-level []any encoding underneath is
+// an implementation detail. All types register with an rts.Registry
+// via Register, and remain invokable through the untyped Proc.Invoke
+// under their registered operation names.
 package std
 
-import "repro/internal/rts"
+import (
+	"repro/internal/orca"
+	"repro/internal/rts"
+)
 
 // Type names, as registered.
 const (
-	IntObj    = "std.int"
-	JobQueue  = "std.jobqueue"
-	Barrier   = "std.barrier"
-	Flag      = "std.flag"
-	BoolArray = "std.boolarray"
-	Table     = "std.table"
-	Killer    = "std.killer"
-	BitSet    = "std.bitset"
-	Accum     = "std.accum"
+	IntObj       = "std.int"
+	JobQueueObj  = "std.jobqueue"
+	BarrierObj   = "std.barrier"
+	FlagObj      = "std.flag"
+	BoolArrayObj = "std.boolarray"
+	TableObj     = "std.table"
+	KillerObj    = "std.killer"
+	BitSetObj    = "std.bitset"
+	AccumObj     = "std.accum"
 )
 
 // Register adds all standard types to a registry.
 func Register(reg *rts.Registry) {
-	reg.Register(intType())
-	reg.Register(jobQueueType())
-	reg.Register(barrierType())
-	reg.Register(flagType())
-	reg.Register(boolArrayType())
-	reg.Register(tableType())
-	reg.Register(killerType())
-	reg.Register(bitSetType())
-	reg.Register(accumType())
+	intB.Register(reg)
+	queueB.Register(reg)
+	barrierB.Register(reg)
+	flagB.Register(reg)
+	boolArrayB.Register(reg)
+	tableB.Register(reg)
+	killerB.Register(reg)
+	bitSetB.Register(reg)
+	accumB.Register(reg)
 }
 
-// --- IntObj -----------------------------------------------------------
+// --- Counter ----------------------------------------------------------
 //
 // A shared integer. Its Min operation is TSP's global bound update:
 // "The indivisible operation that updates the object first checks if
@@ -46,118 +56,149 @@ func Register(reg *rts.Registry) {
 
 type intState struct{ v int }
 
-func intType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: IntObj,
-		New: func(args []any) rts.State {
-			s := &intState{}
-			if len(args) > 0 {
-				s.v = args[0].(int)
-			}
-			return s
-		},
-		Clone:  func(s rts.State) rts.State { c := *s.(*intState); return &c },
-		SizeOf: func(rts.State) int { return 8 },
-		Ops: map[string]*rts.OpDef{
-			"value": {Name: "value", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*intState).v} }},
-			"assign": {Name: "assign", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any { s.(*intState).v = a[0].(int); return nil }},
-			"add": {Name: "add", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*intState)
-					st.v += a[0].(int)
-					return []any{st.v}
-				}},
-			"inc": {Name: "inc", Kind: rts.Write,
-				Apply: func(s rts.State, _ []any) []any {
-					st := s.(*intState)
-					old := st.v
-					st.v++
-					return []any{old}
-				}},
-			"min": {Name: "min", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*intState)
-					if v := a[0].(int); v < st.v {
-						st.v = v
-						return []any{true}
-					}
-					return []any{false}
-				}},
-			"max": {Name: "max", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*intState)
-					if v := a[0].(int); v > st.v {
-						st.v = v
-						return []any{true}
-					}
-					return []any{false}
-				}},
-			// awaitGE blocks until the value reaches the argument;
-			// used for simple completion counting.
-			"awaitGE": {Name: "awaitGE", Kind: rts.Read,
-				Guard: func(s rts.State, a []any) bool { return s.(*intState).v >= a[0].(int) },
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*intState).v} }},
-		},
-	}
-}
+var (
+	intB = orca.NewType(IntObj, func(args []any) *intState {
+		s := &intState{}
+		if len(args) > 0 {
+			s.v = args[0].(int)
+		}
+		return s
+	}).
+		CloneWith(func(s *intState) *intState { c := *s; return &c }).
+		FixedSize(8)
 
-// --- JobQueue ---------------------------------------------------------
+	intValue  = orca.DefRead0(intB, "value", func(s *intState) int { return s.v })
+	intAssign = orca.DefUpdate(intB, "assign", func(s *intState, v int) { s.v = v })
+	intAdd    = orca.DefWrite(intB, "add", func(s *intState, d int) int { s.v += d; return s.v })
+	intInc    = orca.DefWrite0(intB, "inc", func(s *intState) int { old := s.v; s.v++; return old })
+	intMin    = orca.DefWrite(intB, "min", func(s *intState, v int) bool {
+		if v < s.v {
+			s.v = v
+			return true
+		}
+		return false
+	})
+	intMax = orca.DefWrite(intB, "max", func(s *intState, v int) bool {
+		if v > s.v {
+			s.v = v
+			return true
+		}
+		return false
+	})
+	// awaitGE blocks until the value reaches the argument; used for
+	// simple completion counting.
+	intAwaitGE = orca.DefRead(intB, "awaitGE", func(s *intState, _ int) int { return s.v }).
+			Guard(func(s *intState, n int) bool { return s.v >= n })
+)
+
+// Counter is a shared integer object.
+type Counter struct{ h orca.Handle[*intState] }
+
+// NewCounter creates a shared integer initialized to init.
+func NewCounter(p *orca.Proc, init int) Counter { return Counter{h: intB.New(p, init)} }
+
+// Handle exposes the typed handle (for statistics).
+func (c Counter) Handle() orca.Handle[*intState] { return c.h }
+
+// Value reads the current value (a local replica read).
+func (c Counter) Value(p *orca.Proc) int { return intValue.Call(p, c.h) }
+
+// Assign sets the value.
+func (c Counter) Assign(p *orca.Proc, v int) { intAssign.Call(p, c.h, v) }
+
+// Add adds d and returns the new value.
+func (c Counter) Add(p *orca.Proc, d int) int { return intAdd.Call(p, c.h, d) }
+
+// Inc increments and returns the previous value.
+func (c Counter) Inc(p *orca.Proc) int { return intInc.Call(p, c.h) }
+
+// Min indivisibly lowers the value to v if v is smaller, reporting
+// whether it did — the paper's TSP bound update.
+func (c Counter) Min(p *orca.Proc, v int) bool { return intMin.Call(p, c.h, v) }
+
+// Max indivisibly raises the value to v if v is larger, reporting
+// whether it did.
+func (c Counter) Max(p *orca.Proc, v int) bool { return intMax.Call(p, c.h, v) }
+
+// AwaitGE blocks until the value is at least n, returning it.
+func (c Counter) AwaitGE(p *orca.Proc, n int) int { return intAwaitGE.Call(p, c.h, n) }
+
+// --- Queue ------------------------------------------------------------
 //
 // The replicated-worker job queue: workers repeatedly take a job; the
-// guarded GetJob suspends while the queue is empty and returns
-// (nil, false) once the queue is closed and drained.
+// guarded Get suspends while the queue is empty and returns (zero,
+// false) once the queue is closed and drained.
 
 type jobQueueState struct {
 	jobs   []any
 	closed bool
 }
 
-func jobQueueType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: JobQueue,
-		New:  func([]any) rts.State { return &jobQueueState{} },
-		Clone: func(s rts.State) rts.State {
-			q := s.(*jobQueueState)
+var (
+	queueB = orca.NewType(JobQueueObj, func([]any) *jobQueueState { return &jobQueueState{} }).
+		CloneWith(func(q *jobQueueState) *jobQueueState {
 			return &jobQueueState{jobs: append([]any(nil), q.jobs...), closed: q.closed}
-		},
-		SizeOf: func(s rts.State) int {
-			q := s.(*jobQueueState)
+		}).
+		SizedBy(func(q *jobQueueState) int {
 			n := 16
 			for _, j := range q.jobs {
 				n += rts.SizeOfValue(j)
 			}
 			return n
-		},
-		Ops: map[string]*rts.OpDef{
-			"add": {Name: "add", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					q := s.(*jobQueueState)
-					q.jobs = append(q.jobs, a[0])
-					return nil
-				}},
-			"get": {Name: "get", Kind: rts.Write,
-				Guard: func(s rts.State, _ []any) bool {
-					q := s.(*jobQueueState)
-					return len(q.jobs) > 0 || q.closed
-				},
-				Apply: func(s rts.State, _ []any) []any {
-					q := s.(*jobQueueState)
-					if len(q.jobs) == 0 {
-						return []any{nil, false}
-					}
-					j := q.jobs[0]
-					q.jobs = q.jobs[1:]
-					return []any{j, true}
-				}},
-			"close": {Name: "close", Kind: rts.Write,
-				Apply: func(s rts.State, _ []any) []any { s.(*jobQueueState).closed = true; return nil }},
-			"len": {Name: "len", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{len(s.(*jobQueueState).jobs)} }},
-		},
-	}
+		})
+
+	queueAdd = orca.DefUpdate(queueB, "add", func(q *jobQueueState, job any) {
+		q.jobs = append(q.jobs, job)
+	})
+	queueGet = orca.DefWrite0x2(queueB, "get", func(q *jobQueueState) (any, bool) {
+		if len(q.jobs) == 0 {
+			return nil, false
+		}
+		j := q.jobs[0]
+		q.jobs = q.jobs[1:]
+		return j, true
+	}).Guard(func(q *jobQueueState) bool { return len(q.jobs) > 0 || q.closed })
+	queueClose = orca.DefUpdate0(queueB, "close", func(q *jobQueueState) { q.closed = true })
+	queueLen   = orca.DefRead0(queueB, "len", func(q *jobQueueState) int { return len(q.jobs) })
+)
+
+// Queue is a shared FIFO job queue with elements of type T.
+type Queue[T any] struct{ h orca.Handle[*jobQueueState] }
+
+// NewQueue creates a shared job queue.
+func NewQueue[T any](p *orca.Proc) Queue[T] { return Queue[T]{h: queueB.New(p)} }
+
+// NewQueueOn creates a job queue replicated only on the given
+// processors (broadcast runtime only) — the paper's partial-
+// replication remark about TSP's write-mostly queue.
+func NewQueueOn[T any](p *orca.Proc, nodes []int) Queue[T] {
+	return Queue[T]{h: queueB.NewOn(p, nodes)}
 }
+
+// Handle exposes the typed handle (for statistics).
+func (q Queue[T]) Handle() orca.Handle[*jobQueueState] { return q.h }
+
+// Add appends a job.
+func (q Queue[T]) Add(p *orca.Proc, job T) { queueAdd.Call(p, q.h, job) }
+
+// Get blocks until a job is available or the queue is closed; it
+// returns (zero, false) once the queue is closed and drained.
+func (q Queue[T]) Get(p *orca.Proc) (T, bool) {
+	raw, ok := queueGet.Call(p, q.h)
+	if !ok || raw == nil {
+		// raw is nil either because the queue drained (!ok) or because
+		// a nil element was legitimately stored under an interface T.
+		var zero T
+		return zero, ok
+	}
+	return raw.(T), true
+}
+
+// Close marks the queue closed; blocked Gets drain and return.
+func (q Queue[T]) Close(p *orca.Proc) { queueClose.Call(p, q.h) }
+
+// Len reads the current queue length.
+func (q Queue[T]) Len(p *orca.Proc) int { return queueLen.Call(p, q.h) }
 
 // --- Barrier ----------------------------------------------------------
 //
@@ -170,30 +211,38 @@ type barrierState struct {
 	count  int
 }
 
-func barrierType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name:   Barrier,
-		New:    func(args []any) rts.State { return &barrierState{target: args[0].(int)} },
-		Clone:  func(s rts.State) rts.State { c := *s.(*barrierState); return &c },
-		SizeOf: func(rts.State) int { return 16 },
-		Ops: map[string]*rts.OpDef{
-			"arrive": {Name: "arrive", Kind: rts.Write,
-				Apply: func(s rts.State, _ []any) []any {
-					b := s.(*barrierState)
-					b.count++
-					return []any{b.count}
-				}},
-			"wait": {Name: "wait", Kind: rts.Read,
-				Guard: func(s rts.State, _ []any) bool {
-					b := s.(*barrierState)
-					return b.count >= b.target
-				},
-				Apply: func(s rts.State, _ []any) []any { return nil }},
-			"count": {Name: "count", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*barrierState).count} }},
-		},
-	}
-}
+var (
+	barrierB = orca.NewType(BarrierObj, func(args []any) *barrierState {
+		return &barrierState{target: args[0].(int)}
+	}).
+		CloneWith(func(s *barrierState) *barrierState { c := *s; return &c }).
+		FixedSize(16)
+
+	barrierArrive = orca.DefWrite0(barrierB, "arrive", func(s *barrierState) int {
+		s.count++
+		return s.count
+	})
+	barrierWait  = orca.DefAwait(barrierB, "wait", func(s *barrierState) bool { return s.count >= s.target })
+	barrierCount = orca.DefRead0(barrierB, "count", func(s *barrierState) int { return s.count })
+)
+
+// Barrier is a shared counting barrier.
+type Barrier struct{ h orca.Handle[*barrierState] }
+
+// NewBarrier creates a barrier for n arrivals.
+func NewBarrier(p *orca.Proc, n int) Barrier { return Barrier{h: barrierB.New(p, n)} }
+
+// Handle exposes the typed handle (for statistics).
+func (b Barrier) Handle() orca.Handle[*barrierState] { return b.h }
+
+// Arrive counts the caller in and returns the arrival count.
+func (b Barrier) Arrive(p *orca.Proc) int { return barrierArrive.Call(p, b.h) }
+
+// Wait blocks until all arrivals have happened.
+func (b Barrier) Wait(p *orca.Proc) { barrierWait.Call(p, b.h) }
+
+// Count reads the arrival count.
+func (b Barrier) Count(p *orca.Proc) int { return barrierCount.Call(p, b.h) }
 
 // --- Flag -------------------------------------------------------------
 //
@@ -203,29 +252,39 @@ func barrierType() *rts.ObjectType {
 
 type flagState struct{ b bool }
 
-func flagType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: Flag,
-		New: func(args []any) rts.State {
-			s := &flagState{}
-			if len(args) > 0 {
-				s.b = args[0].(bool)
-			}
-			return s
-		},
-		Clone:  func(s rts.State) rts.State { c := *s.(*flagState); return &c },
-		SizeOf: func(rts.State) int { return 1 },
-		Ops: map[string]*rts.OpDef{
-			"set": {Name: "set", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any { s.(*flagState).b = a[0].(bool); return nil }},
-			"value": {Name: "value", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*flagState).b} }},
-			"await": {Name: "await", Kind: rts.Read,
-				Guard: func(s rts.State, _ []any) bool { return s.(*flagState).b },
-				Apply: func(s rts.State, _ []any) []any { return nil }},
-		},
-	}
-}
+var (
+	flagB = orca.NewType(FlagObj, func(args []any) *flagState {
+		s := &flagState{}
+		if len(args) > 0 {
+			s.b = args[0].(bool)
+		}
+		return s
+	}).
+		CloneWith(func(s *flagState) *flagState { c := *s; return &c }).
+		FixedSize(1)
+
+	flagSet   = orca.DefUpdate(flagB, "set", func(s *flagState, v bool) { s.b = v })
+	flagValue = orca.DefRead0(flagB, "value", func(s *flagState) bool { return s.b })
+	flagAwait = orca.DefAwait(flagB, "await", func(s *flagState) bool { return s.b })
+)
+
+// Flag is a shared boolean object.
+type Flag struct{ h orca.Handle[*flagState] }
+
+// NewFlag creates a shared boolean initialized to init.
+func NewFlag(p *orca.Proc, init bool) Flag { return Flag{h: flagB.New(p, init)} }
+
+// Handle exposes the typed handle (for statistics).
+func (f Flag) Handle() orca.Handle[*flagState] { return f.h }
+
+// Set writes the flag.
+func (f Flag) Set(p *orca.Proc, v bool) { flagSet.Call(p, f.h, v) }
+
+// Value reads the flag (a local replica read).
+func (f Flag) Value(p *orca.Proc) bool { return flagValue.Call(p, f.h) }
+
+// Await blocks until the flag is true.
+func (f Flag) Await(p *orca.Proc) { flagAwait.Call(p, f.h) }
 
 // --- BoolArray --------------------------------------------------------
 //
@@ -234,92 +293,114 @@ func flagType() *rts.ObjectType {
 
 type boolArrayState struct{ bits []bool }
 
-func boolArrayType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: BoolArray,
-		New: func(args []any) rts.State {
-			n := args[0].(int)
-			s := &boolArrayState{bits: make([]bool, n)}
-			if len(args) > 1 {
-				v := args[1].(bool)
-				for i := range s.bits {
-					s.bits[i] = v
-				}
+var (
+	boolArrayB = orca.NewType(BoolArrayObj, func(args []any) *boolArrayState {
+		n := args[0].(int)
+		s := &boolArrayState{bits: make([]bool, n)}
+		if len(args) > 1 {
+			v := args[1].(bool)
+			for i := range s.bits {
+				s.bits[i] = v
 			}
-			return s
-		},
-		Clone: func(s rts.State) rts.State {
-			return &boolArrayState{bits: append([]bool(nil), s.(*boolArrayState).bits...)}
-		},
-		SizeOf: func(s rts.State) int { return 8 + len(s.(*boolArrayState).bits) },
-		Ops: map[string]*rts.OpDef{
-			"set": {Name: "set", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					s.(*boolArrayState).bits[a[0].(int)] = a[1].(bool)
-					return nil
-				}},
-			"setMany": {Name: "setMany", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*boolArrayState)
-					for _, i := range a[0].([]int) {
-						st.bits[i] = a[1].(bool)
-					}
-					return nil
-				}},
-			// claim indivisibly tests-and-clears a bit, so exactly one
-			// process wins a work item.
-			"claim": {Name: "claim", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*boolArrayState)
-					i := a[0].(int)
-					was := st.bits[i]
-					st.bits[i] = false
-					return []any{was}
-				}},
-			"get": {Name: "get", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any { return []any{s.(*boolArrayState).bits[a[0].(int)]} }},
-			"anyTrue": {Name: "anyTrue", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any {
-					for _, b := range s.(*boolArrayState).bits {
-						if b {
-							return []any{true}
-						}
-					}
-					return []any{false}
-				}},
-			"allTrue": {Name: "allTrue", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any {
-					for _, b := range s.(*boolArrayState).bits {
-						if !b {
-							return []any{false}
-						}
-					}
-					return []any{true}
-				}},
-			"countTrue": {Name: "countTrue", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any {
-					n := 0
-					for _, b := range s.(*boolArrayState).bits {
-						if b {
-							n++
-						}
-					}
-					return []any{n}
-				}},
-			// anyTrueIn reports whether any of the given indices is
-			// set; workers poll their own partition with one read.
-			"anyTrueIn": {Name: "anyTrueIn", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*boolArrayState)
-					for _, i := range a[0].([]int) {
-						if st.bits[i] {
-							return []any{true}
-						}
-					}
-					return []any{false}
-				}},
-		},
-	}
+		}
+		return s
+	}).
+		CloneWith(func(s *boolArrayState) *boolArrayState {
+			return &boolArrayState{bits: append([]bool(nil), s.bits...)}
+		}).
+		SizedBy(func(s *boolArrayState) int { return 8 + len(s.bits) })
+
+	boolArraySet = orca.DefUpdate2(boolArrayB, "set", func(s *boolArrayState, i int, v bool) {
+		s.bits[i] = v
+	})
+	boolArraySetMany = orca.DefUpdate2(boolArrayB, "setMany", func(s *boolArrayState, idxs []int, v bool) {
+		for _, i := range idxs {
+			s.bits[i] = v
+		}
+	})
+	// claim indivisibly tests-and-clears a bit, so exactly one process
+	// wins a work item.
+	boolArrayClaim = orca.DefWrite(boolArrayB, "claim", func(s *boolArrayState, i int) bool {
+		was := s.bits[i]
+		s.bits[i] = false
+		return was
+	})
+	boolArrayGet = orca.DefRead(boolArrayB, "get", func(s *boolArrayState, i int) bool {
+		return s.bits[i]
+	})
+	boolArrayAnyTrue = orca.DefRead0(boolArrayB, "anyTrue", func(s *boolArrayState) bool {
+		for _, b := range s.bits {
+			if b {
+				return true
+			}
+		}
+		return false
+	})
+	boolArrayAllTrue = orca.DefRead0(boolArrayB, "allTrue", func(s *boolArrayState) bool {
+		for _, b := range s.bits {
+			if !b {
+				return false
+			}
+		}
+		return true
+	})
+	boolArrayCountTrue = orca.DefRead0(boolArrayB, "countTrue", func(s *boolArrayState) int {
+		n := 0
+		for _, b := range s.bits {
+			if b {
+				n++
+			}
+		}
+		return n
+	})
+	// anyTrueIn reports whether any of the given indices is set;
+	// workers poll their own partition with one read.
+	boolArrayAnyTrueIn = orca.DefRead(boolArrayB, "anyTrueIn", func(s *boolArrayState, idxs []int) bool {
+		for _, i := range idxs {
+			if s.bits[i] {
+				return true
+			}
+		}
+		return false
+	})
+)
+
+// BoolArray is a shared array of booleans.
+type BoolArray struct{ h orca.Handle[*boolArrayState] }
+
+// NewBoolArray creates an array of n booleans, all set to init.
+func NewBoolArray(p *orca.Proc, n int, init bool) BoolArray {
+	return BoolArray{h: boolArrayB.New(p, n, init)}
+}
+
+// Handle exposes the typed handle (for statistics).
+func (a BoolArray) Handle() orca.Handle[*boolArrayState] { return a.h }
+
+// Set writes one element.
+func (a BoolArray) Set(p *orca.Proc, i int, v bool) { boolArraySet.Call(p, a.h, i, v) }
+
+// SetMany writes the given elements to v in one indivisible operation.
+func (a BoolArray) SetMany(p *orca.Proc, idxs []int, v bool) { boolArraySetMany.Call(p, a.h, idxs, v) }
+
+// Claim indivisibly tests-and-clears element i, reporting whether the
+// caller won it.
+func (a BoolArray) Claim(p *orca.Proc, i int) bool { return boolArrayClaim.Call(p, a.h, i) }
+
+// Get reads one element.
+func (a BoolArray) Get(p *orca.Proc, i int) bool { return boolArrayGet.Call(p, a.h, i) }
+
+// AnyTrue reports whether any element is set.
+func (a BoolArray) AnyTrue(p *orca.Proc) bool { return boolArrayAnyTrue.Call(p, a.h) }
+
+// AllTrue reports whether every element is set.
+func (a BoolArray) AllTrue(p *orca.Proc) bool { return boolArrayAllTrue.Call(p, a.h) }
+
+// CountTrue counts the set elements.
+func (a BoolArray) CountTrue(p *orca.Proc) int { return boolArrayCountTrue.Call(p, a.h) }
+
+// AnyTrueIn reports whether any of the given indices is set.
+func (a BoolArray) AnyTrueIn(p *orca.Proc, idxs []int) bool {
+	return boolArrayAnyTrueIn.Call(p, a.h, idxs)
 }
 
 // --- Table ------------------------------------------------------------
@@ -337,36 +418,43 @@ type tableEntry struct {
 
 type tableState struct{ buckets []tableEntry }
 
-func tableType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: Table,
-		New: func(args []any) rts.State {
-			return &tableState{buckets: make([]tableEntry, args[0].(int))}
-		},
-		Clone: func(s rts.State) rts.State {
-			return &tableState{buckets: append([]tableEntry(nil), s.(*tableState).buckets...)}
-		},
-		SizeOf: func(s rts.State) int { return 8 + 17*len(s.(*tableState).buckets) },
-		Ops: map[string]*rts.OpDef{
-			"store": {Name: "store", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*tableState)
-					k := a[0].(uint64)
-					st.buckets[k%uint64(len(st.buckets))] = tableEntry{key: k, val: a[1].(int64), ok: true}
-					return nil
-				}},
-			"lookup": {Name: "lookup", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*tableState)
-					k := a[0].(uint64)
-					e := st.buckets[k%uint64(len(st.buckets))]
-					if e.ok && e.key == k {
-						return []any{e.val, true}
-					}
-					return []any{int64(0), false}
-				}},
-		},
-	}
+var (
+	tableB = orca.NewType(TableObj, func(args []any) *tableState {
+		return &tableState{buckets: make([]tableEntry, args[0].(int))}
+	}).
+		CloneWith(func(s *tableState) *tableState {
+			return &tableState{buckets: append([]tableEntry(nil), s.buckets...)}
+		}).
+		SizedBy(func(s *tableState) int { return 8 + 17*len(s.buckets) })
+
+	tableStore = orca.DefUpdate2(tableB, "store", func(s *tableState, k uint64, v int64) {
+		s.buckets[k%uint64(len(s.buckets))] = tableEntry{key: k, val: v, ok: true}
+	})
+	tableLookup = orca.DefRead1x2(tableB, "lookup", func(s *tableState, k uint64) (int64, bool) {
+		e := s.buckets[k%uint64(len(s.buckets))]
+		if e.ok && e.key == k {
+			return e.val, true
+		}
+		return 0, false
+	})
+)
+
+// Table is a shared fixed-size hash table from uint64 keys to int64
+// values with always-replace buckets.
+type Table struct{ h orca.Handle[*tableState] }
+
+// NewTable creates a table with the given bucket count.
+func NewTable(p *orca.Proc, buckets int) Table { return Table{h: tableB.New(p, buckets)} }
+
+// Handle exposes the typed handle (for statistics).
+func (t Table) Handle() orca.Handle[*tableState] { return t.h }
+
+// Store writes an entry (always-replace).
+func (t Table) Store(p *orca.Proc, key uint64, val int64) { tableStore.Call(p, t.h, key, val) }
+
+// Lookup reads the entry for key, reporting whether it was present.
+func (t Table) Lookup(p *orca.Proc, key uint64) (int64, bool) {
+	return tableLookup.Call(p, t.h, key)
 }
 
 // --- Killer -----------------------------------------------------------
@@ -378,42 +466,46 @@ type killerState struct {
 	moves [][2]int
 }
 
-func killerType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: Killer,
-		New: func(args []any) rts.State {
-			return &killerState{moves: make([][2]int, args[0].(int))}
-		},
-		Clone: func(s rts.State) rts.State {
-			return &killerState{moves: append([][2]int(nil), s.(*killerState).moves...)}
-		},
-		SizeOf: func(s rts.State) int { return 8 + 16*len(s.(*killerState).moves) },
-		Ops: map[string]*rts.OpDef{
-			"add": {Name: "add", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*killerState)
-					d, mv := a[0].(int), a[1].(int)
-					if d < 0 || d >= len(st.moves) {
-						return nil
-					}
-					if st.moves[d][0] != mv {
-						st.moves[d][1] = st.moves[d][0]
-						st.moves[d][0] = mv
-					}
-					return nil
-				}},
-			"get": {Name: "get", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*killerState)
-					d := a[0].(int)
-					if d < 0 || d >= len(st.moves) {
-						return []any{0, 0}
-					}
-					return []any{st.moves[d][0], st.moves[d][1]}
-				}},
-		},
-	}
-}
+var (
+	killerB = orca.NewType(KillerObj, func(args []any) *killerState {
+		return &killerState{moves: make([][2]int, args[0].(int))}
+	}).
+		CloneWith(func(s *killerState) *killerState {
+			return &killerState{moves: append([][2]int(nil), s.moves...)}
+		}).
+		SizedBy(func(s *killerState) int { return 8 + 16*len(s.moves) })
+
+	killerAdd = orca.DefUpdate2(killerB, "add", func(s *killerState, d, mv int) {
+		if d < 0 || d >= len(s.moves) {
+			return
+		}
+		if s.moves[d][0] != mv {
+			s.moves[d][1] = s.moves[d][0]
+			s.moves[d][0] = mv
+		}
+	})
+	killerGet = orca.DefRead1x2(killerB, "get", func(s *killerState, d int) (int, int) {
+		if d < 0 || d >= len(s.moves) {
+			return 0, 0
+		}
+		return s.moves[d][0], s.moves[d][1]
+	})
+)
+
+// Killer is a shared killer-move table.
+type Killer struct{ h orca.Handle[*killerState] }
+
+// NewKiller creates a killer table covering the given ply count.
+func NewKiller(p *orca.Proc, plies int) Killer { return Killer{h: killerB.New(p, plies)} }
+
+// Handle exposes the typed handle (for statistics).
+func (k Killer) Handle() orca.Handle[*killerState] { return k.h }
+
+// Add records a cutoff move at ply d.
+func (k Killer) Add(p *orca.Proc, ply, move int) { killerAdd.Call(p, k.h, ply, move) }
+
+// Get reads the two killer moves for ply d.
+func (k Killer) Get(p *orca.Proc, ply int) (int, int) { return killerGet.Call(p, k.h, ply) }
 
 // --- BitSet -----------------------------------------------------------
 //
@@ -436,43 +528,51 @@ func (b *bitSetState) set(i int) bool {
 	return true
 }
 
-func bitSetType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name: BitSet,
-		New: func(args []any) rts.State {
-			n := args[0].(int)
-			return &bitSetState{words: make([]uint64, (n+63)/64)}
-		},
-		Clone: func(s rts.State) rts.State {
-			st := s.(*bitSetState)
-			return &bitSetState{words: append([]uint64(nil), st.words...), count: st.count}
-		},
-		SizeOf: func(s rts.State) int { return 16 + 8*len(s.(*bitSetState).words) },
-		Ops: map[string]*rts.OpDef{
-			"add": {Name: "add", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					return []any{s.(*bitSetState).set(a[0].(int))}
-				}},
-			"addMany": {Name: "addMany", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					st := s.(*bitSetState)
-					added := 0
-					for _, i := range a[0].([]int) {
-						if st.set(i) {
-							added++
-						}
-					}
-					return []any{added}
-				}},
-			"contains": {Name: "contains", Kind: rts.Read,
-				Apply: func(s rts.State, a []any) []any {
-					return []any{s.(*bitSetState).has(a[0].(int))}
-				}},
-			"count": {Name: "count", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{s.(*bitSetState).count} }},
-		},
-	}
-}
+var (
+	bitSetB = orca.NewType(BitSetObj, func(args []any) *bitSetState {
+		n := args[0].(int)
+		return &bitSetState{words: make([]uint64, (n+63)/64)}
+	}).
+		CloneWith(func(s *bitSetState) *bitSetState {
+			return &bitSetState{words: append([]uint64(nil), s.words...), count: s.count}
+		}).
+		SizedBy(func(s *bitSetState) int { return 16 + 8*len(s.words) })
+
+	bitSetAdd     = orca.DefWrite(bitSetB, "add", func(s *bitSetState, i int) bool { return s.set(i) })
+	bitSetAddMany = orca.DefWrite(bitSetB, "addMany", func(s *bitSetState, idxs []int) int {
+		added := 0
+		for _, i := range idxs {
+			if s.set(i) {
+				added++
+			}
+		}
+		return added
+	})
+	bitSetContains = orca.DefRead(bitSetB, "contains", func(s *bitSetState, i int) bool { return s.has(i) })
+	bitSetCount    = orca.DefRead0(bitSetB, "count", func(s *bitSetState) int { return s.count })
+)
+
+// BitSet is a shared set of small integers.
+type BitSet struct{ h orca.Handle[*bitSetState] }
+
+// NewBitSet creates a set over the universe [0, n).
+func NewBitSet(p *orca.Proc, n int) BitSet { return BitSet{h: bitSetB.New(p, n)} }
+
+// Handle exposes the typed handle (for statistics).
+func (s BitSet) Handle() orca.Handle[*bitSetState] { return s.h }
+
+// Add inserts i, reporting whether it was new.
+func (s BitSet) Add(p *orca.Proc, i int) bool { return bitSetAdd.Call(p, s.h, i) }
+
+// AddMany inserts all the given elements in one indivisible operation,
+// returning how many were new.
+func (s BitSet) AddMany(p *orca.Proc, idxs []int) int { return bitSetAddMany.Call(p, s.h, idxs) }
+
+// Contains reports membership (a local replica read).
+func (s BitSet) Contains(p *orca.Proc, i int) bool { return bitSetContains.Call(p, s.h, i) }
+
+// Count reads the set's cardinality.
+func (s BitSet) Count(p *orca.Proc) int { return bitSetCount.Call(p, s.h) }
 
 // --- Accum ------------------------------------------------------------
 //
@@ -481,20 +581,26 @@ func bitSetType() *rts.ObjectType {
 
 type accumState struct{ total int64 }
 
-func accumType() *rts.ObjectType {
-	return &rts.ObjectType{
-		Name:   Accum,
-		New:    func([]any) rts.State { return &accumState{} },
-		Clone:  func(s rts.State) rts.State { c := *s.(*accumState); return &c },
-		SizeOf: func(rts.State) int { return 8 },
-		Ops: map[string]*rts.OpDef{
-			"add": {Name: "add", Kind: rts.Write,
-				Apply: func(s rts.State, a []any) []any {
-					s.(*accumState).total += int64(a[0].(int))
-					return nil
-				}},
-			"value": {Name: "value", Kind: rts.Read,
-				Apply: func(s rts.State, _ []any) []any { return []any{int(s.(*accumState).total)} }},
-		},
-	}
-}
+var (
+	accumB = orca.NewType(AccumObj, func([]any) *accumState { return &accumState{} }).
+		CloneWith(func(s *accumState) *accumState { c := *s; return &c }).
+		FixedSize(8)
+
+	accumAdd   = orca.DefUpdate(accumB, "add", func(s *accumState, n int) { s.total += int64(n) })
+	accumValue = orca.DefRead0(accumB, "value", func(s *accumState) int { return int(s.total) })
+)
+
+// Accum is a shared accumulating counter.
+type Accum struct{ h orca.Handle[*accumState] }
+
+// NewAccum creates an accumulator starting at zero.
+func NewAccum(p *orca.Proc) Accum { return Accum{h: accumB.New(p)} }
+
+// Handle exposes the typed handle (for statistics).
+func (a Accum) Handle() orca.Handle[*accumState] { return a.h }
+
+// Add adds n to the total.
+func (a Accum) Add(p *orca.Proc, n int) { accumAdd.Call(p, a.h, n) }
+
+// Value reads the total.
+func (a Accum) Value(p *orca.Proc) int { return accumValue.Call(p, a.h) }

@@ -75,7 +75,7 @@ func TestIntObjMinProperty(t *testing.T) {
 }
 
 func TestJobQueueOps(t *testing.T) {
-	typ := typeByName(t, JobQueue)
+	typ := typeByName(t, JobQueueObj)
 	s := typ.New(nil)
 	getGuard := typ.Op("get").Guard
 	if getGuard(s, nil) {
@@ -105,7 +105,7 @@ func TestJobQueueOps(t *testing.T) {
 }
 
 func TestJobQueueClone(t *testing.T) {
-	typ := typeByName(t, JobQueue)
+	typ := typeByName(t, JobQueueObj)
 	s := typ.New(nil)
 	apply(t, typ, s, "add", 1)
 	c := typ.Clone(s)
@@ -117,7 +117,7 @@ func TestJobQueueClone(t *testing.T) {
 }
 
 func TestBarrierOps(t *testing.T) {
-	typ := typeByName(t, Barrier)
+	typ := typeByName(t, BarrierObj)
 	s := typ.New([]any{3})
 	waitGuard := typ.Op("wait").Guard
 	for i := 1; i <= 2; i++ {
@@ -136,7 +136,7 @@ func TestBarrierOps(t *testing.T) {
 }
 
 func TestFlagOps(t *testing.T) {
-	typ := typeByName(t, Flag)
+	typ := typeByName(t, FlagObj)
 	s := typ.New(nil)
 	if apply(t, typ, s, "value")[0].(bool) {
 		t.Fatal("default flag should be false")
@@ -156,7 +156,7 @@ func TestFlagOps(t *testing.T) {
 }
 
 func TestBoolArrayOps(t *testing.T) {
-	typ := typeByName(t, BoolArray)
+	typ := typeByName(t, BoolArrayObj)
 	s := typ.New([]any{5})
 	apply(t, typ, s, "set", 1, true)
 	apply(t, typ, s, "setMany", []int{2, 4}, true)
@@ -191,7 +191,7 @@ func TestBoolArrayOps(t *testing.T) {
 }
 
 func TestTableOps(t *testing.T) {
-	typ := typeByName(t, Table)
+	typ := typeByName(t, TableObj)
 	s := typ.New([]any{8})
 	res := apply(t, typ, s, "lookup", uint64(5))
 	if res[1].(bool) {
@@ -213,7 +213,7 @@ func TestTableOps(t *testing.T) {
 }
 
 func TestKillerOps(t *testing.T) {
-	typ := typeByName(t, Killer)
+	typ := typeByName(t, KillerObj)
 	s := typ.New([]any{4})
 	apply(t, typ, s, "add", 2, 100)
 	apply(t, typ, s, "add", 2, 200)
@@ -231,7 +231,7 @@ func TestKillerOps(t *testing.T) {
 }
 
 func TestBitSetOps(t *testing.T) {
-	typ := typeByName(t, BitSet)
+	typ := typeByName(t, BitSetObj)
 	s := typ.New([]any{200})
 	if !apply(t, typ, s, "add", 150)[0].(bool) {
 		t.Fatal("first add should report new")
@@ -252,7 +252,7 @@ func TestBitSetOps(t *testing.T) {
 }
 
 func TestBitSetCountProperty(t *testing.T) {
-	typ := typeByName(t, BitSet)
+	typ := typeByName(t, BitSetObj)
 	f := func(idxs []uint16) bool {
 		s := typ.New([]any{1 << 16})
 		seen := map[int]bool{}
@@ -269,7 +269,7 @@ func TestBitSetCountProperty(t *testing.T) {
 }
 
 func TestAccumOps(t *testing.T) {
-	typ := typeByName(t, Accum)
+	typ := typeByName(t, AccumObj)
 	s := typ.New(nil)
 	apply(t, typ, s, "add", 5)
 	apply(t, typ, s, "add", -2)
@@ -292,14 +292,14 @@ func TestClonesAreDeep(t *testing.T) {
 		pArgs   []any
 	}{
 		{IntObj, []any{1}, "assign", []any{9}, "value", nil},
-		{JobQueue, nil, "add", []any{1}, "len", nil},
-		{Barrier, []any{2}, "arrive", nil, "count", nil},
-		{Flag, nil, "set", []any{true}, "value", nil},
-		{BoolArray, []any{4}, "set", []any{0, true}, "countTrue", nil},
-		{Table, []any{4}, "store", []any{uint64(1), int64(2)}, "lookup", []any{uint64(1)}},
-		{Killer, []any{4}, "add", []any{0, 7}, "get", []any{0}},
-		{BitSet, []any{64}, "add", []any{3}, "count", nil},
-		{Accum, nil, "add", []any{5}, "value", nil},
+		{JobQueueObj, nil, "add", []any{1}, "len", nil},
+		{BarrierObj, []any{2}, "arrive", nil, "count", nil},
+		{FlagObj, nil, "set", []any{true}, "value", nil},
+		{BoolArrayObj, []any{4}, "set", []any{0, true}, "countTrue", nil},
+		{TableObj, []any{4}, "store", []any{uint64(1), int64(2)}, "lookup", []any{uint64(1)}},
+		{KillerObj, []any{4}, "add", []any{0, 7}, "get", []any{0}},
+		{BitSetObj, []any{64}, "add", []any{3}, "count", nil},
+		{AccumObj, nil, "add", []any{5}, "value", nil},
 	}
 	for _, tc := range cases {
 		typ := reg.Lookup(tc.name)
@@ -322,7 +322,7 @@ func TestClonesAreDeep(t *testing.T) {
 func TestSizeOfGrowsWithContent(t *testing.T) {
 	reg := rts.NewRegistry()
 	Register(reg)
-	q := reg.Lookup(JobQueue)
+	q := reg.Lookup(JobQueueObj)
 	s := q.New(nil)
 	small := q.SizeOf(s)
 	for i := 0; i < 10; i++ {
@@ -331,7 +331,7 @@ func TestSizeOfGrowsWithContent(t *testing.T) {
 	if big := q.SizeOf(s); big <= small {
 		t.Fatalf("queue size did not grow: %d -> %d", small, big)
 	}
-	bs := reg.Lookup(BitSet)
+	bs := reg.Lookup(BitSetObj)
 	if sz := bs.SizeOf(bs.New([]any{1024})); sz < 128 {
 		t.Fatalf("bitset(1024) size = %d, want >= 128", sz)
 	}

@@ -1,0 +1,455 @@
+// API v2: the typed shared-object surface.
+//
+// The wire-level model underneath (internal/rts) is stringly typed:
+// operations are names plus []any argument lists returning []any
+// result lists, because that is what travels between machines. Orca
+// itself never exposed that to the programmer — the compiler checked
+// every operation against the object's abstract type. This file plays
+// the compiler's role for the embedded API: a TypeBuilder[S] declares
+// an object type over its concrete state S, typed operation
+// descriptors (ReadOp, WriteOp, UpdateOp, AwaitOp and their arity
+// variants) carry the argument and result types in their type
+// parameters, and Handle[S] ties an object instance to its state
+// type. Invoking a descriptor on a handle of the wrong type, with the
+// wrong argument types, or expecting the wrong results is a compile
+// error, exactly as it would be in Orca.
+//
+// The descriptors delegate to the untyped Proc.Invoke, which remains
+// available as the dynamic escape hatch (and as the layer the rts
+// tests and protocol ablations exercise directly); the typed surface
+// is a facade over the existing runtime, not a fork of it.
+package orca
+
+import (
+	"fmt"
+
+	"repro/internal/rts"
+	"repro/internal/sim"
+)
+
+// Handle is a typed handle to a shared data-object whose replicated
+// state is S. Like Object, a Handle is passed to forked processes by
+// closure, mirroring Orca's shared call-by-reference parameters; the
+// zero Handle is invalid until assigned from New/NewOn.
+type Handle[S rts.State] struct {
+	o Object
+}
+
+// Untyped returns the untyped object handle (for statistics and for
+// mixing with the dynamic Invoke surface).
+func (h Handle[S]) Untyped() Object { return h.o }
+
+// ID exposes the runtime object id (for harness statistics).
+func (h Handle[S]) ID() rts.ObjID { return h.o.ID() }
+
+// TypeBuilder declares an object type whose state is S. Build one with
+// NewType, chain the state-management hooks fluently, attach typed
+// operations with the Def* functions, and register the result with
+// Register. The builder owns an ordinary *rts.ObjectType underneath,
+// so typed and untyped invocations dispatch to the same definitions.
+type TypeBuilder[S rts.State] struct {
+	t *rts.ObjectType
+}
+
+// NewType starts a type definition. ctor builds the initial state from
+// the (positional, untyped) constructor arguments — constructor calls
+// originate locally in New, so the typed wrapper layer gives them
+// typed signatures.
+func NewType[S rts.State](name string, ctor func(args []any) S) *TypeBuilder[S] {
+	return &TypeBuilder[S]{t: &rts.ObjectType{
+		Name: name,
+		New:  func(args []any) rts.State { return ctor(args) },
+		Ops:  make(map[string]*rts.OpDef),
+	}}
+}
+
+// CloneWith sets the deep-copy hook the point-to-point runtime uses to
+// transfer replicas; fn must return a state disjoint from its input.
+func (b *TypeBuilder[S]) CloneWith(fn func(S) S) *TypeBuilder[S] {
+	b.t.Clone = func(s rts.State) rts.State { return fn(s.(S)) }
+	return b
+}
+
+// SizedBy sets the state-size estimator (replica segment sizing and
+// state-transfer message sizes).
+func (b *TypeBuilder[S]) SizedBy(fn func(S) int) *TypeBuilder[S] {
+	b.t.SizeOf = func(s rts.State) int { return fn(s.(S)) }
+	return b
+}
+
+// FixedSize declares a constant state size in bytes.
+func (b *TypeBuilder[S]) FixedSize(n int) *TypeBuilder[S] {
+	b.t.SizeOf = func(rts.State) int { return n }
+	return b
+}
+
+// Type returns the underlying rts type definition.
+func (b *TypeBuilder[S]) Type() *rts.ObjectType { return b.t }
+
+// Register adds the built type to a registry.
+func (b *TypeBuilder[S]) Register(reg *rts.Registry) { reg.Register(b.t) }
+
+// New creates a shared object of this type, returning a typed handle.
+func (b *TypeBuilder[S]) New(p *Proc, args ...any) Handle[S] {
+	return Handle[S]{o: p.New(b.t.Name, args...)}
+}
+
+// NewOn creates a partially replicated shared object of this type
+// (broadcast runtime only; see Proc.NewOn).
+func (b *TypeBuilder[S]) NewOn(p *Proc, nodes []int, args ...any) Handle[S] {
+	return Handle[S]{o: p.NewOn(b.t.Name, nodes, args...)}
+}
+
+// addOp wraps a typed apply into the positional wire encoding and
+// registers it under name. All descriptors funnel through here, so an
+// object type's operations are exactly its descriptors.
+func addOp[S rts.State](b *TypeBuilder[S], name string, kind rts.OpKind,
+	apply func(s S, a []any) []any) *rts.OpDef {
+	if _, dup := b.t.Ops[name]; dup {
+		panic(fmt.Sprintf("orca: type %s redefines operation %q", b.t.Name, name))
+	}
+	def := &rts.OpDef{
+		Name: name,
+		Kind: kind,
+		Apply: func(s rts.State, a []any) []any {
+			return apply(s.(S), a)
+		},
+	}
+	b.t.Ops[name] = def
+	return def
+}
+
+// as decodes one wire result into its static type, mapping an absent
+// (nil) slot to the zero value — results legitimately carry nil in
+// "not found" slots (e.g. a drained queue's (nil, false)).
+func as[T any](v any) T {
+	if v == nil {
+		var zero T
+		return zero
+	}
+	return v.(T)
+}
+
+// argAs decodes one wire argument. Arguments are stricter than
+// results: a nil is only legal when T itself can hold nil (an
+// interface-typed parameter), and a wrong type panics at the call
+// site, exactly as the direct assertions of the untyped layer always
+// did — the typed facade must not weaken the dynamic path's checking.
+func argAs[T any](v any) T {
+	if t, ok := v.(T); ok {
+		return t
+	}
+	if v == nil {
+		var zero T
+		if any(zero) == nil {
+			return zero // T is an interface type: nil is its zero value
+		}
+	}
+	return v.(T) // panics with the runtime's standard conversion error
+}
+
+// ---------------------------------------------------------------------
+// Read operations. Reads never change the state; the runtime executes
+// them on the local replica when one exists.
+
+// ReadOp0 is a read taking no arguments and returning R.
+type ReadOp0[S rts.State, R any] struct{ def *rts.OpDef }
+
+// DefRead0 attaches a no-argument read to a type.
+func DefRead0[S rts.State, R any](b *TypeBuilder[S], name string, apply func(S) R) ReadOp0[S, R] {
+	return ReadOp0[S, R]{def: addOp(b, name, rts.Read, func(s S, _ []any) []any {
+		return []any{apply(s)}
+	})}
+}
+
+// Guard makes the read blocking: it suspends until g is true.
+func (op ReadOp0[S, R]) Guard(g func(S) bool) ReadOp0[S, R] {
+	op.def.Guard = func(s rts.State, _ []any) bool { return g(s.(S)) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op ReadOp0[S, R]) Cost(d sim.Time) ReadOp0[S, R] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op ReadOp0[S, R]) Call(p *Proc, h Handle[S]) R {
+	return as[R](p.Invoke(h.o, op.def.Name)[0])
+}
+
+// ReadOp is a read taking one argument A and returning R — the
+// canonical typed operation shape.
+type ReadOp[S rts.State, A, R any] struct{ def *rts.OpDef }
+
+// DefRead attaches a one-argument read to a type.
+func DefRead[S rts.State, A, R any](b *TypeBuilder[S], name string, apply func(S, A) R) ReadOp[S, A, R] {
+	return ReadOp[S, A, R]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
+		return []any{apply(s, argAs[A](a[0]))}
+	})}
+}
+
+// Guard makes the read blocking; the guard sees the argument.
+func (op ReadOp[S, A, R]) Guard(g func(S, A) bool) ReadOp[S, A, R] {
+	op.def.Guard = func(s rts.State, a []any) bool { return g(s.(S), argAs[A](a[0])) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op ReadOp[S, A, R]) Cost(d sim.Time) ReadOp[S, A, R] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op ReadOp[S, A, R]) Call(p *Proc, h Handle[S], arg A) R {
+	return as[R](p.Invoke(h.o, op.def.Name, arg)[0])
+}
+
+// ReadOp1x2 is a read taking one argument and returning two results
+// (the lookup-style (value, ok) shape).
+type ReadOp1x2[S rts.State, A, R1, R2 any] struct{ def *rts.OpDef }
+
+// DefRead1x2 attaches a one-argument, two-result read to a type.
+func DefRead1x2[S rts.State, A, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A) (R1, R2)) ReadOp1x2[S, A, R1, R2] {
+	return ReadOp1x2[S, A, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
+		r1, r2 := apply(s, argAs[A](a[0]))
+		return []any{r1, r2}
+	})}
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op ReadOp1x2[S, A, R1, R2]) Cost(d sim.Time) ReadOp1x2[S, A, R1, R2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op ReadOp1x2[S, A, R1, R2]) Call(p *Proc, h Handle[S], arg A) (R1, R2) {
+	res := p.Invoke(h.o, op.def.Name, arg)
+	return as[R1](res[0]), as[R2](res[1])
+}
+
+// ReadOp2x2 is a read taking two arguments and returning two results.
+type ReadOp2x2[S rts.State, A1, A2, R1, R2 any] struct{ def *rts.OpDef }
+
+// DefRead2x2 attaches a two-argument, two-result read to a type.
+func DefRead2x2[S rts.State, A1, A2, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2) (R1, R2)) ReadOp2x2[S, A1, A2, R1, R2] {
+	return ReadOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
+		r1, r2 := apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
+		return []any{r1, r2}
+	})}
+}
+
+// Guard makes the read blocking; the guard sees both arguments.
+func (op ReadOp2x2[S, A1, A2, R1, R2]) Guard(g func(S, A1, A2) bool) ReadOp2x2[S, A1, A2, R1, R2] {
+	op.def.Guard = func(s rts.State, a []any) bool {
+		return g(s.(S), argAs[A1](a[0]), argAs[A2](a[1]))
+	}
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op ReadOp2x2[S, A1, A2, R1, R2]) Cost(d sim.Time) ReadOp2x2[S, A1, A2, R1, R2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op ReadOp2x2[S, A1, A2, R1, R2]) Call(p *Proc, h Handle[S], a1 A1, a2 A2) (R1, R2) {
+	res := p.Invoke(h.o, op.def.Name, a1, a2)
+	return as[R1](res[0]), as[R2](res[1])
+}
+
+// AwaitOp is a guarded read with no arguments and no results: pure
+// condition synchronization (a barrier wait, a flag await). The guard
+// is given at definition time because it is the whole operation.
+type AwaitOp[S rts.State] struct{ def *rts.OpDef }
+
+// DefAwait attaches a blocking no-op read whose only effect is to
+// suspend the caller until guard holds.
+func DefAwait[S rts.State](b *TypeBuilder[S], name string, guard func(S) bool) AwaitOp[S] {
+	op := AwaitOp[S]{def: addOp(b, name, rts.Read, func(S, []any) []any { return nil })}
+	op.def.Guard = func(s rts.State, _ []any) bool { return guard(s.(S)) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op AwaitOp[S]) Cost(d sim.Time) AwaitOp[S] { op.def.CPUCost = d; return op }
+
+// Call blocks until the guard holds.
+func (op AwaitOp[S]) Call(p *Proc, h Handle[S]) {
+	p.Invoke(h.o, op.def.Name)
+}
+
+// ---------------------------------------------------------------------
+// Write operations. Writes may change the state; the runtime
+// propagates them to every replica (broadcast RTS) or applies them at
+// the primary (point-to-point RTS). UpdateOp is the no-result variant.
+
+// WriteOp0 is a write taking no arguments and returning R.
+type WriteOp0[S rts.State, R any] struct{ def *rts.OpDef }
+
+// DefWrite0 attaches a no-argument write to a type.
+func DefWrite0[S rts.State, R any](b *TypeBuilder[S], name string, apply func(S) R) WriteOp0[S, R] {
+	return WriteOp0[S, R]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
+		return []any{apply(s)}
+	})}
+}
+
+// Guard makes the write blocking.
+func (op WriteOp0[S, R]) Guard(g func(S) bool) WriteOp0[S, R] {
+	op.def.Guard = func(s rts.State, _ []any) bool { return g(s.(S)) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op WriteOp0[S, R]) Cost(d sim.Time) WriteOp0[S, R] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op WriteOp0[S, R]) Call(p *Proc, h Handle[S]) R {
+	return as[R](p.Invoke(h.o, op.def.Name)[0])
+}
+
+// WriteOp is a write taking one argument A and returning R — the
+// canonical typed operation shape.
+type WriteOp[S rts.State, A, R any] struct{ def *rts.OpDef }
+
+// DefWrite attaches a one-argument write to a type.
+func DefWrite[S rts.State, A, R any](b *TypeBuilder[S], name string, apply func(S, A) R) WriteOp[S, A, R] {
+	return WriteOp[S, A, R]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+		return []any{apply(s, argAs[A](a[0]))}
+	})}
+}
+
+// Guard makes the write blocking; the guard sees the argument.
+func (op WriteOp[S, A, R]) Guard(g func(S, A) bool) WriteOp[S, A, R] {
+	op.def.Guard = func(s rts.State, a []any) bool { return g(s.(S), argAs[A](a[0])) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op WriteOp[S, A, R]) Cost(d sim.Time) WriteOp[S, A, R] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op WriteOp[S, A, R]) Call(p *Proc, h Handle[S], arg A) R {
+	return as[R](p.Invoke(h.o, op.def.Name, arg)[0])
+}
+
+// WriteOp0x2 is a write taking no arguments and returning two results
+// (the guarded dequeue shape: (item, ok)).
+type WriteOp0x2[S rts.State, R1, R2 any] struct{ def *rts.OpDef }
+
+// DefWrite0x2 attaches a no-argument, two-result write to a type.
+func DefWrite0x2[S rts.State, R1, R2 any](b *TypeBuilder[S], name string, apply func(S) (R1, R2)) WriteOp0x2[S, R1, R2] {
+	return WriteOp0x2[S, R1, R2]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
+		r1, r2 := apply(s)
+		return []any{r1, r2}
+	})}
+}
+
+// Guard makes the write blocking.
+func (op WriteOp0x2[S, R1, R2]) Guard(g func(S) bool) WriteOp0x2[S, R1, R2] {
+	op.def.Guard = func(s rts.State, _ []any) bool { return g(s.(S)) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op WriteOp0x2[S, R1, R2]) Cost(d sim.Time) WriteOp0x2[S, R1, R2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op WriteOp0x2[S, R1, R2]) Call(p *Proc, h Handle[S]) (R1, R2) {
+	res := p.Invoke(h.o, op.def.Name)
+	return as[R1](res[0]), as[R2](res[1])
+}
+
+// WriteOp2x2 is a write taking two arguments and returning two
+// results (the claim-style shape of termination protocols).
+type WriteOp2x2[S rts.State, A1, A2, R1, R2 any] struct{ def *rts.OpDef }
+
+// DefWrite2x2 attaches a two-argument, two-result write to a type.
+func DefWrite2x2[S rts.State, A1, A2, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2) (R1, R2)) WriteOp2x2[S, A1, A2, R1, R2] {
+	return WriteOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+		r1, r2 := apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
+		return []any{r1, r2}
+	})}
+}
+
+// Guard makes the write blocking; the guard sees both arguments.
+func (op WriteOp2x2[S, A1, A2, R1, R2]) Guard(g func(S, A1, A2) bool) WriteOp2x2[S, A1, A2, R1, R2] {
+	op.def.Guard = func(s rts.State, a []any) bool {
+		return g(s.(S), argAs[A1](a[0]), argAs[A2](a[1]))
+	}
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op WriteOp2x2[S, A1, A2, R1, R2]) Cost(d sim.Time) WriteOp2x2[S, A1, A2, R1, R2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op WriteOp2x2[S, A1, A2, R1, R2]) Call(p *Proc, h Handle[S], a1 A1, a2 A2) (R1, R2) {
+	res := p.Invoke(h.o, op.def.Name, a1, a2)
+	return as[R1](res[0]), as[R2](res[1])
+}
+
+// UpdateOp0 is a write with no arguments and no results (close,
+// finish, reset — pure state transitions).
+type UpdateOp0[S rts.State] struct{ def *rts.OpDef }
+
+// DefUpdate0 attaches a no-argument, no-result write to a type.
+func DefUpdate0[S rts.State](b *TypeBuilder[S], name string, apply func(S)) UpdateOp0[S] {
+	return UpdateOp0[S]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
+		apply(s)
+		return nil
+	})}
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op UpdateOp0[S]) Cost(d sim.Time) UpdateOp0[S] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op UpdateOp0[S]) Call(p *Proc, h Handle[S]) {
+	p.Invoke(h.o, op.def.Name)
+}
+
+// UpdateOp is a write taking one argument and returning nothing.
+type UpdateOp[S rts.State, A any] struct{ def *rts.OpDef }
+
+// DefUpdate attaches a one-argument, no-result write to a type.
+func DefUpdate[S rts.State, A any](b *TypeBuilder[S], name string, apply func(S, A)) UpdateOp[S, A] {
+	return UpdateOp[S, A]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+		apply(s, argAs[A](a[0]))
+		return nil
+	})}
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op UpdateOp[S, A]) Cost(d sim.Time) UpdateOp[S, A] { op.def.CPUCost = d; return op }
+
+// Call performs the operation on h.
+func (op UpdateOp[S, A]) Call(p *Proc, h Handle[S], arg A) {
+	p.Invoke(h.o, op.def.Name, arg)
+}
+
+// UpdateOp2 is a write taking two arguments and returning nothing.
+type UpdateOp2[S rts.State, A1, A2 any] struct{ def *rts.OpDef }
+
+// DefUpdate2 attaches a two-argument, no-result write to a type.
+func DefUpdate2[S rts.State, A1, A2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2)) UpdateOp2[S, A1, A2] {
+	return UpdateOp2[S, A1, A2]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+		apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
+		return nil
+	})}
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op UpdateOp2[S, A1, A2]) Cost(d sim.Time) UpdateOp2[S, A1, A2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op UpdateOp2[S, A1, A2]) Call(p *Proc, h Handle[S], a1 A1, a2 A2) {
+	p.Invoke(h.o, op.def.Name, a1, a2)
+}
