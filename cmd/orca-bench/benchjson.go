@@ -1,0 +1,214 @@
+package main
+
+// The -bench-json mode: a self-contained engine benchmark runner that
+// measures the simulation kernel and the object-runtime hot paths
+// without the testing package, and records the results in
+// BENCH_engine.json. The file is the performance trajectory baseline:
+// each entry carries wall-ns/op, events/sec, and allocs/op, plus the
+// virtual-time metrics for the runtime-level workloads (which must
+// stay bit-identical across engine work — only the wall-clock numbers
+// are allowed to move).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps/tsp"
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+// benchResult is one benchmark's record in BENCH_engine.json.
+type benchResult struct {
+	Name         string  `json:"name"`
+	Ops          int64   `json:"ops"`
+	WallNsPerOp  float64 `json:"wall_ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	VirtualUsOp  float64 `json:"virtual_us_per_op,omitempty"`
+	VirtualSec   float64 `json:"virtual_s,omitempty"`
+}
+
+// benchFile is the schema of BENCH_engine.json.
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Results     []benchResult `json:"results"`
+	Baseline    []benchResult `json:"pre_refactor_baseline"`
+}
+
+// preRefactorBaseline pins the runtime-level workloads as measured
+// before the fast-path scheduler rework (central scheduler goroutine,
+// heap-only event queue, a fresh Event and closure per wakeup, O(n)
+// queue sizing), median of interleaved runs on the same host class.
+// Every regeneration of BENCH_engine.json carries it, so the file
+// always shows the trajectory against the fixed starting point. The
+// virtual metrics are identical by construction — only wall-clock and
+// allocation figures were allowed to move.
+var preRefactorBaseline = []benchResult{
+	{Name: "orca/local-read", WallNsPerOp: 69.4, AllocsPerOp: 1, VirtualUsOp: 10.01},
+	{Name: "orca/broadcast-write", WallNsPerOp: 21700, AllocsPerOp: 62, VirtualUsOp: 209.0},
+	{Name: "fig2/tsp-p8", WallNsPerOp: 72.0e6, AllocsPerOp: 836858, VirtualSec: 0.8889},
+}
+
+// measure runs fn(n) and fills in wall, alloc, and event rates. fn
+// returns the environment (for the dispatch counter; nil to skip
+// events/sec) after driving n operations.
+func measure(name string, n int64, fn func(n int64) *sim.Env) benchResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	env := fn(n)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := benchResult{
+		Name:        name,
+		Ops:         n,
+		WallNsPerOp: float64(wall.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}
+	if env != nil {
+		r.EventsPerSec = float64(env.Events()) / wall.Seconds()
+	}
+	return r
+}
+
+// runBenchJSON runs the engine suite and writes path.
+func runBenchJSON(path string, quick bool) error {
+	scale := int64(1)
+	if quick {
+		scale = 4
+	}
+	var results []benchResult
+
+	// Kernel microbenchmarks (mirrors bench_engine_test.go).
+	results = append(results, measure("engine/yield", 4_000_000/scale, func(n int64) *sim.Env {
+		e := sim.New(1)
+		e.Spawn("yielder", func(p *sim.Proc) {
+			for i := int64(0); i < n; i++ {
+				p.Yield()
+			}
+		})
+		e.Run()
+		e.Shutdown()
+		return e
+	}))
+	results = append(results, measure("engine/yield-pingpong", 1_000_000/scale, func(n int64) *sim.Env {
+		e := sim.New(1)
+		for i := 0; i < 2; i++ {
+			e.Spawn("ponger", func(p *sim.Proc) {
+				for i := int64(0); i < n/2; i++ {
+					p.Yield()
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		return e
+	}))
+	results = append(results, measure("engine/sleep", 1_000_000/scale, func(n int64) *sim.Env {
+		e := sim.New(1)
+		const procs = 16
+		for i := 0; i < procs; i++ {
+			d := sim.Time(i + 1)
+			e.Spawn("sleeper", func(p *sim.Proc) {
+				for i := int64(0); i < n/procs; i++ {
+					p.Sleep(d)
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		return e
+	}))
+	results = append(results, measure("engine/queue", 500_000/scale, func(n int64) *sim.Env {
+		e := sim.New(1)
+		q := sim.NewQueue[int](e)
+		e.Spawn("consumer", func(p *sim.Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+			}
+		})
+		e.Spawn("producer", func(p *sim.Proc) {
+			for i := int64(0); i < n; i++ {
+				q.Put(int(i))
+				p.Yield()
+			}
+			q.Close()
+		})
+		e.Run()
+		e.Shutdown()
+		return e
+	}))
+
+	// Object-runtime primitives over the broadcast RTS (4 processors),
+	// the workloads of BenchmarkOrcaOps. Their virtual-µs/op must not
+	// move across engine changes.
+	orcaOp := func(name string, n int64, op func(p *orca.Proc, c std.Counter, i int64)) benchResult {
+		var rt *orca.Runtime
+		var per sim.Time
+		r := measure(name, n, func(n int64) *sim.Env {
+			rt = orca.New(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, std.Register)
+			rt.Run(func(p *orca.Proc) {
+				c := std.NewCounter(p, 0)
+				start := p.Now()
+				for i := int64(0); i < n; i++ {
+					op(p, c, i)
+				}
+				per = (p.Now() - start) / sim.Time(n)
+			})
+			return rt.Env()
+		})
+		r.VirtualUsOp = per.Microseconds()
+		return r
+	}
+	results = append(results, orcaOp("orca/local-read", 2_000_000/scale,
+		func(p *orca.Proc, c std.Counter, _ int64) { c.Value(p) }))
+	results = append(results, orcaOp("orca/broadcast-write", 100_000/scale,
+		func(p *orca.Proc, c std.Counter, i int64) { c.Assign(p, int(i)) }))
+
+	// One full application run: the Figure 2 TSP workload at 8
+	// processors. virtual_s is the reproduced datapoint and must stay
+	// fixed; wall_ns_per_op tracks the engine.
+	{
+		inst := tsp.Generate(12, 5)
+		var virtual sim.Time
+		r := measure("fig2/tsp-p8", 1, func(int64) *sim.Env {
+			res := tsp.RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst, tsp.Params{})
+			virtual = res.Report.Elapsed
+			return res.Runtime.Env()
+		})
+		r.VirtualSec = virtual.Seconds()
+		results = append(results, r)
+	}
+
+	out := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Results:     results,
+		Baseline:    preRefactorBaseline,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-22s %12.1f ns/op %14.0f events/s %8.1f allocs/op\n",
+			r.Name, r.WallNsPerOp, r.EventsPerSec, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

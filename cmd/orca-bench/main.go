@@ -4,9 +4,13 @@
 // Usage:
 //
 //	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro] [-quick]
+//	orca-bench -bench-json [-bench-out BENCH_engine.json] [-quick]
 //
 // Each experiment prints the measured series next to a summary of what
-// the paper reports; EXPERIMENTS.md records a full run.
+// the paper reports; EXPERIMENTS.md records a full run. The
+// -bench-json mode instead runs the engine benchmark suite (wall-clock
+// ns/op, events/sec, allocs/op, and the invariant virtual-time
+// metrics) and records it in BENCH_engine.json.
 package main
 
 import (
@@ -21,7 +25,17 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost")
 	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
+	benchJSON := flag.Bool("bench-json", false, "run the engine benchmark suite and write a JSON report")
+	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
 	flag.Parse()
+
+	if *benchJSON {
+		if err := runBenchJSON(*benchOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := harness.Full
 	if *quick {

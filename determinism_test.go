@@ -1,0 +1,122 @@
+package repro
+
+// Cross-app determinism regression tests. Every simulation is a pure
+// function of its seed: running the same program twice must produce
+// bit-identical virtual times and runtime counters. These tests guard
+// the scheduler's (time, seq) total order — a refactor that silently
+// perturbs event ordering shows up here as a fingerprint mismatch long
+// before anyone notices a skewed speedup curve.
+//
+// The pinned fingerprints below were recorded before the fast-path
+// scheduler rework (ready queue, event pool, cached op dispatch), so
+// they also prove that rework preserves virtual-time results exactly.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/acp"
+	"repro/internal/apps/atpg"
+	"repro/internal/apps/chess"
+	"repro/internal/apps/tsp"
+	"repro/internal/orca"
+	"repro/internal/rts"
+)
+
+// fingerprint summarizes one run: virtual elapsed time, wire traffic,
+// and the runtime counters that depend on event ordering.
+func fingerprint(rep orca.Report, rt *orca.Runtime) string {
+	s := fmt.Sprintf("elapsed=%d frames=%d msgs=%d wire=%d payload=%d",
+		int64(rep.Elapsed), rep.Net.Frames, rep.Net.Messages, rep.Net.WireBytes, rep.Net.PayloadBytes)
+	if br, ok := rt.System().(*rts.BroadcastRTS); ok {
+		lr, bw, gw := br.Stats()
+		s += fmt.Sprintf(" reads=%d writes=%d guardwaits=%d", lr, bw, gw)
+	}
+	for _, busy := range rep.CPUBusy {
+		s += fmt.Sprintf(" cpu=%d", int64(busy))
+	}
+	return s
+}
+
+// apps is the cross-app determinism matrix: each entry runs a reduced
+// instance of one paper application on 4 processors, seed 1.
+var determinismApps = []struct {
+	name string
+	run  func() string
+}{
+	{"tsp", func() string {
+		inst := tsp.Generate(10, 5)
+		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, tsp.Params{})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"tsp-p2p", func() string {
+		inst := tsp.Generate(10, 5)
+		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.P2PUpdate, Seed: 1}, inst, tsp.Params{})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"acp", func() string {
+		inst := acp.GeneratePropagation(16, 16, 12, 2)
+		r := acp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, acp.Params{})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"chess", func() string {
+		board, err := chess.FromFEN("r1bq1rk1/pp1n1ppp/2pbpn2/3p4/2PP4/2NBPN2/PP3PPP/R1BQ1RK1 w - - 0 1")
+		if err != nil {
+			panic(err)
+		}
+		r := chess.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1},
+			board, chess.Params{MaxDepth: 3, SharedTT: true, SharedKiller: true})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"atpg", func() string {
+		c := atpg.Generate(12, 5, 20, 42)
+		r := atpg.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1},
+			c, atpg.AllFaults(c), atpg.Params{Mode: atpg.StaticFaultSim})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+}
+
+// TestCrossAppDeterminism runs each application twice with the same
+// seed and requires identical fingerprints.
+func TestCrossAppDeterminism(t *testing.T) {
+	for _, app := range determinismApps {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			a, b := app.run(), app.run()
+			if a != b {
+				t.Fatalf("same seed, different runs:\n  first:  %s\n  second: %s", a, b)
+			}
+			t.Logf("fingerprint: %s", a)
+		})
+	}
+}
+
+// goldenFingerprints pins the exact pre-refactor virtual-time results.
+// A mismatch means the scheduler or runtime changed the simulated
+// outcome, not just its wall-clock cost. Update these only with a
+// change that is *meant* to alter simulated timing, and say so in the
+// commit message.
+var goldenFingerprints = map[string]string{
+	"tsp-p2p": "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
+	"tsp":     "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",
+	"acp":     "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
+	"chess":   "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
+	"atpg":    "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
+}
+
+// TestGoldenFingerprints compares each app's fingerprint against the
+// pinned pre-refactor value.
+func TestGoldenFingerprints(t *testing.T) {
+	for _, app := range determinismApps {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			want := goldenFingerprints[app.name]
+			if want == "" {
+				t.Skip("no golden fingerprint recorded")
+			}
+			if got := app.run(); got != want {
+				t.Fatalf("fingerprint drifted from pre-refactor golden:\n  got:  %s\n  want: %s", got, want)
+			}
+		})
+	}
+}

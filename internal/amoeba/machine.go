@@ -69,8 +69,10 @@ type Handler func(p *sim.Proc, from int, pkt Packet)
 
 // task is a unit of work for the interrupt thread: either a network
 // delivery or a deferred function (timer bodies that need kernel CPU).
+// The delivery travels by value: a pointer would force a fresh heap
+// allocation per received frame.
 type task struct {
-	deliv *netsim.Delivery
+	deliv netsim.Delivery
 	fn    func(p *sim.Proc)
 }
 
@@ -106,7 +108,7 @@ func NewMachine(env *sim.Env, net *netsim.Network, id int, costs Costs) *Machine
 		ports: make(map[string]Handler),
 	}
 	net.Handle(id, func(d netsim.Delivery) {
-		m.inq.Put(task{deliv: &d})
+		m.inq.Put(task{deliv: d})
 	})
 	m.SpawnThread("netisr", m.interruptLoop)
 	return m
@@ -143,7 +145,7 @@ func (m *Machine) interruptLoop(p *sim.Proc) {
 			t.fn(p)
 			continue
 		}
-		d := t.deliv
+		d := &t.deliv
 		cost := m.costs.Interrupt*sim.Time(d.Fragments) + m.costs.Protocol
 		m.cpu.UseFront(p, cost)
 		pkt, ok := d.Frame.Payload.(Packet)

@@ -28,6 +28,9 @@ func RegisterTypes(reg *rts.Registry) {
 
 type domainState struct{ masks []uint64 }
 
+// WireSize implements rts.Sized.
+func (s *domainState) WireSize() int { return 8 + 8*len(s.masks) }
+
 var (
 	domainB = orca.NewType(DomainObj, func(args []any) *domainState {
 		n, full := args[0].(int), args[1].(uint64)
@@ -40,7 +43,7 @@ var (
 		CloneWith(func(s *domainState) *domainState {
 			return &domainState{masks: append([]uint64(nil), s.masks...)}
 		}).
-		SizedBy(func(s *domainState) int { return 8 + 8*len(s.masks) })
+		SizedBy((*domainState).WireSize)
 
 	domainGet = orca.DefRead(domainB, "get", func(s *domainState, i int) uint64 {
 		return s.masks[i]
@@ -98,6 +101,9 @@ type workState struct {
 	done bool
 }
 
+// WireSize implements rts.Sized.
+func (st *workState) WireSize() int { return 9 + len(st.bits) + len(st.idle) }
+
 // claim is the shared core of the claim and await operations.
 func (st *workState) claim(me int, vars []int) (int, bool) {
 	if st.done {
@@ -129,7 +135,7 @@ var (
 				done: st.done,
 			}
 		}).
-		SizedBy(func(st *workState) int { return 9 + len(st.bits) + len(st.idle) })
+		SizedBy((*workState).WireSize)
 
 	// mark flags variables for rechecking.
 	workMark = orca.DefUpdate(workB, "mark", func(st *workState, vars []int) {

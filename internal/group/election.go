@@ -269,7 +269,7 @@ func (g *Member) kickOutstanding(p *sim.Proc) {
 			}
 			d := &dataMsg{Seq: g.nextSeqNum(), UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size, Epoch: g.epoch}
 			g.recordHistory(d)
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			g.processData(p, d)
 			continue
 		}

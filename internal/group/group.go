@@ -245,9 +245,11 @@ type Member struct {
 	gapTimer    *sim.Event
 
 	// Delivered-message cache and uid dedup for election recovery.
+	// dlvOrder[dlvHead:] is the FIFO dedup window.
 	cache    []*dataMsg
 	dlvUID   map[int64]bool
 	dlvOrder []int64
+	dlvHead  int
 
 	// Sequencer state. A freshly elected sequencer is not installed
 	// until every live member acknowledged its view; it assigns no
@@ -366,7 +368,7 @@ func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
 		d := &dataMsg{Seq: g.nextSeqNum(), UID: uid, Src: g.m.ID(), Kind: kind, Body: body, Size: size, Epoch: g.epoch}
 		g.recordHistory(d)
 		g.stats.PBSends++
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: size + hdrData})
+		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: size + hdrData})
 		g.processData(p, d)
 		return uid
 	}
@@ -389,12 +391,13 @@ func (g *Member) transmit(p *sim.Proc, st *sendState) {
 		})
 	case ForceBB:
 		g.stats.BBSends++
-		// The sender keeps its own copy; it will not hear its own
-		// broadcast frame.
-		g.pendingBB[st.uid] = &bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size}
+		// The sender keeps the same record it broadcasts; it will not
+		// hear its own frame, and nobody mutates the record.
+		bb := &bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size}
+		g.pendingBB[st.uid] = bb
 		g.m.Broadcast(p, amoeba.Packet{
 			Port: Port, Kind: "grp-bb-data",
-			Body: bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size},
+			Body: bb,
 			Size: st.size + hdrData,
 		})
 	}

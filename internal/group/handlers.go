@@ -12,10 +12,16 @@ func (g *Member) handle(p *sim.Proc, from int, pkt amoeba.Packet) {
 	switch b := pkt.Body.(type) {
 	case reqMsg:
 		g.onRequest(p, b)
+	case *dataMsg:
+		// Sequenced data travels by pointer: every receiver (and the
+		// sequencer's own history) shares one record, which is never
+		// mutated after sequencing.
+		g.processData(p, b)
 	case dataMsg:
+		// Retransmissions are restamped copies and travel by value.
 		g.processData(p, &b)
-	case bbDataMsg:
-		g.onBBData(p, &b)
+	case *bbDataMsg:
+		g.onBBData(p, b)
 	case acceptMsg:
 		g.onAccept(p, b)
 	case retxReq:
@@ -59,13 +65,13 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 		// Retransmitted request: rebroadcast the sequenced message so
 		// the sender (and anyone else who missed it) sees it.
 		if d, ok := g.history[seq]; ok {
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 		}
 		return
 	}
 	d := &dataMsg{Seq: g.nextSeqNum(), UID: r.UID, Src: r.Src, Kind: r.Kind, Body: r.Body, Size: r.Size, Epoch: g.epoch}
 	g.recordHistory(d)
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: *d, Size: d.Size + hdrData})
+	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 	g.processData(p, d)
 }
 
@@ -221,10 +227,17 @@ func (g *Member) deliver(p *sim.Proc, d *dataMsg) {
 		return // re-sequenced duplicate after an election
 	}
 	g.dlvUID[d.UID] = true
+	if len(g.dlvOrder) == cap(g.dlvOrder) && g.dlvHead > 0 {
+		// Compact the dedup window in place rather than letting the
+		// backing array march and reallocate on every refill.
+		n := copy(g.dlvOrder, g.dlvOrder[g.dlvHead:])
+		g.dlvOrder = g.dlvOrder[:n]
+		g.dlvHead = 0
+	}
 	g.dlvOrder = append(g.dlvOrder, d.UID)
-	if len(g.dlvOrder) > 4*len(g.cache) && len(g.cache) > 0 {
-		delete(g.dlvUID, g.dlvOrder[0])
-		g.dlvOrder = g.dlvOrder[1:]
+	if len(g.dlvOrder)-g.dlvHead > 4*len(g.cache) && len(g.cache) > 0 {
+		delete(g.dlvUID, g.dlvOrder[g.dlvHead])
+		g.dlvHead++
 	}
 	g.stats.Delivered++
 	g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Body: d.Body, Size: d.Size})

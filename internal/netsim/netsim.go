@@ -102,6 +102,7 @@ type Network struct {
 	n         int
 	handlers  []Handler
 	down      []bool
+	downCount int
 	busFreeAt sim.Time
 	stats     Stats
 }
@@ -141,7 +142,16 @@ func (nw *Network) Handle(node int, h Handler) {
 
 // SetDown marks a node crashed (true) or recovered (false). Down nodes
 // neither send nor receive.
-func (nw *Network) SetDown(node int, down bool) { nw.down[node] = down }
+func (nw *Network) SetDown(node int, down bool) {
+	if nw.down[node] != down {
+		if down {
+			nw.downCount++
+		} else {
+			nw.downCount--
+		}
+	}
+	nw.down[node] = down
+}
 
 // Down reports whether node is marked crashed.
 func (nw *Network) Down(node int) bool { return nw.down[node] }
@@ -194,7 +204,9 @@ func (nw *Network) deliver(f Frame, dst int, at sim.Time, frags int) {
 			}
 		}
 	}
-	nw.env.At(at, func() {
+	// Pooled schedule: nobody cancels an in-flight frame, so the event
+	// comes from the scheduler's free list instead of the heap's churn.
+	nw.env.Schedule(at, func() {
 		if nw.down[dst] || nw.handlers[dst] == nil {
 			return
 		}
@@ -232,12 +244,32 @@ func (nw *Network) BroadcastFrame(f Frame) {
 	}
 	f.Dst = Broadcast
 	at, frags := nw.transmit(f)
-	for dst := 0; dst < nw.n; dst++ {
-		if dst == f.Src {
-			continue
+	if nw.params.DropProb > 0 || nw.downCount > 0 {
+		// Per-receiver loss rolls, and the schedule-time down-node
+		// filter (a node down at transmit time must not hear the frame
+		// even if it recovers before the arrival instant), need the
+		// general path.
+		for dst := 0; dst < nw.n; dst++ {
+			if dst == f.Src {
+				continue
+			}
+			nw.deliver(f, dst, at, frags)
 		}
-		nw.deliver(f, dst, at, frags)
+		return
 	}
+	// Healthy lossless fast path: all receivers hear the frame at the
+	// same instant, so one pooled event fans out to every handler in
+	// node order — identical delivery order to the per-receiver events
+	// it replaces, at a third of the event traffic.
+	nw.env.Schedule(at, func() {
+		for dst := 0; dst < nw.n; dst++ {
+			if dst == f.Src || nw.down[dst] || nw.handlers[dst] == nil {
+				continue
+			}
+			nw.stats.Interrupts[dst] += int64(frags)
+			nw.handlers[dst](Delivery{Frame: f, Fragments: frags, At: at})
+		}
+	})
 }
 
 // Stats returns a snapshot of the wire statistics.

@@ -89,6 +89,7 @@ type Runtime struct {
 	machines []*amoeba.Machine
 	members  []*group.Member
 	sys      rts.System
+	fastRead rts.LocalReader // non-nil when sys serves typed local reads
 	reg      *rts.Registry
 
 	liveProcs int
@@ -179,6 +180,7 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 	default:
 		panic("orca: unknown RTS kind")
 	}
+	rt.fastRead, _ = rt.sys.(rts.LocalReader)
 	return rt
 }
 
@@ -390,9 +392,26 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 }
 
 // Invoke performs an operation on a shared object: sequentially
-// consistent, indivisible, blocking on guards.
+// consistent, indivisible, blocking on guards. A local read's result
+// slice may alias a per-worker scratch buffer: it is valid until this
+// process's next operation, so a caller that retains results across
+// operations must copy them first. (All wrapper layers consume results
+// immediately.)
 func (p *Proc) Invoke(o Object, op string, args ...any) []any {
 	return p.rt.sys.Invoke(p.w, o.id, op, args...)
+}
+
+// readState is the typed descriptors' local-read fast path: when the
+// runtime can serve an unguarded read from the local replica, it
+// charges the read (exactly as Invoke would) and returns the state for
+// the caller to apply its typed operation directly — no []any
+// argument boxing, no result allocation. ok == false means the caller
+// must take the general Invoke path.
+func (p *Proc) readState(o Object, def *rts.OpDef) (rts.State, bool) {
+	if p.rt.fastRead == nil {
+		return nil, false
+	}
+	return p.rt.fastRead.LocalReadState(p.w, o.id, def)
 }
 
 // InvokeI is Invoke for the common single-int-result case.

@@ -56,6 +56,9 @@ func Register(reg *rts.Registry) {
 
 type intState struct{ v int }
 
+// WireSize implements rts.Sized; it matches the type's FixedSize.
+func (s *intState) WireSize() int { return 8 }
+
 var (
 	intB = orca.NewType(IntObj, func(args []any) *intState {
 		s := &intState{}
@@ -132,30 +135,34 @@ func (c Counter) AwaitGE(p *orca.Proc, n int) int { return intAwaitGE.Call(p, c.
 type jobQueueState struct {
 	jobs   []any
 	closed bool
+	// bytes caches the summed wire size of the queued jobs, updated
+	// incrementally by add/get so sizing a replica is O(1) instead of
+	// a scan of the whole queue on every applied write.
+	bytes int
 }
+
+// WireSize implements rts.Sized.
+func (q *jobQueueState) WireSize() int { return 16 + q.bytes }
 
 var (
 	queueB = orca.NewType(JobQueueObj, func([]any) *jobQueueState { return &jobQueueState{} }).
 		CloneWith(func(q *jobQueueState) *jobQueueState {
-			return &jobQueueState{jobs: append([]any(nil), q.jobs...), closed: q.closed}
+			return &jobQueueState{jobs: append([]any(nil), q.jobs...), closed: q.closed, bytes: q.bytes}
 		}).
-		SizedBy(func(q *jobQueueState) int {
-			n := 16
-			for _, j := range q.jobs {
-				n += rts.SizeOfValue(j)
-			}
-			return n
-		})
+		SizedBy((*jobQueueState).WireSize)
 
 	queueAdd = orca.DefUpdate(queueB, "add", func(q *jobQueueState, job any) {
 		q.jobs = append(q.jobs, job)
+		q.bytes += rts.SizeOfValue(job)
 	})
 	queueGet = orca.DefWrite0x2(queueB, "get", func(q *jobQueueState) (any, bool) {
 		if len(q.jobs) == 0 {
 			return nil, false
 		}
 		j := q.jobs[0]
+		q.jobs[0] = nil
 		q.jobs = q.jobs[1:]
+		q.bytes -= rts.SizeOfValue(j)
 		return j, true
 	}).Guard(func(q *jobQueueState) bool { return len(q.jobs) > 0 || q.closed })
 	queueClose = orca.DefUpdate0(queueB, "close", func(q *jobQueueState) { q.closed = true })
@@ -211,6 +218,9 @@ type barrierState struct {
 	count  int
 }
 
+// WireSize implements rts.Sized; it matches the type's FixedSize.
+func (s *barrierState) WireSize() int { return 16 }
+
 var (
 	barrierB = orca.NewType(BarrierObj, func(args []any) *barrierState {
 		return &barrierState{target: args[0].(int)}
@@ -251,6 +261,9 @@ func (b Barrier) Count(p *orca.Proc) int { return barrierCount.Call(p, b.h) }
 // value is true."
 
 type flagState struct{ b bool }
+
+// WireSize implements rts.Sized; it matches the type's FixedSize.
+func (s *flagState) WireSize() int { return 1 }
 
 var (
 	flagB = orca.NewType(FlagObj, func(args []any) *flagState {
@@ -293,6 +306,9 @@ func (f Flag) Await(p *orca.Proc) { flagAwait.Call(p, f.h) }
 
 type boolArrayState struct{ bits []bool }
 
+// WireSize implements rts.Sized.
+func (s *boolArrayState) WireSize() int { return 8 + len(s.bits) }
+
 var (
 	boolArrayB = orca.NewType(BoolArrayObj, func(args []any) *boolArrayState {
 		n := args[0].(int)
@@ -308,7 +324,7 @@ var (
 		CloneWith(func(s *boolArrayState) *boolArrayState {
 			return &boolArrayState{bits: append([]bool(nil), s.bits...)}
 		}).
-		SizedBy(func(s *boolArrayState) int { return 8 + len(s.bits) })
+		SizedBy((*boolArrayState).WireSize)
 
 	boolArraySet = orca.DefUpdate2(boolArrayB, "set", func(s *boolArrayState, i int, v bool) {
 		s.bits[i] = v
@@ -418,6 +434,9 @@ type tableEntry struct {
 
 type tableState struct{ buckets []tableEntry }
 
+// WireSize implements rts.Sized.
+func (s *tableState) WireSize() int { return 8 + 17*len(s.buckets) }
+
 var (
 	tableB = orca.NewType(TableObj, func(args []any) *tableState {
 		return &tableState{buckets: make([]tableEntry, args[0].(int))}
@@ -425,7 +444,7 @@ var (
 		CloneWith(func(s *tableState) *tableState {
 			return &tableState{buckets: append([]tableEntry(nil), s.buckets...)}
 		}).
-		SizedBy(func(s *tableState) int { return 8 + 17*len(s.buckets) })
+		SizedBy((*tableState).WireSize)
 
 	tableStore = orca.DefUpdate2(tableB, "store", func(s *tableState, k uint64, v int64) {
 		s.buckets[k%uint64(len(s.buckets))] = tableEntry{key: k, val: v, ok: true}
@@ -466,6 +485,9 @@ type killerState struct {
 	moves [][2]int
 }
 
+// WireSize implements rts.Sized.
+func (s *killerState) WireSize() int { return 8 + 16*len(s.moves) }
+
 var (
 	killerB = orca.NewType(KillerObj, func(args []any) *killerState {
 		return &killerState{moves: make([][2]int, args[0].(int))}
@@ -473,7 +495,7 @@ var (
 		CloneWith(func(s *killerState) *killerState {
 			return &killerState{moves: append([][2]int(nil), s.moves...)}
 		}).
-		SizedBy(func(s *killerState) int { return 8 + 16*len(s.moves) })
+		SizedBy((*killerState).WireSize)
 
 	killerAdd = orca.DefUpdate2(killerB, "add", func(s *killerState, d, mv int) {
 		if d < 0 || d >= len(s.moves) {
@@ -517,6 +539,9 @@ type bitSetState struct {
 	count int
 }
 
+// WireSize implements rts.Sized.
+func (b *bitSetState) WireSize() int { return 16 + 8*len(b.words) }
+
 func (b *bitSetState) has(i int) bool { return b.words[i/64]&(1<<(uint(i)%64)) != 0 }
 func (b *bitSetState) set(i int) bool {
 	w, m := i/64, uint64(1)<<(uint(i)%64)
@@ -536,7 +561,7 @@ var (
 		CloneWith(func(s *bitSetState) *bitSetState {
 			return &bitSetState{words: append([]uint64(nil), s.words...), count: s.count}
 		}).
-		SizedBy(func(s *bitSetState) int { return 16 + 8*len(s.words) })
+		SizedBy((*bitSetState).WireSize)
 
 	bitSetAdd     = orca.DefWrite(bitSetB, "add", func(s *bitSetState, i int) bool { return s.set(i) })
 	bitSetAddMany = orca.DefWrite(bitSetB, "addMany", func(s *bitSetState, idxs []int) int {
@@ -580,6 +605,9 @@ func (s BitSet) Count(p *orca.Proc) int { return bitSetCount.Call(p, s.h) }
 // searched, patterns generated) at the end of a run.
 
 type accumState struct{ total int64 }
+
+// WireSize implements rts.Sized; it matches the type's FixedSize.
+func (s *accumState) WireSize() int { return 8 }
 
 var (
 	accumB = orca.NewType(AccumObj, func([]any) *accumState { return &accumState{} }).

@@ -77,9 +77,11 @@ func (b *TypeBuilder[S]) SizedBy(fn func(S) int) *TypeBuilder[S] {
 	return b
 }
 
-// FixedSize declares a constant state size in bytes.
+// FixedSize declares a constant state size in bytes, letting the
+// runtimes skip per-write segment resizing.
 func (b *TypeBuilder[S]) FixedSize(n int) *TypeBuilder[S] {
 	b.t.SizeOf = func(rts.State) int { return n }
+	b.t.SizeFixed = true
 	return b
 }
 
@@ -103,8 +105,14 @@ func (b *TypeBuilder[S]) NewOn(p *Proc, nodes []int, args ...any) Handle[S] {
 // addOp wraps a typed apply into the positional wire encoding and
 // registers it under name. All descriptors funnel through here, so an
 // object type's operations are exactly its descriptors.
+//
+// The typed apply is append-style: it appends its results to dst and
+// returns the extended slice. That one shape yields both OpDef.Apply
+// (dst = nil, a fresh slice per call, safe to retain) and
+// OpDef.ApplyInto (caller-provided scratch, the runtimes' zero-alloc
+// local-read path).
 func addOp[S rts.State](b *TypeBuilder[S], name string, kind rts.OpKind,
-	apply func(s S, a []any) []any) *rts.OpDef {
+	apply func(s S, a []any, dst []any) []any) *rts.OpDef {
 	if _, dup := b.t.Ops[name]; dup {
 		panic(fmt.Sprintf("orca: type %s redefines operation %q", b.t.Name, name))
 	}
@@ -112,7 +120,10 @@ func addOp[S rts.State](b *TypeBuilder[S], name string, kind rts.OpKind,
 		Name: name,
 		Kind: kind,
 		Apply: func(s rts.State, a []any) []any {
-			return apply(s.(S), a)
+			return apply(s.(S), a, nil)
+		},
+		ApplyInto: func(s rts.State, a []any, dst []any) []any {
+			return apply(s.(S), a, dst)
 		},
 	}
 	b.t.Ops[name] = def
@@ -152,14 +163,19 @@ func argAs[T any](v any) T {
 // Read operations. Reads never change the state; the runtime executes
 // them on the local replica when one exists.
 
-// ReadOp0 is a read taking no arguments and returning R.
-type ReadOp0[S rts.State, R any] struct{ def *rts.OpDef }
+// ReadOp0 is a read taking no arguments and returning R. Read
+// descriptors keep their raw typed apply so unguarded local reads can
+// skip the []any wire encoding entirely (see Proc.readState).
+type ReadOp0[S rts.State, R any] struct {
+	def   *rts.OpDef
+	apply func(S) R
+}
 
 // DefRead0 attaches a no-argument read to a type.
 func DefRead0[S rts.State, R any](b *TypeBuilder[S], name string, apply func(S) R) ReadOp0[S, R] {
-	return ReadOp0[S, R]{def: addOp(b, name, rts.Read, func(s S, _ []any) []any {
-		return []any{apply(s)}
-	})}
+	return ReadOp0[S, R]{def: addOp(b, name, rts.Read, func(s S, _ []any, dst []any) []any {
+		return append(dst, apply(s))
+	}), apply: apply}
 }
 
 // Guard makes the read blocking: it suspends until g is true.
@@ -173,18 +189,24 @@ func (op ReadOp0[S, R]) Cost(d sim.Time) ReadOp0[S, R] { op.def.CPUCost = d; ret
 
 // Call performs the operation on h.
 func (op ReadOp0[S, R]) Call(p *Proc, h Handle[S]) R {
+	if s, ok := p.readState(h.o, op.def); ok {
+		return op.apply(s.(S))
+	}
 	return as[R](p.Invoke(h.o, op.def.Name)[0])
 }
 
 // ReadOp is a read taking one argument A and returning R — the
 // canonical typed operation shape.
-type ReadOp[S rts.State, A, R any] struct{ def *rts.OpDef }
+type ReadOp[S rts.State, A, R any] struct {
+	def   *rts.OpDef
+	apply func(S, A) R
+}
 
 // DefRead attaches a one-argument read to a type.
 func DefRead[S rts.State, A, R any](b *TypeBuilder[S], name string, apply func(S, A) R) ReadOp[S, A, R] {
-	return ReadOp[S, A, R]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
-		return []any{apply(s, argAs[A](a[0]))}
-	})}
+	return ReadOp[S, A, R]{def: addOp(b, name, rts.Read, func(s S, a []any, dst []any) []any {
+		return append(dst, apply(s, argAs[A](a[0])))
+	}), apply: apply}
 }
 
 // Guard makes the read blocking; the guard sees the argument.
@@ -198,19 +220,25 @@ func (op ReadOp[S, A, R]) Cost(d sim.Time) ReadOp[S, A, R] { op.def.CPUCost = d;
 
 // Call performs the operation on h.
 func (op ReadOp[S, A, R]) Call(p *Proc, h Handle[S], arg A) R {
+	if s, ok := p.readState(h.o, op.def); ok {
+		return op.apply(s.(S), arg)
+	}
 	return as[R](p.Invoke(h.o, op.def.Name, arg)[0])
 }
 
 // ReadOp1x2 is a read taking one argument and returning two results
 // (the lookup-style (value, ok) shape).
-type ReadOp1x2[S rts.State, A, R1, R2 any] struct{ def *rts.OpDef }
+type ReadOp1x2[S rts.State, A, R1, R2 any] struct {
+	def   *rts.OpDef
+	apply func(S, A) (R1, R2)
+}
 
 // DefRead1x2 attaches a one-argument, two-result read to a type.
 func DefRead1x2[S rts.State, A, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A) (R1, R2)) ReadOp1x2[S, A, R1, R2] {
-	return ReadOp1x2[S, A, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
+	return ReadOp1x2[S, A, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any, dst []any) []any {
 		r1, r2 := apply(s, argAs[A](a[0]))
-		return []any{r1, r2}
-	})}
+		return append(dst, r1, r2)
+	}), apply: apply}
 }
 
 // Cost sets the operation's virtual CPU cost.
@@ -221,19 +249,25 @@ func (op ReadOp1x2[S, A, R1, R2]) Cost(d sim.Time) ReadOp1x2[S, A, R1, R2] {
 
 // Call performs the operation on h.
 func (op ReadOp1x2[S, A, R1, R2]) Call(p *Proc, h Handle[S], arg A) (R1, R2) {
+	if s, ok := p.readState(h.o, op.def); ok {
+		return op.apply(s.(S), arg)
+	}
 	res := p.Invoke(h.o, op.def.Name, arg)
 	return as[R1](res[0]), as[R2](res[1])
 }
 
 // ReadOp2x2 is a read taking two arguments and returning two results.
-type ReadOp2x2[S rts.State, A1, A2, R1, R2 any] struct{ def *rts.OpDef }
+type ReadOp2x2[S rts.State, A1, A2, R1, R2 any] struct {
+	def   *rts.OpDef
+	apply func(S, A1, A2) (R1, R2)
+}
 
 // DefRead2x2 attaches a two-argument, two-result read to a type.
 func DefRead2x2[S rts.State, A1, A2, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2) (R1, R2)) ReadOp2x2[S, A1, A2, R1, R2] {
-	return ReadOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any) []any {
+	return ReadOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Read, func(s S, a []any, dst []any) []any {
 		r1, r2 := apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
-		return []any{r1, r2}
-	})}
+		return append(dst, r1, r2)
+	}), apply: apply}
 }
 
 // Guard makes the read blocking; the guard sees both arguments.
@@ -252,6 +286,9 @@ func (op ReadOp2x2[S, A1, A2, R1, R2]) Cost(d sim.Time) ReadOp2x2[S, A1, A2, R1,
 
 // Call performs the operation on h.
 func (op ReadOp2x2[S, A1, A2, R1, R2]) Call(p *Proc, h Handle[S], a1 A1, a2 A2) (R1, R2) {
+	if s, ok := p.readState(h.o, op.def); ok {
+		return op.apply(s.(S), a1, a2)
+	}
 	res := p.Invoke(h.o, op.def.Name, a1, a2)
 	return as[R1](res[0]), as[R2](res[1])
 }
@@ -264,7 +301,7 @@ type AwaitOp[S rts.State] struct{ def *rts.OpDef }
 // DefAwait attaches a blocking no-op read whose only effect is to
 // suspend the caller until guard holds.
 func DefAwait[S rts.State](b *TypeBuilder[S], name string, guard func(S) bool) AwaitOp[S] {
-	op := AwaitOp[S]{def: addOp(b, name, rts.Read, func(S, []any) []any { return nil })}
+	op := AwaitOp[S]{def: addOp(b, name, rts.Read, func(_ S, _ []any, dst []any) []any { return dst })}
 	op.def.Guard = func(s rts.State, _ []any) bool { return guard(s.(S)) }
 	return op
 }
@@ -287,8 +324,8 @@ type WriteOp0[S rts.State, R any] struct{ def *rts.OpDef }
 
 // DefWrite0 attaches a no-argument write to a type.
 func DefWrite0[S rts.State, R any](b *TypeBuilder[S], name string, apply func(S) R) WriteOp0[S, R] {
-	return WriteOp0[S, R]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
-		return []any{apply(s)}
+	return WriteOp0[S, R]{def: addOp(b, name, rts.Write, func(s S, _ []any, dst []any) []any {
+		return append(dst, apply(s))
 	})}
 }
 
@@ -312,8 +349,8 @@ type WriteOp[S rts.State, A, R any] struct{ def *rts.OpDef }
 
 // DefWrite attaches a one-argument write to a type.
 func DefWrite[S rts.State, A, R any](b *TypeBuilder[S], name string, apply func(S, A) R) WriteOp[S, A, R] {
-	return WriteOp[S, A, R]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
-		return []any{apply(s, argAs[A](a[0]))}
+	return WriteOp[S, A, R]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
+		return append(dst, apply(s, argAs[A](a[0])))
 	})}
 }
 
@@ -337,9 +374,9 @@ type WriteOp0x2[S rts.State, R1, R2 any] struct{ def *rts.OpDef }
 
 // DefWrite0x2 attaches a no-argument, two-result write to a type.
 func DefWrite0x2[S rts.State, R1, R2 any](b *TypeBuilder[S], name string, apply func(S) (R1, R2)) WriteOp0x2[S, R1, R2] {
-	return WriteOp0x2[S, R1, R2]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
+	return WriteOp0x2[S, R1, R2]{def: addOp(b, name, rts.Write, func(s S, _ []any, dst []any) []any {
 		r1, r2 := apply(s)
-		return []any{r1, r2}
+		return append(dst, r1, r2)
 	})}
 }
 
@@ -367,9 +404,9 @@ type WriteOp2x2[S rts.State, A1, A2, R1, R2 any] struct{ def *rts.OpDef }
 
 // DefWrite2x2 attaches a two-argument, two-result write to a type.
 func DefWrite2x2[S rts.State, A1, A2, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2) (R1, R2)) WriteOp2x2[S, A1, A2, R1, R2] {
-	return WriteOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+	return WriteOp2x2[S, A1, A2, R1, R2]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
 		r1, r2 := apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
-		return []any{r1, r2}
+		return append(dst, r1, r2)
 	})}
 }
 
@@ -399,9 +436,9 @@ type UpdateOp0[S rts.State] struct{ def *rts.OpDef }
 
 // DefUpdate0 attaches a no-argument, no-result write to a type.
 func DefUpdate0[S rts.State](b *TypeBuilder[S], name string, apply func(S)) UpdateOp0[S] {
-	return UpdateOp0[S]{def: addOp(b, name, rts.Write, func(s S, _ []any) []any {
+	return UpdateOp0[S]{def: addOp(b, name, rts.Write, func(s S, _ []any, dst []any) []any {
 		apply(s)
-		return nil
+		return dst
 	})}
 }
 
@@ -418,9 +455,9 @@ type UpdateOp[S rts.State, A any] struct{ def *rts.OpDef }
 
 // DefUpdate attaches a one-argument, no-result write to a type.
 func DefUpdate[S rts.State, A any](b *TypeBuilder[S], name string, apply func(S, A)) UpdateOp[S, A] {
-	return UpdateOp[S, A]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+	return UpdateOp[S, A]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
 		apply(s, argAs[A](a[0]))
-		return nil
+		return dst
 	})}
 }
 
@@ -437,9 +474,9 @@ type UpdateOp2[S rts.State, A1, A2 any] struct{ def *rts.OpDef }
 
 // DefUpdate2 attaches a two-argument, no-result write to a type.
 func DefUpdate2[S rts.State, A1, A2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2)) UpdateOp2[S, A1, A2] {
-	return UpdateOp2[S, A1, A2]{def: addOp(b, name, rts.Write, func(s S, a []any) []any {
+	return UpdateOp2[S, A1, A2]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
 		apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
-		return nil
+		return dst
 	})}
 }
 

@@ -155,7 +155,9 @@ func (mgr *bcastManager) directWrite(w *Worker, inst *bcastInstance, op *OpDef, 
 		w.Accrue(r.costs.WriteApply + r.costs.opCost(op))
 		res := op.Apply(inst.state, args)
 		inst.writes++
-		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+		if !inst.typ.SizeFixed {
+			inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+		}
 		inst.cond.Broadcast()
 		return res
 	}

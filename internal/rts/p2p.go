@@ -126,7 +126,12 @@ type p2pMeta struct {
 	id      ObjID
 	typ     *ObjectType
 	primary int
+
+	ops opCache
 }
+
+// op resolves an operation name through the object's MRU cache.
+func (m *p2pMeta) op(name string) *OpDef { return m.ops.lookup(m.typ, name) }
 
 // p2pInstance is one machine's copy of an object.
 type p2pInstance struct {
@@ -150,7 +155,7 @@ type p2pTask struct {
 	from int
 	done bool
 	res  []any
-	cond *sim.Cond
+	cond sim.Cond
 	req  *amoeba.Request
 }
 
@@ -320,7 +325,7 @@ func (r *P2PRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 // Invoke implements System.
 func (r *P2PRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) []any {
 	meta := r.meta(id)
-	op := meta.typ.Op(opName)
+	op := meta.op(opName)
 	node := r.nodes[w.Node()]
 	if op.Kind == Read {
 		return node.invokeRead(w, meta, op, args)
@@ -362,7 +367,7 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 			}
 			r.stats.LocalReads++
 			w.Accrue(r.costs.ReadLocal + r.costs.opCost(op))
-			return op.Apply(inst.state, args)
+			return w.applyLocal(op, inst.state, args)
 		}
 		// No local copy: maybe fetch one first, else read remotely.
 		if n.shouldFetch(meta, st) {
@@ -386,7 +391,7 @@ func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) [
 	w.Flush()
 	var res []any
 	if meta.primary == n.m.ID() {
-		t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID(), cond: sim.NewCond(n.m.Env())}
+		t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID()}
 		n.queues[meta.id].Put(t)
 		for !t.done {
 			t.cond.Wait(w.P)

@@ -70,7 +70,9 @@ func (n *p2pNode) applyUpdate(p *sim.Proc, req *amoeba.Request, u p2pUpdateReq) 
 	inst.locked = true
 	n.m.Compute(p, r.costs.WriteApply+r.costs.opCost(op))
 	op.Apply(inst.state, u.Args)
-	inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	if !inst.typ.SizeFixed {
+		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	}
 	n.srv.PutReply(p, req, nil, 4)
 }
 
@@ -183,7 +185,9 @@ func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTa
 	// Apply at the primary.
 	n.m.Compute(p, r.costs.WriteApply+r.costs.opCost(t.op))
 	res := t.op.Apply(inst.state, t.args)
-	inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	if !inst.typ.SizeFixed {
+		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+	}
 	if r.cfg.Protocol == Update {
 		// Phase two: unlock all copies.
 		for _, dst := range secs {

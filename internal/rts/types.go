@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -63,6 +64,12 @@ type OpDef struct {
 	// the broadcast runtime ships the operation (function shipping)
 	// and every replica applies it independently.
 	Apply func(s State, args []any) []any
+	// ApplyInto, when non-nil, is Apply in append form: it appends the
+	// results to dst and returns the extended slice. The runtimes use
+	// it on local-read fast paths with a per-worker scratch buffer, so
+	// a read costs no result allocation. Optional; the typed builder
+	// layer always provides it.
+	ApplyInto func(s State, args []any, dst []any) []any
 	// CPUCost is the virtual CPU time one execution takes, beyond the
 	// runtime's fixed overheads. Zero means DefaultOpCost.
 	CPUCost sim.Time
@@ -82,6 +89,9 @@ type ObjectType struct {
 	// replica segments and state-transfer message sizes. If nil, a
 	// gob-based estimate is used.
 	SizeOf func(s State) int
+	// SizeFixed declares that SizeOf is constant over the object's
+	// lifetime, letting the runtimes skip per-write segment resizing.
+	SizeFixed bool
 	// Ops maps operation names to definitions.
 	Ops map[string]*OpDef
 }
@@ -122,6 +132,13 @@ func (r *Registry) Register(t *ObjectType) {
 	r.types[t.Name] = t
 }
 
+// Each calls fn for every registered type, in unspecified order.
+func (r *Registry) Each(fn func(*ObjectType)) {
+	for _, t := range r.types {
+		fn(t)
+	}
+}
+
 // Lookup returns the named type or panics.
 func (r *Registry) Lookup(name string) *ObjectType {
 	t, ok := r.types[name]
@@ -129,6 +146,35 @@ func (r *Registry) Lookup(name string) *ObjectType {
 		panic(fmt.Sprintf("rts: unknown type %q", name))
 	}
 	return t
+}
+
+// opCache is a two-entry MRU cache over an ObjectType's Ops map.
+// Operation names at call sites are string constants, so a hit is a
+// pointer-equality compare; two entries keep the classic
+// read-then-write alternation (value/min, get/add) from thrashing.
+// Purely a dispatch cache: the map stays the source of truth and the
+// (deterministic) results are identical. The simulation is
+// single-threaded, so no locking is needed even on shared records.
+type opCache struct {
+	name0, name1 string
+	op0, op1     *OpDef
+}
+
+// lookup resolves an operation name through the cache, consulting t on
+// a miss.
+func (c *opCache) lookup(t *ObjectType, name string) *OpDef {
+	if c.name0 == name {
+		return c.op0
+	}
+	if c.name1 == name {
+		c.name0, c.name1 = c.name1, c.name0
+		c.op0, c.op1 = c.op1, c.op0
+		return c.op0
+	}
+	op := t.Op(name)
+	c.name1, c.op1 = c.name0, c.op0
+	c.name0, c.op0 = name, op
+	return op
 }
 
 // Sized lets values report their own wire size, avoiding the gob
@@ -167,6 +213,7 @@ func SizeOfValue(v any) int {
 		}
 		return n
 	}
+	gobSizings.Add(1)
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(&v); err != nil {
@@ -175,6 +222,16 @@ func SizeOfValue(v any) int {
 	}
 	return buf.Len()
 }
+
+// gobSizings counts how often SizeOfValue fell back to gob encoding.
+// The fallback is accurate but ~100× slower than a direct size, so the
+// hot-path types all carry WireSize implementations; the counter lets
+// tests prove they never miss.
+var gobSizings atomic.Int64
+
+// GobSizings reports how many SizeOfValue calls reached the gob
+// fallback since process start.
+func GobSizings() int64 { return gobSizings.Load() }
 
 // SizeOfArgs sums the wire sizes of an argument list.
 func SizeOfArgs(args []any) int {

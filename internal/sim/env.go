@@ -11,12 +11,20 @@ import (
 // Event is a scheduled occurrence in virtual time. It is returned by
 // At and After so callers can cancel pending events (e.g. protocol
 // retransmission timers).
+//
+// An event resumes a parked process (proc non-nil) or runs a callback
+// (fn non-nil). Process-resume events are the scheduler's own and are
+// recycled through a free list; callback events are handed to callers
+// and never reused, so a retained *Event stays valid to Cancel.
 type Event struct {
 	t         Time
 	seq       int64
 	fn        func()
+	proc      *Proc // resume this process instead of calling fn
 	cancelled bool
-	index     int // heap index, -1 once popped
+	pooled    bool   // internal event, recycled after firing
+	index     int    // heap index; -1 while on the ready queue or popped
+	next      *Event // free-list link while recycled
 }
 
 // Cancel prevents the event from firing. Cancelling an event that has
@@ -26,17 +34,21 @@ func (ev *Event) Cancel() { ev.cancelled = true }
 // Time reports the virtual time at which the event fires.
 func (ev *Event) Time() Time { return ev.t }
 
+// before reports whether ev fires before other in the (time, seq)
+// total order.
+func (ev *Event) before(other *Event) bool {
+	if ev.t != other.t {
+		return ev.t < other.t
+	}
+	return ev.seq < other.seq
+}
+
 // eventQueue is a min-heap ordered by (time, sequence). The sequence
 // number breaks ties deterministically in scheduling order.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].before(q[j]) }
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
@@ -62,29 +74,45 @@ func (q *eventQueue) Pop() any {
 // methods must be called from simulation context (from inside an event
 // handler or a process body), except New, Spawn before Run, Run itself,
 // and Shutdown after Run returns.
+//
+// Same-instant events (wakeups, yields, condition broadcasts) go to a
+// FIFO ready queue instead of the binary heap: their (time, seq) keys
+// are necessarily larger than everything already consumed and appended
+// in seq order, so a plain append preserves the total order while
+// costing O(1) instead of O(log n). Only future events pay for the
+// heap. The dispatch loop merges the two sources by (time, seq), which
+// keeps the schedule bit-identical to a single-heap implementation.
 type Env struct {
-	now     Time
-	queue   eventQueue
-	seqGen  int64
-	yield   chan struct{} // process -> scheduler handoff
-	live    map[*Proc]struct{}
-	wg      sync.WaitGroup
-	rng     *rand.Rand
-	stopped bool
+	now       Time
+	queue     eventQueue // future events, min-heap on (time, seq)
+	ready     []*Event   // same-instant events in seq (FIFO) order
+	readyHead int        // index of the next ready event
+	seqGen    int64
+	free      *Event        // free list of recycled internal events
+	done      chan struct{} // chain -> Run/RunUntil completion handoff
+	live      map[*Proc]struct{}
+	wg        sync.WaitGroup
+	rng       *rand.Rand
+	stopped   bool
+	bounded   bool // RunUntil in progress
+	limit     Time // RunUntil bound
 
 	// Trace, when non-nil, receives a line per traced occurrence.
 	// It exists for debugging protocol implementations and is nil in
 	// normal runs.
 	Trace func(t Time, format string, args ...any)
+
+	// stats
+	dispatched int64
 }
 
 // New creates an environment whose random source is seeded with seed.
 // The same seed always yields the same simulation.
 func New(seed int64) *Env {
 	return &Env{
-		yield: make(chan struct{}),
-		live:  make(map[*Proc]struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		done: make(chan struct{}),
+		live: make(map[*Proc]struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -94,6 +122,10 @@ func (e *Env) Now() Time { return e.now }
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
+// Events reports the number of events dispatched so far; the engine
+// benchmarks use it to compute events/sec.
+func (e *Env) Events() int64 { return e.dispatched }
+
 // Tracef emits a trace line if tracing is enabled.
 func (e *Env) Tracef(format string, args ...any) {
 	if e.Trace != nil {
@@ -101,15 +133,51 @@ func (e *Env) Tracef(format string, args ...any) {
 	}
 }
 
-// At schedules fn to run at virtual time t. Scheduling in the past
-// panics: it would violate causality.
-func (e *Env) At(t Time, fn func()) *Event {
+// getEvent returns a recycled internal event or a fresh one.
+func (e *Env) getEvent() *Event {
+	ev := e.free
+	if ev == nil {
+		return &Event{pooled: true, index: -1}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle returns an internal event to the free list. Caller events
+// (pooled == false) are left alone: their owner may still Cancel them.
+func (e *Env) recycle(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.proc = nil
+	ev.cancelled = false
+	ev.next = e.free
+	e.free = ev
+}
+
+// schedule inserts an event into the ready queue (same instant) or the
+// heap (future), assigning its place in the total order.
+func (e *Env) schedule(ev *Event, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", t, e.now))
 	}
 	e.seqGen++
-	ev := &Event{t: t, seq: e.seqGen, fn: fn}
+	ev.t, ev.seq = t, e.seqGen
+	if t == e.now {
+		ev.index = -1
+		e.ready = append(e.ready, ev)
+		return
+	}
 	heap.Push(&e.queue, ev)
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// panics: it would violate causality.
+func (e *Env) At(t Time, fn func()) *Event {
+	ev := &Event{fn: fn}
+	e.schedule(ev, t)
 	return ev
 }
 
@@ -121,18 +189,126 @@ func (e *Env) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Schedule is At without the cancellation handle: the event comes
+// from (and returns to) the scheduler's free list. It is the right
+// call for fire-and-forget occurrences on hot paths — network frame
+// deliveries, for instance — where nobody retains the event.
+func (e *Env) Schedule(t Time, fn func()) {
+	ev := e.getEvent()
+	ev.fn = fn
+	e.schedule(ev, t)
+}
+
+// next pops the earliest pending event in (time, seq) order, merging
+// the ready queue and the heap. It returns nil when both are empty.
+func (e *Env) next() *Event {
+	var rv *Event
+	if e.readyHead < len(e.ready) {
+		rv = e.ready[e.readyHead]
+	}
+	if len(e.queue) > 0 {
+		hv := e.queue[0]
+		if rv == nil || hv.before(rv) {
+			return heap.Pop(&e.queue).(*Event)
+		}
+	}
+	if rv == nil {
+		return nil
+	}
+	e.ready[e.readyHead] = nil
+	e.readyHead++
+	if e.readyHead == len(e.ready) {
+		e.ready = e.ready[:0]
+		e.readyHead = 0
+	}
+	return rv
+}
+
+// advance dispatches events on the calling goroutine until control
+// moves elsewhere: the scheduler is not a goroutine of its own but a
+// baton passed between simulated processes. A parking (or dying)
+// process dispatches onward itself — callback events run inline, and
+// a process-resume event is a single direct channel handoff to the
+// target's goroutine, half the context switches of a central
+// scheduler loop.
+//
+// For a process caller (self != nil), a true result means the
+// process's own resume event came up: it simply keeps running. A
+// false result means control went elsewhere — the caller must block
+// on its resume channel (or, if dying, exit). When the chain ends
+// (drained, stopped, or past the RunUntil bound), the process that
+// discovers it signals done to hand control back to Run's caller.
+//
+// For the run caller (self == nil), a true result means control was
+// handed to a process and the caller must wait for done; false means
+// the run drained inline without any process becoming runnable.
+func (e *Env) advance(self *Proc) bool {
+	for !e.stopped {
+		if e.bounded {
+			if head := e.peekTime(); head == nil || head.t > e.limit {
+				if head != nil {
+					e.now = e.limit
+				}
+				break
+			}
+		}
+		ev := e.next()
+		if ev == nil {
+			break
+		}
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.t
+		e.dispatched++
+		if ev.proc == nil {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+			continue
+		}
+		p := ev.proc
+		e.recycle(ev)
+		if p == self && !p.terminated {
+			return true // our own resume: just keep running
+		}
+		if p.terminated || p.killed {
+			continue
+		}
+		p.resume <- struct{}{} // direct handoff
+		return self == nil
+	}
+	// The chain ends here. A process goroutine hands control back to
+	// the Run caller; the Run caller just returns.
+	if self != nil {
+		e.done <- struct{}{}
+	}
+	return false
+}
+
+// peekTime reports the earliest pending event without popping.
+func (e *Env) peekTime() *Event {
+	var rv *Event
+	if e.readyHead < len(e.ready) {
+		rv = e.ready[e.readyHead]
+	}
+	if len(e.queue) > 0 {
+		hv := e.queue[0]
+		if rv == nil || hv.before(rv) {
+			return hv
+		}
+	}
+	return rv
+}
+
 // Run processes events until the queue is empty or Stop is called.
 // It returns the final virtual time. Processes that are still blocked
 // when the queue drains are left parked; call Shutdown to reap them
 // (Blocked lists them for deadlock diagnosis).
 func (e *Env) Run() Time {
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.t
-		ev.fn()
+	if e.advance(nil) {
+		<-e.done
 	}
 	return e.now
 }
@@ -140,18 +316,11 @@ func (e *Env) Run() Time {
 // RunUntil processes events until virtual time t is reached, the queue
 // empties, or Stop is called.
 func (e *Env) RunUntil(t Time) Time {
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].t > t {
-			e.now = t
-			return e.now
-		}
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.t
-		ev.fn()
+	e.bounded, e.limit = true, t
+	if e.advance(nil) {
+		<-e.done
 	}
+	e.bounded = false
 	return e.now
 }
 
@@ -189,16 +358,21 @@ func (e *Env) Shutdown() {
 	e.live = make(map[*Proc]struct{})
 }
 
-// runProc transfers control to p until it parks or terminates.
-func (e *Env) runProc(p *Proc) {
-	if p.terminated || p.killed {
-		return
-	}
-	p.resume <- struct{}{}
-	<-e.yield
+// wake schedules p to resume at the current virtual time: an O(1)
+// append to the ready queue using a recycled event, no heap traffic
+// and no per-wake closure.
+func (e *Env) wake(p *Proc) {
+	ev := e.getEvent()
+	ev.proc = p
+	e.seqGen++
+	ev.t, ev.seq = e.now, e.seqGen
+	e.ready = append(e.ready, ev)
 }
 
-// wake schedules p to resume at the current virtual time.
-func (e *Env) wake(p *Proc) {
-	e.At(e.now, func() { e.runProc(p) })
+// wakeAt schedules p to resume at time t >= now through the scheduler's
+// pooled-event path (Sleep, SpawnAt).
+func (e *Env) wakeAt(t Time, p *Proc) {
+	ev := e.getEvent()
+	ev.proc = p
+	e.schedule(ev, t)
 }

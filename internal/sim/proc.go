@@ -35,16 +35,22 @@ func (e *Env) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			return
 		}
 		defer func() {
+			if p.killed {
+				// Shutdown is reaping this goroutine; it resets the
+				// live set itself, and several reaped goroutines run
+				// concurrently, so no shared state may be touched here.
+				return
+			}
 			p.terminated = true
 			delete(e.live, p)
-			if !p.killed {
-				// Hand control back to the scheduler one last time.
-				e.yield <- struct{}{}
-			}
+			// Pass the scheduling baton onward one last time: the
+			// dying goroutine dispatches until control lands on
+			// another process (or the run's caller) and then exits.
+			e.advance(p)
 		}()
 		fn(p)
 	}()
-	e.At(t, func() { e.runProc(p) })
+	e.wakeAt(t, p)
 	return p
 }
 
@@ -57,11 +63,15 @@ func (p *Proc) Env() *Env { return p.env }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// park suspends the process until the scheduler resumes it. All
-// blocking primitives funnel through here.
+// park suspends the process until another chain of control resumes
+// it. All blocking primitives funnel through here. The parking
+// goroutine first advances the dispatch loop itself (see Env.advance);
+// if its own resume event comes up it returns without ever blocking,
+// otherwise control was handed off and it waits on its resume channel.
 func (p *Proc) park() {
-	p.env.yield <- struct{}{}
-	<-p.resume
+	if !p.env.advance(p) {
+		<-p.resume
+	}
 	if p.killed {
 		// Shutdown in progress: unwind this goroutine. Deferred
 		// handlers must not touch the scheduler when killed.
@@ -78,7 +88,7 @@ func (p *Proc) Sleep(d Time) {
 		p.Yield()
 		return
 	}
-	p.env.After(d, func() { p.env.runProc(p) })
+	p.env.wakeAt(p.env.now+d, p)
 	p.park()
 }
 

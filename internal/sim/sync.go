@@ -1,7 +1,10 @@
 package sim
 
 // Cond is a condition variable in virtual time. Waiters are woken in
-// FIFO order, which keeps simulations deterministic.
+// FIFO order, which keeps simulations deterministic. The zero Cond is
+// ready to use (it binds to the environment of the first waiter), so
+// it can be embedded by value in per-operation records without a
+// separate allocation.
 type Cond struct {
 	env     *Env
 	waiters []*Proc
@@ -13,6 +16,7 @@ func NewCond(e *Env) *Cond { return &Cond{env: e} }
 // Wait parks p until Signal or Broadcast wakes it. As with
 // sync.Cond, callers re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
+	c.env = p.env
 	c.waiters = append(c.waiters, p)
 	p.park()
 }
@@ -23,16 +27,20 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
+	c.waiters[0] = nil
 	c.waiters = c.waiters[1:]
 	c.env.wake(p)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
+	for i, p := range c.waiters {
 		c.env.wake(p)
+		c.waiters[i] = nil
 	}
-	c.waiters = nil
+	// Keep the backing array: a condition variable cycles through
+	// wait/broadcast constantly and should not reallocate each round.
+	c.waiters = c.waiters[:0]
 }
 
 // Waiting reports how many processes are parked on the condition.
@@ -42,9 +50,12 @@ func (c *Cond) Waiting() int { return len(c.waiters) }
 // with a FIFO wait queue and an optional high-priority lane used for
 // interrupt handling.
 type Resource struct {
-	env     *Env
-	holder  *Proc
+	env    *Env
+	holder *Proc
+	// waiters[head:] is the FIFO wait queue; the slack below head
+	// absorbs AcquireFront pushes without reallocating.
 	waiters []*Proc
+	head    int
 	// busy accumulates total held time, for utilization reports.
 	busy       Time
 	acquiredAt Time
@@ -64,6 +75,9 @@ func (r *Resource) Acquire(p *Proc) {
 	p.park()
 }
 
+// queued reports how many processes wait for the resource.
+func (r *Resource) queued() int { return len(r.waiters) - r.head }
+
 // AcquireFront is Acquire, but p jumps the wait queue. Interrupt
 // service threads use it so device handling preempts queued user work
 // (though not the current holder: the kernel is not preemptive
@@ -74,7 +88,14 @@ func (r *Resource) AcquireFront(p *Proc) {
 		r.acquiredAt = r.env.now
 		return
 	}
-	r.waiters = append([]*Proc{p}, r.waiters...)
+	if r.head > 0 {
+		r.head--
+		r.waiters[r.head] = p
+	} else {
+		r.waiters = append(r.waiters, nil)
+		copy(r.waiters[1:], r.waiters)
+		r.waiters[0] = p
+	}
 	p.park()
 }
 
@@ -85,12 +106,21 @@ func (r *Resource) Release(p *Proc) {
 		panic("sim: Release by non-holder " + p.name)
 	}
 	r.busy += r.env.now - r.acquiredAt
-	if len(r.waiters) == 0 {
+	if r.queued() == 0 {
 		r.holder = nil
+		if r.head > 0 {
+			r.waiters = r.waiters[:0]
+			r.head = 0
+		}
 		return
 	}
-	next := r.waiters[0]
-	r.waiters = r.waiters[1:]
+	next := r.waiters[r.head]
+	r.waiters[r.head] = nil
+	r.head++
+	if r.head == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.head = 0
+	}
 	r.holder = next
 	r.acquiredAt = r.env.now
 	r.env.wake(next)
@@ -123,10 +153,17 @@ func (r *Resource) BusyTime() Time {
 // Queue is an unbounded FIFO mailbox between simulated processes.
 // Items are handed directly to waiting receivers, preserving FIFO
 // fairness among both items and receivers.
+//
+// Storage is a deque on one backing array: the head index advances on
+// Get and the array is reused once drained, so a steady-state
+// producer/consumer pair allocates nothing. Parked receivers are
+// represented by pooled waiter records for the same reason.
 type Queue[T any] struct {
 	env     *Env
 	items   []T
+	head    int
 	waiters []*queueWaiter[T]
+	wfree   []*queueWaiter[T]
 	closed  bool
 }
 
@@ -148,43 +185,73 @@ func (q *Queue[T]) Put(x T) {
 	}
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
+		q.waiters[0] = nil
 		q.waiters = q.waiters[1:]
+		if len(q.waiters) == 0 {
+			q.waiters = q.waiters[:0]
+		}
 		w.item, w.ok, w.ready = x, true, true
 		q.env.wake(w.p)
 		return
 	}
+	if q.head > 0 && len(q.items) == cap(q.items) {
+		// Compact instead of growing: slide the live window down so
+		// the backing array is reused. Amortized O(1) per item.
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
 	q.items = append(q.items, x)
+}
+
+// pop removes and returns the oldest item; the caller checked one
+// exists.
+func (q *Queue[T]) pop() T {
+	item := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return item
 }
 
 // Get removes and returns the oldest item, blocking while the queue is
 // empty. ok is false if the queue was closed and drained.
 func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
-	if len(q.items) > 0 {
-		item = q.items[0]
-		var zero T
-		q.items[0] = zero
-		q.items = q.items[1:]
-		return item, true
+	if q.head < len(q.items) {
+		return q.pop(), true
 	}
 	if q.closed {
 		return item, false
 	}
-	w := &queueWaiter[T]{p: p}
+	var w *queueWaiter[T]
+	if n := len(q.wfree); n > 0 {
+		w = q.wfree[n-1]
+		q.wfree[n-1] = nil
+		q.wfree = q.wfree[:n-1]
+		*w = queueWaiter[T]{p: p}
+	} else {
+		w = &queueWaiter[T]{p: p}
+	}
 	q.waiters = append(q.waiters, w)
 	p.park()
-	return w.item, w.ok
+	item, ok = w.item, w.ok
+	var zero T
+	w.item, w.p = zero, nil
+	q.wfree = append(q.wfree, w)
+	return item, ok
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (item T, ok bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return item, false
 	}
-	item = q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return item, true
+	return q.pop(), true
 }
 
 // Close marks the queue closed and wakes all blocked receivers with
@@ -194,12 +261,13 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, w := range q.waiters {
+	for i, w := range q.waiters {
 		w.ready = true
 		q.env.wake(w.p)
+		q.waiters[i] = nil
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
