@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/tsp"
 	"repro/internal/orca"
 	"repro/internal/orca/std"
+	"repro/internal/rts"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type benchResult struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	VirtualUsOp  float64 `json:"virtual_us_per_op,omitempty"`
 	VirtualSec   float64 `json:"virtual_s,omitempty"`
+	// RTS records the unified runtime-system counters of the workload
+	// (runtime-level entries only). Like the virtual metrics they are
+	// part of the reproduced result and must not move across engine
+	// work.
+	RTS *rts.RTSStats `json:"rts,omitempty"`
 }
 
 // benchFile is the schema of BENCH_engine.json.
@@ -168,6 +174,8 @@ func runBenchJSON(path string, quick bool) error {
 			return rt.Env()
 		})
 		r.VirtualUsOp = per.Microseconds()
+		st := rt.Stats()
+		r.RTS = &st
 		return r
 	}
 	results = append(results, orcaOp("orca/local-read", 2_000_000/scale,
@@ -175,20 +183,33 @@ func runBenchJSON(path string, quick bool) error {
 	results = append(results, orcaOp("orca/broadcast-write", 100_000/scale,
 		func(p *orca.Proc, c std.Counter, i int64) { c.Assign(p, int(i)) }))
 
-	// One full application run: the Figure 2 TSP workload at 8
-	// processors. virtual_s is the reproduced datapoint and must stay
-	// fixed; wall_ns_per_op tracks the engine.
-	{
+	// Full application runs on the 12-city instance at 8 processors:
+	// the Figure 2 TSP workload, and its mixed-placement variant
+	// (primary-copy job queue on the point-to-point runtime,
+	// broadcast-replicated bound — the counters prove both runtimes
+	// carried traffic). virtual_s and the rts counters are the
+	// reproduced datapoints and must stay fixed; wall_ns_per_op tracks
+	// the engine.
+	tspEntry := func(name string, cfg orca.Config, params tsp.Params) benchResult {
 		inst := tsp.Generate(12, 5)
 		var virtual sim.Time
-		r := measure("fig2/tsp-p8", 1, func(int64) *sim.Env {
-			res := tsp.RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst, tsp.Params{})
+		var stats rts.RTSStats
+		r := measure(name, 1, func(int64) *sim.Env {
+			res := tsp.RunOrca(cfg, inst, params)
 			virtual = res.Report.Elapsed
+			stats = res.Report.RTS
 			return res.Runtime.Env()
 		})
 		r.VirtualSec = virtual.Seconds()
-		results = append(results, r)
+		r.RTS = &stats
+		return r
 	}
+	results = append(results,
+		tspEntry("fig2/tsp-p8",
+			orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, tsp.Params{}),
+		tspEntry("mixed/tsp-p8",
+			orca.Config{Processors: 8, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+			tsp.Params{PrimaryCopyQueue: true}))
 
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed")
 	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
 	benchJSON := flag.Bool("bench-json", false, "run the engine benchmark suite and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
@@ -53,8 +53,9 @@ func main() {
 		"micro":    func() { harness.MicroExperiment(w, scale) },
 		"partrepl": func() { harness.PartReplExperiment(w, scale) },
 		"intrcost": func() { harness.InterruptCostExperiment(w, scale) },
+		"mixed":    func() { harness.MixedPlacementExperiment(w, scale) },
 	}
-	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost"}
+	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed"}
 	names := strings.Split(*exp, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

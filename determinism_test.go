@@ -32,6 +32,11 @@ func fingerprint(rep orca.Report, rt *orca.Runtime) string {
 		lr, bw, gw := br.Stats()
 		s += fmt.Sprintf(" reads=%d writes=%d guardwaits=%d", lr, bw, gw)
 	}
+	if mx, ok := rt.System().(*rts.MixedRTS); ok {
+		c := mx.Counters()
+		s += fmt.Sprintf(" reads=%d bwrites=%d guardwaits=%d rreads=%d pwrites=%d updates=%d",
+			c.LocalReads, c.BcastWrites, c.GuardWaits, c.RemoteReads, c.P2PWrites, c.Updates)
+	}
 	for _, busy := range rep.CPUBusy {
 		s += fmt.Sprintf(" cpu=%d", int64(busy))
 	}
@@ -52,6 +57,12 @@ var determinismApps = []struct {
 	{"tsp-p2p", func() string {
 		inst := tsp.Generate(10, 5)
 		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.P2PUpdate, Seed: 1}, inst, tsp.Params{})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"tsp-mixed", func() string {
+		inst := tsp.Generate(10, 5)
+		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1}, inst,
+			tsp.Params{PrimaryCopyQueue: true})
 		return fingerprint(r.Report, r.Runtime)
 	}},
 	{"acp", func() string {
@@ -91,17 +102,19 @@ func TestCrossAppDeterminism(t *testing.T) {
 	}
 }
 
-// goldenFingerprints pins the exact pre-refactor virtual-time results.
-// A mismatch means the scheduler or runtime changed the simulated
+// goldenFingerprints pins the exact pre-refactor virtual-time results
+// (tsp-mixed: as recorded when the mixed runtime was introduced). A
+// mismatch means the scheduler or runtime changed the simulated
 // outcome, not just its wall-clock cost. Update these only with a
 // change that is *meant* to alter simulated timing, and say so in the
 // commit message.
 var goldenFingerprints = map[string]string{
-	"tsp-p2p": "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
-	"tsp":     "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",
-	"acp":     "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
-	"chess":   "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
-	"atpg":    "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
+	"tsp-p2p":   "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
+	"tsp-mixed": "elapsed=317604000 frames=157 msgs=157 wire=25941 payload=19347 reads=36616 bwrites=12 guardwaits=8 rreads=0 pwrites=201 updates=0 cpu=317009000 cpu=222118000 cpu=219396000 cpu=215382000",
+	"tsp":       "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",
+	"acp":       "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
+	"chess":     "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
+	"atpg":      "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
 }
 
 // TestGoldenFingerprints compares each app's fingerprint against the

@@ -1,0 +1,46 @@
+// Mixed placement: the paper's TSP remark, measured inside one
+// program. §3.2.2 observes that replication strategy should be a
+// per-object decision — TSP's write-mostly job queue "would be better"
+// kept in one copy while the global bound stays fully replicated.
+// This example runs the same TSP instance three ways and prints the
+// broadcast load and runtime counters of each:
+//
+//   - replicated: queue and bound both on the broadcast runtime
+//   - partial: the queue replicated only on the manager's machine
+//     (still broadcast; workers' operations are forwarded)
+//   - mixed: the queue as a primary copy on the point-to-point
+//     runtime, the bound broadcast-replicated — Config.Mixed hosts
+//     both runtimes on the same simulated machines
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/tsp"
+	"repro/internal/orca"
+)
+
+func main() {
+	inst := tsp.Generate(12, 5)
+	const procs = 8
+	variants := []struct {
+		name   string
+		cfg    orca.Config
+		params tsp.Params
+	}{
+		{"replicated", orca.Config{Processors: procs, RTS: orca.Broadcast, Seed: 1}, tsp.Params{}},
+		{"partial", orca.Config{Processors: procs, RTS: orca.Broadcast, Seed: 1}, tsp.Params{SingleCopyQueue: true}},
+		{"mixed", orca.Config{Processors: procs, RTS: orca.Broadcast, Mixed: true, Seed: 1}, tsp.Params{PrimaryCopyQueue: true}},
+	}
+	fmt.Printf("TSP, %d cities, %d processors — the job queue three ways:\n\n", inst.N, procs)
+	for _, v := range variants {
+		r := tsp.RunOrca(v.cfg, inst, v.params)
+		st := r.Report.RTS
+		fmt.Printf("%-10s  best=%d  time=%v  broadcasts=%d  bcast-writes=%d  forwarded=%d  p2p-writes=%d\n",
+			v.name, r.Best, r.Report.Elapsed, r.Report.Net.CountsByKind["grp-data"],
+			st.BcastWrites, st.Forwarded, st.P2PWrites)
+	}
+	fmt.Println("\nSame optimum each way; the queue's traffic leaves the total order")
+	fmt.Println("under partial and mixed placement, so it no longer interrupts every")
+	fmt.Println("machine — the bound's reads stay local replica accesses throughout.")
+}

@@ -1,0 +1,55 @@
+package tsp
+
+import (
+	"testing"
+
+	"repro/internal/orca"
+)
+
+// TestPrimaryCopyQueueCorrect runs the paper's mixed strategy inside
+// one program: the write-mostly job queue as a primary copy on the
+// manager's machine (point-to-point runtime) while the bound stays
+// fully replicated (broadcast runtime). The optimum must match the
+// sequential solver.
+func TestPrimaryCopyQueueCorrect(t *testing.T) {
+	inst := Generate(10, 11)
+	want, _ := SolveSeq(inst)
+	res := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1}, inst,
+		Params{PrimaryCopyQueue: true})
+	if res.Report.TimedOut {
+		t.Fatalf("timed out; blocked: %v", res.Report.Blocked)
+	}
+	if res.Best != want {
+		t.Fatalf("best = %d, want %d", res.Best, want)
+	}
+	// Both runtimes must actually have carried objects: the bound's
+	// writes through the total order, the queue's through the primary.
+	st := res.Report.RTS
+	if st.BcastWrites == 0 {
+		t.Error("no broadcast writes: the bound did not run on the broadcast runtime")
+	}
+	if st.P2PWrites == 0 {
+		t.Error("no p2p writes: the queue did not run on the point-to-point runtime")
+	}
+}
+
+// TestPrimaryCopyQueueReducesBroadcastLoad compares the mixed program
+// against the fully replicated one: with the queue off the broadcast
+// runtime, queue traffic no longer interrupts every machine.
+func TestPrimaryCopyQueueReducesBroadcastLoad(t *testing.T) {
+	inst := Generate(12, 11)
+	repl := RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	mixed := RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Mixed: true, Seed: 1}, inst,
+		Params{PrimaryCopyQueue: true})
+	if repl.Best != mixed.Best {
+		t.Fatalf("different optima: %d vs %d", repl.Best, mixed.Best)
+	}
+	replBcast := repl.Report.Net.CountsByKind["grp-data"]
+	mixedBcast := mixed.Report.Net.CountsByKind["grp-data"]
+	if mixedBcast >= replBcast {
+		t.Fatalf("primary-copy queue did not reduce broadcasts: %d vs %d", mixedBcast, replBcast)
+	}
+	t.Logf("replicated queue: %d broadcasts, %v elapsed", replBcast, repl.Report.Elapsed)
+	t.Logf("mixed primary-copy queue: %d broadcasts, %v elapsed (p2p writes %d)",
+		mixedBcast, mixed.Report.Elapsed, mixed.Report.RTS.P2PWrites)
+}

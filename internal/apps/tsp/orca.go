@@ -32,6 +32,11 @@ type Params struct {
 	// described in this paper (the original one), replicates it on
 	// all machines, although keeping a single copy would be better."
 	SingleCopyQueue bool
+	// PrimaryCopyQueue places the job queue on the point-to-point
+	// runtime (primary copy on the manager, update protocol, no
+	// secondaries) while the bound stays broadcast-replicated — the
+	// paper's mixed strategy inside one program. Requires Config.Mixed.
+	PrimaryCopyQueue bool
 	// Workers overrides the worker count (default: one per CPU).
 	Workers int
 }
@@ -73,9 +78,14 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 		p.Work(sim.Time(inst.N*inst.N) * 2 * sim.Microsecond)
 		bound := std.NewCounter(p, nn+1)
 		var queue std.Queue[Chunk]
-		if params.SingleCopyQueue {
-			queue = std.NewQueueOn[Chunk](p, []int{p.CPU()})
-		} else {
+		switch {
+		case params.PrimaryCopyQueue:
+			queue = std.NewQueue[Chunk](p, orca.With(orca.PrimaryCopy{
+				Protocol: orca.Update, Placement: orca.SingleCopy,
+			}))
+		case params.SingleCopyQueue:
+			queue = std.NewQueue[Chunk](p, orca.At(p.CPU()))
+		default:
 			queue = std.NewQueue[Chunk](p)
 		}
 		nodesAcc := std.NewAccum(p)

@@ -16,7 +16,9 @@
 // its computation in virtual time (Proc.Work). The runtime beneath is
 // selected by Config.RTS: the broadcast runtime on broadcast hardware,
 // or the point-to-point runtime with the invalidation or update
-// protocol.
+// protocol. With Config.Mixed both runtimes share the machines and
+// individual objects choose theirs at creation (Proc.NewWith, Policy)
+// — the paper's per-object replication decision made expressible.
 package orca
 
 import (
@@ -62,6 +64,12 @@ type Config struct {
 	Processors int
 	// RTS picks the runtime system.
 	RTS RTSKind
+	// Mixed hosts the broadcast runtime and the point-to-point runtime
+	// on the same machines, so individual objects can opt out of the
+	// RTS default with a creation policy (see NewWith and Policy).
+	// Objects created without a policy still follow RTS. Mixed implies
+	// broadcast-capable hardware regardless of RTS.
+	Mixed bool
 	// Seed drives all randomness in the simulation.
 	Seed int64
 	// Net overrides the network parameters (zero value: the paper's
@@ -128,7 +136,7 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 	if cfg.Net != nil {
 		np = *cfg.Net
 	}
-	np.BroadcastCapable = cfg.RTS == Broadcast
+	np.BroadcastCapable = cfg.RTS == Broadcast || cfg.Mixed
 	nw := netsim.New(env, cfg.Processors, np)
 	kc := amoeba.DefaultCosts()
 	if cfg.KernelCosts != nil {
@@ -143,8 +151,10 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 	if cfg.RTSCosts != nil {
 		rc = *cfg.RTSCosts
 	}
-	switch cfg.RTS {
-	case Broadcast:
+	// buildBroadcast joins every machine to the broadcast group and
+	// starts the broadcast runtime, with forks ordered in the same
+	// total order as object writes.
+	buildBroadcast := func() *rts.BroadcastRTS {
 		ids := make([]int, cfg.Processors)
 		for i := range ids {
 			ids[i] = i
@@ -160,25 +170,42 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 				rt.startFork(fm.FID)
 			}
 		})
-		rt.sys = br
-	case P2PUpdate, P2PInvalidate:
+		return br
+	}
+	// p2pConfig resolves the point-to-point configuration, with the
+	// protocol forced by the RTS kind when that kind is point-to-point.
+	p2pConfig := func() rts.P2PConfig {
 		pc := rts.DefaultP2PConfig()
 		if cfg.P2P != nil {
 			pc = *cfg.P2P
 		}
-		if cfg.RTS == P2PUpdate {
+		switch cfg.RTS {
+		case P2PUpdate:
 			pc.Protocol = rts.Update
-		} else {
+		case P2PInvalidate:
 			pc.Protocol = rts.Invalidation
 		}
-		rt.sys = rts.NewP2PRTS(rt.reg, rc, pc, rt.machines)
+		return pc
+	}
+	switch {
+	case cfg.RTS != Broadcast && cfg.RTS != P2PUpdate && cfg.RTS != P2PInvalidate:
+		panic("orca: unknown RTS kind")
+	case cfg.Mixed:
+		// Both managers share the machines and the group members; the
+		// RTS kind only picks where Default-policy objects live. Forks
+		// always travel the broadcast total order.
+		br := buildBroadcast()
+		p2p := rts.NewP2PRTS(rt.reg, rc, p2pConfig(), rt.machines)
+		rt.sys = rts.NewMixedRTS(br, p2p, cfg.RTS == Broadcast)
+	case cfg.RTS == Broadcast:
+		rt.sys = buildBroadcast()
+	default:
+		rt.sys = rts.NewP2PRTS(rt.reg, rc, p2pConfig(), rt.machines)
 		for _, m := range rt.machines {
 			m.Bind("orca-fork", func(p *sim.Proc, from int, pkt amoeba.Packet) {
 				rt.startFork(pkt.Body.(forkMsg).FID)
 			})
 		}
-	default:
-		panic("orca: unknown RTS kind")
 	}
 	rt.fastRead, _ = rt.sys.(rts.LocalReader)
 	return rt
@@ -205,6 +232,16 @@ func (rt *Runtime) Net() *netsim.Network { return rt.net }
 // Machines exposes the simulated kernels.
 func (rt *Runtime) Machines() []*amoeba.Machine { return rt.machines }
 
+// Stats returns the unified runtime-system counter snapshot: a pure
+// broadcast runtime fills the broadcast fields, a pure point-to-point
+// runtime the p2p fields, and a mixed runtime merges both.
+func (rt *Runtime) Stats() rts.RTSStats {
+	if src, ok := rt.sys.(rts.StatsSource); ok {
+		return src.Counters()
+	}
+	return rts.RTSStats{}
+}
+
 // GroupStats returns per-member broadcast protocol counters (empty for
 // the point-to-point runtimes).
 func (rt *Runtime) GroupStats() []group.Stats {
@@ -227,6 +264,9 @@ type Report struct {
 	TimedOut bool
 	// Net is the wire-level statistics snapshot.
 	Net netsim.Stats
+	// RTS is the unified runtime-system counter snapshot (see
+	// Runtime.Stats).
+	RTS rts.RTSStats
 	// CPUBusy is each machine's total CPU-busy time (kernel +
 	// application).
 	CPUBusy []sim.Time
@@ -251,6 +291,7 @@ func (rt *Runtime) Run(main func(p *Proc)) Report {
 		Elapsed:  rt.env.Now() - rt.started,
 		TimedOut: rt.timedOut,
 		Net:      rt.net.Stats(),
+		RTS:      rt.Stats(),
 	}
 	if rt.timedOut {
 		rep.Blocked = rt.env.Blocked()
@@ -342,14 +383,11 @@ func (p *Proc) New(typeName string, args ...any) Object {
 // processors — the paper's partial-replication optimization ("an
 // optimizing scheme using partial replication is under development").
 // Operations from other processors are forwarded to a replica holder.
-// Only the broadcast runtime supports placements; nil nodes means full
-// replication.
+// Nil nodes means full replication.
+//
+// Deprecated: use NewWith with With(ReplicatedOn(nodes...)).
 func (p *Proc) NewOn(typeName string, nodes []int, args ...any) Object {
-	br, ok := p.rt.sys.(*rts.BroadcastRTS)
-	if !ok {
-		panic("orca: NewOn requires the broadcast runtime (the point-to-point runtime places copies dynamically)")
-	}
-	return Object{id: br.CreateOn(p.w, typeName, nodes, args...), rt: p.rt}
+	return p.NewWith(typeName, Opts(With(Replicated), At(nodes...)), args...)
 }
 
 // Fork creates a new Orca process running fn on the given processor
@@ -382,7 +420,7 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 	rt.forks[fid] = forkEntry{name: name, cpu: cpu, fn: fn}
 	rt.liveProcs++
 	msg := forkMsg{FID: fid, Target: cpu}
-	if rt.cfg.RTS == Broadcast {
+	if len(rt.members) > 0 {
 		rt.members[p.CPU()].Broadcast(p.w.P, "orca-fork", msg, 32)
 		return
 	}

@@ -309,23 +309,23 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
-func TestNewOnRequiresBroadcastRTS(t *testing.T) {
+func TestReplicatedPolicyRequiresBroadcast(t *testing.T) {
 	rt := orca.New(orca.Config{Processors: 2, RTS: orca.P2PUpdate, Seed: 20}, std.Register)
 	rt.Run(func(p *orca.Proc) {
 		defer func() {
 			if recover() == nil {
-				t.Error("expected panic: NewOn on the point-to-point runtime")
+				t.Error("expected panic: Replicated placement on the point-to-point runtime")
 			}
 		}()
-		p.NewOn(std.IntObj, []int{0})
+		p.NewWith(std.IntObj, orca.Opts(orca.With(orca.ReplicatedOn(0))))
 	})
 }
 
-func TestNewOnPartialPlacement(t *testing.T) {
+func TestPartialPlacement(t *testing.T) {
 	rt := orca.New(bcastCfg(4, 21), std.Register)
 	var forwarded bool
 	rt.Run(func(p *orca.Proc) {
-		o := p.NewOn(std.IntObj, []int{0, 1}, 3)
+		o := p.NewWith(std.IntObj, orca.Opts(orca.At(0, 1)), 3)
 		p.Fork(3, "outsider", func(wp *orca.Proc) {
 			// Node 3 holds no replica: the operation forwards and
 			// still returns the right answer.

@@ -1,0 +1,214 @@
+// Per-object placement policies.
+//
+// The paper treats replication strategy as a per-object decision: the
+// dynamic placement of §3.2.2 chooses each object's copy set from its
+// own read/write ratio, and the authors note TSP's write-mostly job
+// queue would be better kept in one copy while the bound stays fully
+// replicated. This file makes that decision part of object creation:
+// a Policy names a strategy (fully replicated, replicated on a subset,
+// primary copy under a point-to-point protocol), creation options
+// attach one to Proc.NewWith / TypeBuilder.NewWith, and a program
+// configured with Config.Mixed can host objects under different
+// strategies side by side. Objects created without a policy follow
+// Config.RTS exactly as before.
+package orca
+
+import (
+	"fmt"
+
+	"repro/internal/rts"
+)
+
+// Re-exported protocol and placement names, so policy literals do not
+// need a second import.
+const (
+	// Invalidation discards secondary copies on writes.
+	Invalidation = rts.Invalidation
+	// Update ships write operations to secondary copies.
+	Update = rts.Update
+
+	// DynamicPlacement replicates from read/write-ratio statistics.
+	DynamicPlacement = rts.DynamicPlacement
+	// SingleCopy keeps exactly the primary copy.
+	SingleCopy = rts.SingleCopy
+	// FullReplication installs a copy on every machine at creation.
+	FullReplication = rts.FullReplication
+)
+
+// Policy declares where a shared object's replicas live and how they
+// are kept consistent. The concrete policies are Default, Replicated,
+// ReplicatedOn, and PrimaryCopy.
+type Policy interface {
+	applyPolicy(*createSpec)
+}
+
+// placementMode is the resolved policy family.
+type placementMode int
+
+const (
+	modeDefault placementMode = iota // follow Config.RTS
+	modeReplicated
+	modePrimaryCopy
+)
+
+// createSpec is the accumulated result of a creation-option list.
+type createSpec struct {
+	mode      placementMode
+	nodes     []int
+	protocol  rts.P2PProtocol
+	placement rts.Placement
+}
+
+type defaultPolicy struct{}
+
+func (defaultPolicy) applyPolicy(cs *createSpec) {
+	cs.mode = modeDefault
+	cs.nodes = nil
+}
+
+// Default is the back-compat policy: the object is hosted by the
+// runtime Config.RTS selects, exactly as a plain New. It is what an
+// empty option list means.
+var Default Policy = defaultPolicy{}
+
+type replicatedPolicy struct{ nodes []int }
+
+func (p replicatedPolicy) applyPolicy(cs *createSpec) {
+	cs.mode = modeReplicated
+	cs.nodes = p.nodes
+}
+
+// Replicated places the object on the broadcast runtime, fully
+// replicated: local reads everywhere, writes through the total order —
+// the paper's §3.2.1 strategy, chosen per object.
+var Replicated Policy = replicatedPolicy{}
+
+// ReplicatedOn is Replicated restricted to the given machines — the
+// partial-replication optimization. Machines outside the set forward
+// their operations to a replica holder.
+func ReplicatedOn(nodes ...int) Policy {
+	return replicatedPolicy{nodes: append([]int(nil), nodes...)}
+}
+
+// PrimaryCopy places the object on the point-to-point runtime: the
+// primary copy lives on the creating machine, secondaries follow the
+// Placement policy and are kept consistent by the Protocol — the
+// paper's §3.2.2 strategy, chosen per object. The zero value means the
+// invalidation protocol with dynamic placement.
+type PrimaryCopy struct {
+	Protocol  rts.P2PProtocol
+	Placement rts.Placement
+}
+
+func (p PrimaryCopy) applyPolicy(cs *createSpec) {
+	cs.mode = modePrimaryCopy
+	cs.protocol = p.Protocol
+	cs.placement = p.Placement
+	cs.nodes = nil
+}
+
+// Option configures one object creation. Build options with With and
+// At, and pass them to Proc.NewWith or TypeBuilder.NewWith.
+type Option func(*createSpec)
+
+// With selects the object's placement policy. Options apply in order
+// and a policy is a whole placement decision: it replaces any replica
+// restriction an earlier option set, so an At meant to combine with a
+// policy must come after its With.
+func With(pol Policy) Option {
+	return func(cs *createSpec) { pol.applyPolicy(cs) }
+}
+
+// At restricts the object's replicas to the given machines. Combined
+// with (or defaulting to) a replicated policy it means ReplicatedOn;
+// with PrimaryCopy it pins the primary, which must be the creating
+// machine.
+func At(nodes ...int) Option {
+	cp := append([]int(nil), nodes...)
+	return func(cs *createSpec) { cs.nodes = cp }
+}
+
+// Opts bundles options into the slice NewWith takes, purely for
+// call-site readability: NewWith(t, orca.Opts(orca.With(pol)), args).
+func Opts(opts ...Option) []Option { return opts }
+
+// resolveSpec folds an option list into a creation spec.
+func resolveSpec(opts []Option) createSpec {
+	var cs createSpec
+	for _, o := range opts {
+		o(&cs)
+	}
+	return cs
+}
+
+// NewWith creates a shared object of a registered type under the given
+// creation options. With no options it is exactly New: the object
+// follows Config.RTS. Policies beyond what the configured runtime can
+// host (a PrimaryCopy object on a pure broadcast runtime, a Replicated
+// object on a pure point-to-point runtime) require Config.Mixed and
+// panic otherwise, naming the missing capability.
+func (p *Proc) NewWith(typeName string, opts []Option, args ...any) Object {
+	cs := resolveSpec(opts)
+	return Object{id: p.rt.create(p.w, typeName, cs, args), rt: p.rt}
+}
+
+// create routes one creation spec onto the configured runtime system.
+func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []any) rts.ObjID {
+	switch sys := rt.sys.(type) {
+	case *rts.MixedRTS:
+		switch cs.mode {
+		case modeReplicated:
+			return sys.CreateReplicated(w, typeName, cs.nodes, args...)
+		case modePrimaryCopy:
+			checkPrimaryNodes(w, cs.nodes)
+			return sys.CreatePrimaryCopy(w, typeName, cs.protocol, cs.placement, args...)
+		default:
+			if cs.nodes != nil {
+				// A bare At follows the default runtime's placement
+				// form: partial replication under a broadcast default.
+				if rt.cfg.RTS == Broadcast {
+					return sys.CreateReplicated(w, typeName, cs.nodes, args...)
+				}
+				panic("orca: At without a policy needs a broadcast default runtime; say With(ReplicatedOn(...)) or With(PrimaryCopy{...})")
+			}
+			return sys.Create(w, typeName, args...)
+		}
+	case *rts.BroadcastRTS:
+		switch cs.mode {
+		case modePrimaryCopy:
+			panic("orca: PrimaryCopy placement requires the point-to-point runtime or Config.Mixed")
+		default:
+			if cs.nodes != nil {
+				return sys.CreateOn(w, typeName, cs.nodes, args...)
+			}
+			return sys.Create(w, typeName, args...)
+		}
+	case *rts.P2PRTS:
+		switch cs.mode {
+		case modeReplicated:
+			panic("orca: Replicated placement requires broadcast hardware; use RTS: Broadcast or Config.Mixed")
+		case modePrimaryCopy:
+			checkPrimaryNodes(w, cs.nodes)
+			return sys.CreateWith(w, typeName, cs.protocol, cs.placement, args...)
+		default:
+			if cs.nodes != nil {
+				panic("orca: At requires a replicated policy (the point-to-point runtime places copies dynamically)")
+			}
+			return sys.Create(w, typeName, args...)
+		}
+	default:
+		panic(fmt.Sprintf("orca: unknown runtime system %T", rt.sys))
+	}
+}
+
+// checkPrimaryNodes validates an At restriction on a primary-copy
+// object: the primary always lives on the creating machine, so the
+// only meaningful pin is that machine itself.
+func checkPrimaryNodes(w *rts.Worker, nodes []int) {
+	if nodes == nil {
+		return
+	}
+	if len(nodes) != 1 || nodes[0] != w.Node() {
+		panic(fmt.Sprintf("orca: a primary copy lives on its creating machine %d; At%v cannot move it", w.Node(), nodes))
+	}
+}

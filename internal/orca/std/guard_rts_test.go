@@ -158,6 +158,65 @@ func TestBarrierWaitAcrossRTS(t *testing.T) {
 	}
 }
 
+// TestGuardOnPrimaryCopyUnderMixed blocks consumers on a primary-copy
+// queue's guard while broadcast objects are actively written, on a
+// mixed runtime: the suspension and wake must behave exactly as on the
+// pure runtimes even though the enabling write arrives through the
+// point-to-point protocol and the surrounding traffic through the
+// total order.
+func TestGuardOnPrimaryCopyUnderMixed(t *testing.T) {
+	const jobs, workers = 18, 3
+	rt := orca.New(orca.Config{Processors: workers + 1, RTS: orca.Broadcast, Mixed: true, Seed: 41}, Register)
+	var sum, arrived int
+	rep := rt.Run(func(p *orca.Proc) {
+		q := NewQueue[int](p, orca.With(orca.PrimaryCopy{
+			Protocol: orca.Update, Placement: orca.SingleCopy,
+		}))
+		acc := NewAccum(p) // broadcast-replicated
+		fin := NewBarrier(p, workers)
+		beat := NewCounter(p, 0)
+		for i := 1; i <= workers; i++ {
+			p.Fork(i, "consumer", func(wp *orca.Proc) {
+				local := 0
+				for {
+					n, ok := q.Get(wp) // guard blocks at the primary
+					if !ok {
+						break
+					}
+					local += n
+					// A broadcast write between every two guarded gets,
+					// so the total order stays busy while guards block.
+					beat.Inc(wp)
+					wp.Work(sim.Millisecond)
+				}
+				acc.Add(wp, local)
+				fin.Arrive(wp)
+			})
+		}
+		for j := 1; j <= jobs; j++ {
+			p.Sleep(5 * sim.Millisecond) // consumers outrun the producer
+			q.Add(p, j)
+		}
+		q.Close(p)
+		fin.Wait(p)
+		sum = acc.Value(p)
+		arrived = fin.Count(p)
+	})
+	if rep.TimedOut {
+		t.Fatalf("run timed out (a primary-copy guard never woke); blocked: %v", rep.Blocked)
+	}
+	if want := jobs * (jobs + 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	if arrived != workers {
+		t.Fatalf("%d workers arrived, want %d", arrived, workers)
+	}
+	if rep.RTS.P2PWrites == 0 || rep.RTS.BcastWrites == 0 {
+		t.Fatalf("both runtimes should be active; got p2p=%d bcast=%d",
+			rep.RTS.P2PWrites, rep.RTS.BcastWrites)
+	}
+}
+
 // TestQueueNilElement checks a nil stored under an interface element
 // type round-trips through Get without panicking.
 func TestQueueNilElement(t *testing.T) {

@@ -98,7 +98,9 @@ var (
 type Counter struct{ h orca.Handle[*intState] }
 
 // NewCounter creates a shared integer initialized to init.
-func NewCounter(p *orca.Proc, init int) Counter { return Counter{h: intB.New(p, init)} }
+func NewCounter(p *orca.Proc, init int, opts ...orca.Option) Counter {
+	return Counter{h: intB.NewWith(p, opts, init)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (c Counter) Handle() orca.Handle[*intState] { return c.h }
@@ -172,14 +174,19 @@ var (
 // Queue is a shared FIFO job queue with elements of type T.
 type Queue[T any] struct{ h orca.Handle[*jobQueueState] }
 
-// NewQueue creates a shared job queue.
-func NewQueue[T any](p *orca.Proc) Queue[T] { return Queue[T]{h: queueB.New(p)} }
+// NewQueue creates a shared job queue under the given creation
+// options — the queue is the type most often worth a non-default
+// placement (the paper's remark about TSP's write-mostly queue).
+func NewQueue[T any](p *orca.Proc, opts ...orca.Option) Queue[T] {
+	return Queue[T]{h: queueB.NewWith(p, opts)}
+}
 
 // NewQueueOn creates a job queue replicated only on the given
-// processors (broadcast runtime only) — the paper's partial-
-// replication remark about TSP's write-mostly queue.
+// processors.
+//
+// Deprecated: use NewQueue with orca.With(orca.ReplicatedOn(nodes...)).
 func NewQueueOn[T any](p *orca.Proc, nodes []int) Queue[T] {
-	return Queue[T]{h: queueB.NewOn(p, nodes)}
+	return NewQueue[T](p, orca.With(orca.Replicated), orca.At(nodes...))
 }
 
 // Handle exposes the typed handle (for statistics).
@@ -240,7 +247,9 @@ var (
 type Barrier struct{ h orca.Handle[*barrierState] }
 
 // NewBarrier creates a barrier for n arrivals.
-func NewBarrier(p *orca.Proc, n int) Barrier { return Barrier{h: barrierB.New(p, n)} }
+func NewBarrier(p *orca.Proc, n int, opts ...orca.Option) Barrier {
+	return Barrier{h: barrierB.NewWith(p, opts, n)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (b Barrier) Handle() orca.Handle[*barrierState] { return b.h }
@@ -285,7 +294,9 @@ var (
 type Flag struct{ h orca.Handle[*flagState] }
 
 // NewFlag creates a shared boolean initialized to init.
-func NewFlag(p *orca.Proc, init bool) Flag { return Flag{h: flagB.New(p, init)} }
+func NewFlag(p *orca.Proc, init bool, opts ...orca.Option) Flag {
+	return Flag{h: flagB.NewWith(p, opts, init)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (f Flag) Handle() orca.Handle[*flagState] { return f.h }
@@ -385,8 +396,8 @@ var (
 type BoolArray struct{ h orca.Handle[*boolArrayState] }
 
 // NewBoolArray creates an array of n booleans, all set to init.
-func NewBoolArray(p *orca.Proc, n int, init bool) BoolArray {
-	return BoolArray{h: boolArrayB.New(p, n, init)}
+func NewBoolArray(p *orca.Proc, n int, init bool, opts ...orca.Option) BoolArray {
+	return BoolArray{h: boolArrayB.NewWith(p, opts, n, init)}
 }
 
 // Handle exposes the typed handle (for statistics).
@@ -463,7 +474,9 @@ var (
 type Table struct{ h orca.Handle[*tableState] }
 
 // NewTable creates a table with the given bucket count.
-func NewTable(p *orca.Proc, buckets int) Table { return Table{h: tableB.New(p, buckets)} }
+func NewTable(p *orca.Proc, buckets int, opts ...orca.Option) Table {
+	return Table{h: tableB.NewWith(p, opts, buckets)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (t Table) Handle() orca.Handle[*tableState] { return t.h }
@@ -518,7 +531,9 @@ var (
 type Killer struct{ h orca.Handle[*killerState] }
 
 // NewKiller creates a killer table covering the given ply count.
-func NewKiller(p *orca.Proc, plies int) Killer { return Killer{h: killerB.New(p, plies)} }
+func NewKiller(p *orca.Proc, plies int, opts ...orca.Option) Killer {
+	return Killer{h: killerB.NewWith(p, opts, plies)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (k Killer) Handle() orca.Handle[*killerState] { return k.h }
@@ -581,7 +596,9 @@ var (
 type BitSet struct{ h orca.Handle[*bitSetState] }
 
 // NewBitSet creates a set over the universe [0, n).
-func NewBitSet(p *orca.Proc, n int) BitSet { return BitSet{h: bitSetB.New(p, n)} }
+func NewBitSet(p *orca.Proc, n int, opts ...orca.Option) BitSet {
+	return BitSet{h: bitSetB.NewWith(p, opts, n)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (s BitSet) Handle() orca.Handle[*bitSetState] { return s.h }
@@ -622,7 +639,9 @@ var (
 type Accum struct{ h orca.Handle[*accumState] }
 
 // NewAccum creates an accumulator starting at zero.
-func NewAccum(p *orca.Proc) Accum { return Accum{h: accumB.New(p)} }
+func NewAccum(p *orca.Proc, opts ...orca.Option) Accum {
+	return Accum{h: accumB.NewWith(p, opts)}
+}
 
 // Handle exposes the typed handle (for statistics).
 func (a Accum) Handle() orca.Handle[*accumState] { return a.h }

@@ -30,7 +30,7 @@ import (
 // Handle is a typed handle to a shared data-object whose replicated
 // state is S. Like Object, a Handle is passed to forked processes by
 // closure, mirroring Orca's shared call-by-reference parameters; the
-// zero Handle is invalid until assigned from New/NewOn.
+// zero Handle is invalid until assigned from New/NewWith.
 type Handle[S rts.State] struct {
 	o Object
 }
@@ -96,10 +96,18 @@ func (b *TypeBuilder[S]) New(p *Proc, args ...any) Handle[S] {
 	return Handle[S]{o: p.New(b.t.Name, args...)}
 }
 
-// NewOn creates a partially replicated shared object of this type
-// (broadcast runtime only; see Proc.NewOn).
+// NewWith creates a shared object of this type under the given
+// creation options (see Proc.NewWith and Policy), returning a typed
+// handle. With no options it is exactly New.
+func (b *TypeBuilder[S]) NewWith(p *Proc, opts []Option, args ...any) Handle[S] {
+	return Handle[S]{o: p.NewWith(b.t.Name, opts, args...)}
+}
+
+// NewOn creates a partially replicated shared object of this type.
+//
+// Deprecated: use NewWith with With(ReplicatedOn(nodes...)).
 func (b *TypeBuilder[S]) NewOn(p *Proc, nodes []int, args ...any) Handle[S] {
-	return Handle[S]{o: p.NewOn(b.t.Name, nodes, args...)}
+	return b.NewWith(p, Opts(With(Replicated), At(nodes...)), args...)
 }
 
 // addOp wraps a typed apply into the positional wire encoding and

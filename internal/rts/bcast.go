@@ -20,10 +20,10 @@ import (
 // order are queued and deterministically retried after each subsequent
 // write — identically on every replica, so replicas never diverge.
 type BroadcastRTS struct {
-	reg    *Registry
-	costs  Costs
-	mgrs   []*bcastManager
-	nextID ObjID
+	reg   *Registry
+	costs Costs
+	mgrs  []*bcastManager
+	ids   *idAlloc
 
 	// placements maps partially replicated objects to their replica
 	// machines; absent means replicated everywhere (see CreateOn).
@@ -150,7 +150,7 @@ type opWaiter struct {
 // NewBroadcastRTS builds the runtime over one group member per
 // machine. machines[i] and members[i] must be node i.
 func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, members []*group.Member) *BroadcastRTS {
-	r := &BroadcastRTS{reg: reg, costs: costs}
+	r := &BroadcastRTS{reg: reg, costs: costs, ids: &idAlloc{}}
 	for i, m := range machines {
 		mgr := &bcastManager{
 			rts:      r,
@@ -177,12 +177,21 @@ func (r *BroadcastRTS) Stats() (localReads, bcastWrites, guardWaits int64) {
 	return r.localReads, r.bcastWrites, r.guardWaits
 }
 
+// Counters implements StatsSource with the unified counter snapshot.
+func (r *BroadcastRTS) Counters() RTSStats {
+	return RTSStats{
+		LocalReads:  r.localReads,
+		BcastWrites: r.bcastWrites,
+		GuardWaits:  r.guardWaits,
+		Forwarded:   r.forwarded,
+	}
+}
+
 // Create broadcasts object creation so every machine instantiates a
 // replica, and waits until the local replica exists.
 func (r *BroadcastRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 	t := r.reg.Lookup(typeName) // validate before broadcasting
-	r.nextID++
-	id := r.nextID
+	id := r.ids.alloc()
 	w.Flush()
 	mgr := r.mgrs[w.Node()]
 	body := wireCreate{Obj: id, Type: t.Name, Args: args}

@@ -74,8 +74,7 @@ func (r *BroadcastRTS) CreateOn(w *Worker, typeName string, nodes []int, args ..
 		panic(fmt.Sprintf("rts: CreateOn from node %d outside placement %v", w.Node(), nodes))
 	}
 	t := r.reg.Lookup(typeName)
-	r.nextID++
-	id := r.nextID
+	id := r.ids.alloc()
 	if r.placements == nil {
 		r.placements = make(map[ObjID][]int)
 	}

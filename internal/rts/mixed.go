@@ -1,0 +1,181 @@
+package rts
+
+import "fmt"
+
+// MixedRTS hosts the broadcast runtime and the point-to-point runtime
+// on the same simulated machines and group members, so one program can
+// place each object under the strategy its access pattern wants — the
+// paper's observation that TSP's write-mostly job queue "would be
+// better off" as a single copy while the bound stays fully replicated
+// becomes expressible inside a single run instead of requiring two.
+//
+// Every object is created through the composite, which allocates ids
+// from one shared counter (so ids are unique across both subsystems),
+// records which subsystem owns each object, and routes Create, Invoke,
+// PeekState, and LocalReadState by ObjID. Inside a subsystem nothing
+// changes: a broadcast object's writes travel the total order exactly
+// as under a pure BroadcastRTS, and a primary-copy object runs the
+// invalidation or update protocol exactly as under a pure P2PRTS. The
+// two share the wire and the CPUs — which is the point: the composite
+// measures mixed strategies under honest contention.
+type MixedRTS struct {
+	br  *BroadcastRTS
+	p2p *P2PRTS
+	def System // where Default-policy objects go (br or p2p)
+
+	// owner maps every object to the subsystem that hosts it. The
+	// simulation is single-threaded, so no locking.
+	owner map[ObjID]System
+}
+
+var (
+	_ System      = (*MixedRTS)(nil)
+	_ LocalReader = (*MixedRTS)(nil)
+	_ StatsSource = (*MixedRTS)(nil)
+)
+
+// idAlloc hands out object ids. Each runtime system owns one; a
+// MixedRTS rewires its two subsystems to share a single allocator so
+// ids are unique across the composite and routing by ObjID is
+// unambiguous.
+type idAlloc struct{ next ObjID }
+
+func (a *idAlloc) alloc() ObjID { a.next++; return a.next }
+
+// RTSStats is the unified runtime-counter snapshot. A pure broadcast
+// runtime fills the broadcast fields, a pure point-to-point runtime the
+// p2p fields, and a MixedRTS merges both — one schema for reports,
+// experiment tables, and BENCH_engine.json regardless of runtime kind.
+type RTSStats struct {
+	// Broadcast-runtime counters.
+	LocalReads  int64 `json:"local_reads,omitempty"`  // reads served from a local replica (both runtimes)
+	BcastWrites int64 `json:"bcast_writes,omitempty"` // writes shipped through the total order
+	GuardWaits  int64 `json:"guard_waits,omitempty"`  // guard suspensions (both runtimes)
+	Forwarded   int64 `json:"forwarded,omitempty"`    // ops forwarded to a partial-replication holder
+
+	// Point-to-point-runtime counters.
+	RemoteReads   int64 `json:"remote_reads,omitempty"`  // reads RPC'd to the primary
+	P2PWrites     int64 `json:"p2p_writes,omitempty"`    // writes routed to a primary copy
+	Fetches       int64 `json:"fetches,omitempty"`       // secondary copies installed
+	Discards      int64 `json:"discards,omitempty"`      // secondary copies dropped by the ratio heuristic
+	Invalidations int64 `json:"invalidations,omitempty"` // invalidation messages sent
+	Updates       int64 `json:"updates,omitempty"`       // update messages sent
+}
+
+// merge adds o's counters into s.
+func (s RTSStats) merge(o RTSStats) RTSStats {
+	s.LocalReads += o.LocalReads
+	s.BcastWrites += o.BcastWrites
+	s.GuardWaits += o.GuardWaits
+	s.Forwarded += o.Forwarded
+	s.RemoteReads += o.RemoteReads
+	s.P2PWrites += o.P2PWrites
+	s.Fetches += o.Fetches
+	s.Discards += o.Discards
+	s.Invalidations += o.Invalidations
+	s.Updates += o.Updates
+	return s
+}
+
+// StatsSource is implemented by every runtime system: a unified
+// counter snapshot independent of the runtime kind.
+type StatsSource interface {
+	Counters() RTSStats
+}
+
+var (
+	_ StatsSource = (*BroadcastRTS)(nil)
+	_ StatsSource = (*P2PRTS)(nil)
+)
+
+// NewMixedRTS composes an already-constructed broadcast runtime and
+// point-to-point runtime over the same machines. defaultIsBroadcast
+// picks where Default-policy creations go. The subsystems' id
+// allocators are fused, so objects created through either carry
+// composite-unique ids.
+func NewMixedRTS(br *BroadcastRTS, p2p *P2PRTS, defaultIsBroadcast bool) *MixedRTS {
+	if br.Nodes() != p2p.Nodes() {
+		panic(fmt.Sprintf("rts: mixed runtime over mismatched machines (%d vs %d)", br.Nodes(), p2p.Nodes()))
+	}
+	p2p.ids = br.ids
+	m := &MixedRTS{br: br, p2p: p2p, owner: make(map[ObjID]System)}
+	if defaultIsBroadcast {
+		m.def = br
+	} else {
+		m.def = p2p
+	}
+	return m
+}
+
+// Broadcast exposes the broadcast subsystem (statistics, tests).
+func (m *MixedRTS) Broadcast() *BroadcastRTS { return m.br }
+
+// P2P exposes the point-to-point subsystem (statistics, tests).
+func (m *MixedRTS) P2P() *P2PRTS { return m.p2p }
+
+// Nodes implements System.
+func (m *MixedRTS) Nodes() int { return m.br.Nodes() }
+
+// sub resolves the subsystem hosting an object.
+func (m *MixedRTS) sub(id ObjID) System {
+	s, ok := m.owner[id]
+	if !ok {
+		panic(fmt.Sprintf("rts: unknown object %d", id))
+	}
+	return s
+}
+
+// Create implements System: a Default-policy creation, hosted by the
+// runtime the program's configuration selects.
+func (m *MixedRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	id := m.def.Create(w, typeName, args...)
+	m.owner[id] = m.def
+	return id
+}
+
+// CreateReplicated creates an object on the broadcast subsystem,
+// replicated on every machine (nodes == nil) or on the given subset.
+func (m *MixedRTS) CreateReplicated(w *Worker, typeName string, nodes []int, args ...any) ObjID {
+	id := m.br.CreateOn(w, typeName, nodes, args...)
+	m.owner[id] = m.br
+	return id
+}
+
+// CreatePrimaryCopy creates an object on the point-to-point subsystem
+// under the given consistency protocol and placement policy. The
+// primary copy lives on the creating machine.
+func (m *MixedRTS) CreatePrimaryCopy(w *Worker, typeName string, protocol P2PProtocol, placement Placement, args ...any) ObjID {
+	id := m.p2p.CreateWith(w, typeName, protocol, placement, args...)
+	m.owner[id] = m.p2p
+	return id
+}
+
+// Invoke implements System, routing by object.
+func (m *MixedRTS) Invoke(w *Worker, id ObjID, op string, args ...any) []any {
+	return m.sub(id).Invoke(w, id, op, args...)
+}
+
+// PeekState implements System, routing by object.
+func (m *MixedRTS) PeekState(node int, id ObjID) (State, bool) {
+	s, ok := m.owner[id]
+	if !ok {
+		return nil, false
+	}
+	return s.PeekState(node, id)
+}
+
+// LocalReadState implements LocalReader: broadcast-hosted objects keep
+// the typed local-read fast path; primary-copy objects decline, so
+// their reads take the general Invoke path (local copy, lock, or RPC).
+func (m *MixedRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bool) {
+	if m.owner[id] == m.br {
+		return m.br.LocalReadState(w, id, op)
+	}
+	return nil, false
+}
+
+// Counters implements StatsSource, merging both subsystems' counters
+// into one snapshot.
+func (m *MixedRTS) Counters() RTSStats {
+	return m.br.Counters().merge(m.p2p.Counters())
+}

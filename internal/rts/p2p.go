@@ -27,12 +27,12 @@ import (
 // threshold fetches a copy from the primary; when the ratio falls
 // below another threshold it discards its copy.
 type P2PRTS struct {
-	reg    *Registry
-	costs  Costs
-	cfg    P2PConfig
-	nodes  []*p2pNode
-	objs   map[ObjID]*p2pMeta
-	nextID ObjID
+	reg   *Registry
+	costs Costs
+	cfg   P2PConfig
+	nodes []*p2pNode
+	objs  map[ObjID]*p2pMeta
+	ids   *idAlloc
 
 	stats P2PStats
 }
@@ -114,18 +114,25 @@ type P2PStats struct {
 	LocalReads    int64
 	RemoteReads   int64
 	Writes        int64
+	GuardWaits    int64 // guard suspensions (local copies and primary-queued tasks)
 	Fetches       int64
 	Discards      int64
 	Invalidations int64 // invalidation messages sent
 	Updates       int64 // update messages sent
 }
 
-// p2pMeta is the global registry entry for an object: its type and the
-// (static) primary machine.
+// p2pMeta is the global registry entry for an object: its type, the
+// (static) primary machine, and the consistency protocol and placement
+// policy governing it. Protocol and placement are per object — plain
+// Create copies them from the runtime's configuration, CreateWith
+// overrides them — so one runtime can host objects under different
+// policies side by side.
 type p2pMeta struct {
-	id      ObjID
-	typ     *ObjectType
-	primary int
+	id        ObjID
+	typ       *ObjectType
+	primary   int
+	protocol  P2PProtocol
+	placement Placement
 
 	ops opCache
 }
@@ -222,7 +229,7 @@ func NewP2PRTS(reg *Registry, costs Costs, cfg P2PConfig, machines []*amoeba.Mac
 	if cfg.RPCPolicy.Timeout == 0 {
 		cfg.RPCPolicy = DefaultP2PConfig().RPCPolicy
 	}
-	r := &P2PRTS{reg: reg, costs: costs, cfg: cfg, objs: make(map[ObjID]*p2pMeta)}
+	r := &P2PRTS{reg: reg, costs: costs, cfg: cfg, objs: make(map[ObjID]*p2pMeta), ids: &idAlloc{}}
 	for _, m := range machines {
 		n := &p2pNode{
 			rts:    r,
@@ -245,6 +252,20 @@ func (r *P2PRTS) Nodes() int { return len(r.nodes) }
 
 // Stats returns a snapshot of runtime counters.
 func (r *P2PRTS) Stats() P2PStats { return r.stats }
+
+// Counters implements StatsSource with the unified counter snapshot.
+func (r *P2PRTS) Counters() RTSStats {
+	return RTSStats{
+		LocalReads:    r.stats.LocalReads,
+		RemoteReads:   r.stats.RemoteReads,
+		P2PWrites:     r.stats.Writes,
+		GuardWaits:    r.stats.GuardWaits,
+		Fetches:       r.stats.Fetches,
+		Discards:      r.stats.Discards,
+		Invalidations: r.stats.Invalidations,
+		Updates:       r.stats.Updates,
+	}
+}
 
 // Primary reports an object's primary machine.
 func (r *P2PRTS) Primary(id ObjID) int { return r.meta(id).primary }
@@ -286,11 +307,19 @@ func (r *P2PRTS) meta(id ObjID) *p2pMeta {
 // Create instantiates the object with its single primary copy on the
 // creating machine (the paper: "Initially, only one copy of each
 // object is maintained"). Under FullReplication, copies are pushed to
-// every machine over the wire.
+// every machine over the wire. The object is governed by the runtime's
+// configured protocol and placement.
 func (r *P2PRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	return r.CreateWith(w, typeName, r.cfg.Protocol, r.cfg.Placement, args...)
+}
+
+// CreateWith is Create with a per-object protocol and placement
+// override — the runtime keeps this object's secondaries consistent
+// with the given protocol and applies the given placement policy,
+// independent of what the rest of the objects use.
+func (r *P2PRTS) CreateWith(w *Worker, typeName string, protocol P2PProtocol, placement Placement, args ...any) ObjID {
 	t := r.reg.Lookup(typeName)
-	r.nextID++
-	id := r.nextID
+	id := r.ids.alloc()
 	node := r.nodes[w.Node()]
 	w.Flush()
 	w.M.Compute(w.P, r.costs.Create)
@@ -302,11 +331,11 @@ func (r *P2PRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 		seg:     w.M.AllocSegment(int64(t.stateSize(state))),
 	}
 	node.insts[id] = inst
-	r.objs[id] = &p2pMeta{id: id, typ: t, primary: w.Node()}
+	r.objs[id] = &p2pMeta{id: id, typ: t, primary: w.Node(), protocol: protocol, placement: placement}
 	q := sim.NewQueue[*p2pTask](w.M.Env())
 	node.queues[id] = q
 	node.m.SpawnThread(fmt.Sprintf("obj%d", id), func(p *sim.Proc) { node.objectLoop(p, id, q) })
-	if r.cfg.Placement == FullReplication {
+	if placement == FullReplication {
 		for _, other := range r.nodes {
 			if other.m.ID() == w.Node() {
 				continue
@@ -361,6 +390,7 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 			if op.Guard != nil {
 				w.Accrue(r.costs.GuardCheck)
 				if !op.Guard(inst.state, args) {
+					r.stats.GuardWaits++
 					inst.cond.Wait(w.P)
 					continue
 				}
@@ -429,7 +459,7 @@ func (n *p2pNode) accessFor(id ObjID) *accessStats {
 
 // shouldFetch applies the fetch threshold.
 func (n *p2pNode) shouldFetch(meta *p2pMeta, st *accessStats) bool {
-	if n.rts.cfg.Placement != DynamicPlacement {
+	if meta.placement != DynamicPlacement {
 		return false
 	}
 	if st.reads+st.writes < n.rts.cfg.WindowMin {
@@ -440,7 +470,7 @@ func (n *p2pNode) shouldFetch(meta *p2pMeta, st *accessStats) bool {
 
 // maybeDiscard applies the discard threshold to a local secondary.
 func (n *p2pNode) maybeDiscard(w *Worker, meta *p2pMeta, st *accessStats) {
-	if n.rts.cfg.Placement != DynamicPlacement {
+	if meta.placement != DynamicPlacement {
 		return
 	}
 	inst, ok := n.insts[meta.id]

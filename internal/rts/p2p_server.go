@@ -124,6 +124,7 @@ func (n *p2pNode) execTask(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTas
 		if t.op.Guard != nil {
 			n.m.Compute(p, r.costs.GuardCheck)
 			if !t.op.Guard(inst.state, t.args) {
+				r.stats.GuardWaits++
 				*pending = append(*pending, t)
 				return
 			}
@@ -135,6 +136,7 @@ func (n *p2pNode) execTask(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTas
 		if t.op.Guard != nil {
 			n.m.Compute(p, r.costs.GuardCheck)
 			if !t.op.Guard(inst.state, t.args) {
+				r.stats.GuardWaits++
 				*pending = append(*pending, t)
 				return
 			}
@@ -158,9 +160,10 @@ func (n *p2pNode) finishTask(p *sim.Proc, t *p2pTask, res []any) {
 	t.cond.Broadcast()
 }
 
-// commitWrite runs the configured write protocol at the primary.
+// commitWrite runs the object's write protocol at the primary.
 func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTask) {
 	r := n.rts
+	meta := r.meta(id)
 	inst.locked = true
 	secs := make([]int, 0, len(inst.copyset))
 	for node := range inst.copyset {
@@ -168,7 +171,7 @@ func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTa
 	}
 	sortInts(secs)
 	if len(secs) > 0 {
-		switch r.cfg.Protocol {
+		switch meta.protocol {
 		case Invalidation:
 			// Lock, invalidate every secondary, collect acks.
 			n.fanoutRPC(p, secs, "inval", func(int) any { return p2pInvalReq{Obj: id} }, 8)
@@ -188,7 +191,7 @@ func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTa
 	if !inst.typ.SizeFixed {
 		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
 	}
-	if r.cfg.Protocol == Update {
+	if meta.protocol == Update {
 		// Phase two: unlock all copies.
 		for _, dst := range secs {
 			n.m.Send(p, dst, amoeba.Packet{
