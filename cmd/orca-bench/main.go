@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed, faults")
 	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
 	benchJSON := flag.Bool("bench-json", false, "run the engine benchmark suite and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
@@ -54,8 +54,9 @@ func main() {
 		"partrepl": func() { harness.PartReplExperiment(w, scale) },
 		"intrcost": func() { harness.InterruptCostExperiment(w, scale) },
 		"mixed":    func() { harness.MixedPlacementExperiment(w, scale) },
+		"faults":   func() { harness.FaultsExperiment(w, scale) },
 	}
-	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed"}
+	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed", "faults"}
 	names := strings.Split(*exp, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -19,15 +19,22 @@ import (
 	"repro/internal/apps/atpg"
 	"repro/internal/apps/chess"
 	"repro/internal/apps/tsp"
+	"repro/internal/netsim"
 	"repro/internal/orca"
 	"repro/internal/rts"
+	"repro/internal/sim"
 )
 
 // fingerprint summarizes one run: virtual elapsed time, wire traffic,
-// and the runtime counters that depend on event ordering.
+// and the runtime counters that depend on event ordering. Crash runs
+// additionally pin their crash records: a drifting crash instant or
+// kill count is an ordering change like any other.
 func fingerprint(rep orca.Report, rt *orca.Runtime) string {
 	s := fmt.Sprintf("elapsed=%d frames=%d msgs=%d wire=%d payload=%d",
 		int64(rep.Elapsed), rep.Net.Frames, rep.Net.Messages, rep.Net.WireBytes, rep.Net.PayloadBytes)
+	for _, c := range rep.Crashes {
+		s += fmt.Sprintf(" crash=%d@%d/%d", c.Node, int64(c.At), c.ProcsKilled)
+	}
 	if br, ok := rt.System().(*rts.BroadcastRTS); ok {
 		lr, bw, gw := br.Stats()
 		s += fmt.Sprintf(" reads=%d writes=%d guardwaits=%d", lr, bw, gw)
@@ -65,9 +72,28 @@ var determinismApps = []struct {
 			tsp.Params{PrimaryCopyQueue: true})
 		return fingerprint(r.Report, r.Runtime)
 	}},
+	{"tsp-crash", func() string {
+		// Fault-tolerant TSP losing the worker-and-sequencer machine
+		// mid-search: elections, job requeueing, and the recovery paths
+		// of every layer are all under this fingerprint.
+		inst := tsp.Generate(10, 5)
+		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1, Sequencer: 3,
+			Faults: &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 3, At: 150 * sim.Millisecond}}}},
+			inst, tsp.Params{FaultTolerant: true})
+		return fingerprint(r.Report, r.Runtime)
+	}},
 	{"acp", func() string {
 		inst := acp.GeneratePropagation(16, 16, 12, 2)
 		r := acp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, acp.Params{})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"acp-crash", func() string {
+		// Fault-tolerant ACP losing a participant: retirement, orphan
+		// claiming, and supervised termination under one fingerprint.
+		inst := acp.GeneratePropagation(16, 16, 12, 2)
+		r := acp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1,
+			Faults: &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 2, At: 120 * sim.Millisecond}}}},
+			inst, acp.Params{FaultTolerant: true})
 		return fingerprint(r.Report, r.Runtime)
 	}},
 	{"chess", func() string {
@@ -109,6 +135,8 @@ func TestCrossAppDeterminism(t *testing.T) {
 // change that is *meant* to alter simulated timing, and say so in the
 // commit message.
 var goldenFingerprints = map[string]string{
+	"tsp-crash": "elapsed=2170459800 frames=528 msgs=528 wire=78977 payload=56801 crash=3@150000000/1 reads=36684 writes=310 guardwaits=0 cpu=425614000 cpu=327868000 cpu=328374000 cpu=2141755600",
+	"acp-crash": "elapsed=302651400 frames=826 msgs=826 wire=107269 payload=72577 crash=2@120000000/1 reads=993 writes=402 guardwaits=0 cpu=169739000 cpu=192209000 cpu=268015400 cpu=195733800",
 	"tsp-p2p":   "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
 	"tsp-mixed": "elapsed=317604000 frames=157 msgs=157 wire=25941 payload=19347 reads=36616 bwrites=12 guardwaits=8 rreads=0 pwrites=201 updates=0 cpu=317009000 cpu=222118000 cpu=219396000 cpu=215382000",
 	"tsp":       "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",

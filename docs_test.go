@@ -1,0 +1,90 @@
+package repro
+
+// Documentation checks: every relative markdown link must resolve,
+// every repo path PAPER_MAP.md names must exist, and every test it
+// cites must still be defined. The CI markdown step runs exactly this
+// test, so the docs cannot rot silently.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	mdLinkRe   = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	codePathRe = regexp.MustCompile("`((?:internal|examples|cmd)/[A-Za-z0-9_./-]*)`")
+	testNameRe = regexp.MustCompile("`(Test[A-Za-z0-9_]+)`")
+)
+
+// TestMarkdownLinks verifies that relative links in all top-level
+// *.md files point at files or directories that exist.
+func TestMarkdownLinks(t *testing.T) {
+	mds, err := filepath.Glob("*.md")
+	if err != nil || len(mds) == 0 {
+		t.Fatalf("no markdown files found (%v)", err)
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken relative link %q", md, m[1])
+			}
+		}
+	}
+}
+
+// TestPaperMapReferences keeps PAPER_MAP.md honest: every repo path
+// it names in backticks must exist, and every `TestXxx` it cites must
+// be defined in some _test.go file.
+func TestPaperMapReferences(t *testing.T) {
+	data, err := os.ReadFile("PAPER_MAP.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, m := range codePathRe.FindAllStringSubmatch(text, -1) {
+		p := filepath.FromSlash(m[1])
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("PAPER_MAP.md names %q, which does not exist", m[1])
+		}
+	}
+
+	defined := map[string]bool{}
+	funcRe := regexp.MustCompile(`func (Test[A-Za-z0-9_]+)\(`)
+	err = filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range funcRe.FindAllStringSubmatch(string(src), -1) {
+			defined[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range testNameRe.FindAllStringSubmatch(text, -1) {
+		if !defined[m[1]] {
+			t.Errorf("PAPER_MAP.md cites %s, which is not defined in any _test.go", m[1])
+		}
+	}
+}

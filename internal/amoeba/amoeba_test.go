@@ -219,14 +219,57 @@ func TestRPCAtMostOnce(t *testing.T) {
 	env.Shutdown()
 }
 
-func TestRPCTimeoutOnCrashedServer(t *testing.T) {
+func TestRPCFailsFastOnCrashedServer(t *testing.T) {
+	// A destination known to be down fails the transaction with
+	// ErrCrashed instead of burning the retry budget.
 	env, _, ms := cluster(t, 2, nil)
 	NewServer(ms[1], "dead")
 	ms[1].Crash()
+	c := NewClient(ms[0], RPCDefaults{Timeout: 10 * sim.Millisecond, Retries: 1 << 20})
+	var err error
+	var took sim.Time
+	ms[0].SpawnThread("client", func(p *sim.Proc) {
+		start := p.Now()
+		_, err = c.Trans(p, 1, "dead", "nop", nil, 0)
+		took = p.Now() - start
+	})
+	env.Run()
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if took > 20*sim.Millisecond {
+		t.Fatalf("fail-fast took %v", took)
+	}
+	env.Shutdown()
+}
+
+func TestRPCCrashMidTransaction(t *testing.T) {
+	// The server dies while the request is in flight: the client's next
+	// timeout notices the down destination and fails with ErrCrashed.
+	env, _, ms := cluster(t, 2, nil)
+	NewServer(ms[1], "slow") // bound, but nobody serves requests
+	c := NewClient(ms[0], RPCDefaults{Timeout: 10 * sim.Millisecond, Retries: 1 << 20})
+	var err error
+	ms[0].SpawnThread("client", func(p *sim.Proc) {
+		_, err = c.Trans(p, 1, "slow", "nop", nil, 0)
+	})
+	env.At(15*sim.Millisecond, func() { ms[1].Crash() })
+	env.Run()
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	env.Shutdown()
+}
+
+func TestRPCTimeoutWithoutCrash(t *testing.T) {
+	// An unresponsive-but-alive server still yields ErrRPCTimeout once
+	// retries are exhausted.
+	env, _, ms := cluster(t, 2, nil)
+	NewServer(ms[1], "mute") // bound, but nobody serves requests
 	c := NewClient(ms[0], RPCDefaults{Timeout: 10 * sim.Millisecond, Retries: 2})
 	var err error
 	ms[0].SpawnThread("client", func(p *sim.Proc) {
-		_, err = c.Trans(p, 1, "dead", "nop", nil, 0)
+		_, err = c.Trans(p, 1, "mute", "nop", nil, 0)
 	})
 	env.Run()
 	if !errors.Is(err, ErrRPCTimeout) {

@@ -1,0 +1,22 @@
+// Package amoeba models the microkernel of the paper's testbed: one
+// kernel instance per processor-pool machine, providing threads,
+// segments (memory management), transparent RPC, and the hooks the
+// group-communication layer needs.
+//
+// Each Machine owns one CPU (the testbed machines are single-CPU
+// MC68030s) modelled as a sim.Resource. Every frame delivered by the
+// network is serviced by the machine's interrupt thread, which charges
+// per-fragment interrupt cost plus protocol processing cost to the CPU
+// before dispatching to the bound port handler. This per-message CPU
+// tax is what bends the speedup curves of update-heavy applications,
+// exactly as the paper reports for ACP.
+//
+// Machines crash whole: Crash kills every thread on the machine and
+// takes it off the network, and in-flight RPCs from other machines to
+// it fail with ErrCrashed instead of hanging — the primitive the
+// runtime systems' crash recovery is built on.
+//
+// Downward: threads are sim processes and frames travel package
+// netsim. Upward: package group speaks the kernel's port interface,
+// and the rts runtimes use RPC (Client/Server) and machine threads.
+package amoeba

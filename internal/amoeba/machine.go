@@ -1,15 +1,3 @@
-// Package amoeba models the microkernel of the paper's testbed: one
-// kernel instance per processor-pool machine, providing threads,
-// segments (memory management), transparent RPC, and the hooks the
-// group-communication layer needs.
-//
-// Each Machine owns one CPU (the testbed machines are single-CPU
-// MC68030s) modelled as a sim.Resource. Every frame delivered by the
-// network is serviced by the machine's interrupt thread, which charges
-// per-fragment interrupt cost plus protocol processing cost to the CPU
-// before dispatching to the bound port handler. This per-message CPU
-// tax is what bends the speedup curves of update-heavy applications,
-// exactly as the paper reports for ACP.
 package amoeba
 
 import (
@@ -92,7 +80,9 @@ type Machine struct {
 	memInUse   int64
 	memPeak    int64
 	nthreads   int
-	appBusy    sim.Time // CPU time charged through Compute (application work)
+	threads    []*sim.Proc // live threads of this machine (compacted lazily)
+	threadHi   int         // compaction watermark for threads
+	appBusy    sim.Time    // CPU time charged through Compute (application work)
 	svcCounter int64
 }
 
@@ -175,10 +165,30 @@ func (m *Machine) Unbind(port string) { delete(m.ports, port) }
 
 // SpawnThread starts a kernel or user thread on this machine. The
 // thread is a simulated process; its compute must be charged explicitly
-// through Compute (or cpu.Use) to occupy the machine's CPU.
+// through Compute (or cpu.Use) to occupy the machine's CPU. Threads
+// die with the machine: Crash kills every thread spawned here.
 func (m *Machine) SpawnThread(name string, fn func(p *sim.Proc)) *sim.Proc {
+	if m.crashed {
+		panic(fmt.Sprintf("amoeba: spawn %q on crashed node %d", name, m.id))
+	}
 	m.nthreads++
-	return m.env.Spawn(fmt.Sprintf("node%d/%s", m.id, name), fn)
+	if len(m.threads) >= m.threadHi {
+		// Compact away terminated threads so short-lived per-operation
+		// threads (RPC fanouts, forwarded ops) do not accumulate for
+		// the machine's lifetime. Amortized O(1) per spawn.
+		live := m.threads[:0]
+		for _, t := range m.threads {
+			if !t.Terminated() {
+				live = append(live, t)
+			}
+		}
+		clear(m.threads[len(live):])
+		m.threads = live
+		m.threadHi = 2*len(live) + 16
+	}
+	p := m.env.Spawn(fmt.Sprintf("node%d/%s", m.id, name), fn)
+	m.threads = append(m.threads, p)
+	return p
 }
 
 // Compute charges d of application CPU time to the machine on behalf
@@ -246,11 +256,21 @@ func (m *Machine) After(d sim.Time, fn func(p *sim.Proc)) *sim.Event {
 	})
 }
 
-// Crash takes the machine off the network and stops servicing its
-// queues, simulating a processor crash.
+// Crash simulates a processor crash: the machine leaves the network,
+// stops servicing its queues, and every thread spawned on it is killed
+// where it stands — mid-computation, parked on a condition, or waiting
+// for a reply. Nothing on the machine runs again. In-flight RPCs from
+// other machines to this one fail with ErrCrashed once their timeout
+// notices the destination is down.
 func (m *Machine) Crash() {
+	if m.crashed {
+		return
+	}
 	m.crashed = true
 	m.net.SetDown(m.id, true)
+	for _, p := range m.threads {
+		m.env.Kill(p)
+	}
 }
 
 // Crashed reports whether the machine has crashed.

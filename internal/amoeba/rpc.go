@@ -15,8 +15,16 @@ import (
 // RPC stays reliable on lossy networks.
 
 // ErrRPCTimeout is returned by Trans when all retransmissions expire
-// without a reply (typically because the server machine crashed).
+// without a reply.
 var ErrRPCTimeout = errors.New("amoeba: rpc timeout")
+
+// ErrCrashed is returned by Trans when the destination machine is
+// known to have crashed: instead of retransmitting into the void until
+// the retry budget runs out, the client fails the transaction at its
+// next timeout (or immediately, if the destination was already down).
+// Callers — the runtime systems — turn this into recovery: re-homing
+// an object, re-routing to a surviving replica.
+var ErrCrashed = errors.New("amoeba: destination machine crashed")
 
 // rpcWire distinguishes request and reply packets on an RPC port.
 type rpcWire struct {
@@ -182,10 +190,21 @@ func (c *Client) Trans(p *sim.Proc, dst int, port, op string, body any, size int
 	// server of the same service. Self-sends do traverse the simulated
 	// wire; the runtime systems avoid them by checking locality first.
 	c.ensureReplyPort(port + "-rep")
+	if c.m.net.Down(dst) {
+		return nil, fmt.Errorf("%w: %s/%s to node %d", ErrCrashed, port, op, dst)
+	}
 	txid := c.m.ServiceID()
 	wait := &rpcWait{cond: sim.NewCond(c.m.Env())}
 	c.waits[txid] = wait
-	defer delete(c.waits, txid)
+	// The calling thread can be killed mid-transaction (its machine
+	// crashed while it was parked here); the unwinding goroutine runs
+	// concurrently with other reaped threads of this machine and must
+	// not touch the shared waits map.
+	defer func() {
+		if !p.Killed() {
+			delete(c.waits, txid)
+		}
+	}()
 
 	req := rpcWire{TxID: txid, Op: op, Body: body, Client: c.m.id}
 	send := func(pp *sim.Proc) {
@@ -204,6 +223,11 @@ func (c *Client) Trans(p *sim.Proc, dst int, port, op string, body any, size int
 		timer.Cancel()
 		if wait.reply != nil {
 			return wait.reply.Body, nil
+		}
+		if c.m.net.Down(dst) {
+			// The server died while the transaction was in flight: fail
+			// now instead of burning the whole retry budget.
+			return nil, fmt.Errorf("%w: %s/%s to node %d", ErrCrashed, port, op, dst)
 		}
 		if attempt < c.policy.Retries {
 			c.m.Env().Tracef("node%d: rpc retry %s/%s to %d", c.m.id, port, op, dst)

@@ -1,16 +1,3 @@
-// Package acp implements the paper's second application (§4.2): the
-// Arc Consistency Problem. The input is a set of variables with finite
-// domains and a list of binary constraints; the goal is the maximal
-// set of values each variable can take such that all constraints can
-// be satisfied.
-//
-// The parallel program follows the paper: variables are statically
-// partitioned among worker processes; the variable domains live in a
-// shared "domain" object (an array of sets), a shared "work" object
-// tracks which variables must be rechecked, a "result" object records
-// which processes are willing to terminate, and a "nosolution" flag is
-// set when a domain becomes empty. The work and result objects have
-// indivisible operations for the termination conditions.
 package acp
 
 import (

@@ -1,0 +1,23 @@
+// Package acp implements the paper's second application (§4.2): the
+// Arc Consistency Problem. The input is a set of variables with
+// finite domains and a list of binary constraints; the goal is the
+// maximal set of values each variable can take such that all
+// constraints can be satisfied.
+//
+// The parallel program follows the paper: variables are statically
+// partitioned among worker processes; the variable domains live in a
+// shared "domain" object (an array of sets), a shared "work" object
+// tracks which variables must be rechecked, a "result" object records
+// which processes are willing to terminate, and a "nosolution" flag
+// is set when a domain becomes empty. The work and result objects
+// have indivisible operations for the termination conditions. The
+// fault-tolerant variant (faults.go) retires crashed participants:
+// their variables join an orphan pool the survivors drain, and —
+// because arc consistency is a confluent fixpoint — the crash run
+// computes exactly the domains a healthy run does.
+//
+// Downward: built on package orca with app-defined object types
+// (objects.go) in the same typed-builder style as std. Upward:
+// internal/harness reproduces Figure 3 and the participant-loss fault
+// scenario from this package.
+package acp

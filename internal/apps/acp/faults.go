@@ -1,0 +1,96 @@
+package acp
+
+import (
+	"fmt"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+// Fault-tolerant ACP. The paper's static partition breaks when a
+// worker machine crashes: the dead participant's variables are never
+// rechecked and the idle-all termination protocol waits for it
+// forever. The crash-aware variant keeps the algorithm but makes the
+// master a supervisor: when a machine crashes, the master retires its
+// workers from the Work object — they count as idle forever, their
+// partitions move to an orphan pool any survivor can claim from, and
+// the variable each was revising mid-crash is re-flagged so its
+// half-done revision is redone. Arc consistency is a confluent
+// fixpoint, so the surviving workers converge to exactly the domains a
+// healthy run computes.
+
+// supervisePollInterval is how often the crash-aware master checks for
+// participant deaths. Liveness is not a shared object — it changes
+// underneath the consistency protocols — so the master polls the
+// runtime's crash reports in virtual time.
+const supervisePollInterval = 25 * sim.Millisecond
+
+// runOrcaFT executes the crash-aware ACP program. The fault plan must
+// not crash processor 0 (the master's machine).
+func runOrcaFT(cfg orca.Config, inst *Instance, workers int) Result {
+	rt := orca.New(cfg, registerAll)
+	res := Result{}
+	rep := rt.Run(func(p *orca.Proc) {
+		domains := NewDomains(p, inst.NVars, inst.FullDomain())
+		work := NewWork(p, inst.NVars, workers)
+		result := std.NewBoolArray(p, workers, false)
+		nosolution := std.NewFlag(p, false)
+		revAcc := std.NewAccum(p)
+		exited := std.NewBoolArray(p, workers, false)
+
+		parts := partition(inst.NVars, workers)
+		for me := 0; me < workers; me++ {
+			me := me
+			p.Fork(workerCPU(me, cfg.Processors), fmt.Sprintf("acp-worker%d", me), func(wp *orca.Proc) {
+				workerLoop(wp, inst, me, parts[me], domains, work, result, nosolution, revAcc)
+				exited.Set(wp, me, true)
+			})
+		}
+
+		// Supervision loop: retire the workers of crashed machines and
+		// finish once the fixpoint is reached (or a wipeout aborted the
+		// run) and every worker has either exited or died. Exit is
+		// tracked per worker — an aggregate count would let a
+		// dead-but-exited worker stand in for a survivor still between
+		// its termination check and its revAcc contribution.
+		retired := make(map[int]bool)
+		for {
+			for _, node := range p.DeadNodes() {
+				if retired[node] {
+					continue
+				}
+				retired[node] = true
+				var ws, orphans []int
+				for me := 0; me < workers; me++ {
+					if workerCPU(me, cfg.Processors) == node {
+						ws = append(ws, me)
+						orphans = append(orphans, parts[me]...)
+					}
+				}
+				if len(ws) > 0 {
+					work.Retire(p, ws, orphans)
+				}
+			}
+			if work.IsDone(p) || nosolution.Value(p) {
+				settled := true
+				for me := 0; me < workers; me++ {
+					if !exited.Get(p, me) && !p.NodeDown(workerCPU(me, cfg.Processors)) {
+						settled = false
+						break
+					}
+				}
+				if settled {
+					break
+				}
+			}
+			p.Sleep(supervisePollInterval)
+		}
+		res.NoSolution = nosolution.Value(p)
+		res.Revisions = int64(revAcc.Value(p))
+		res.Domains = domains.Snapshot(p)
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}

@@ -1,0 +1,52 @@
+package acp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/orca"
+)
+
+// Crash-survival tests for the fault-tolerant ACP variant: losing a
+// participant mid-propagation must not change the computed fixpoint —
+// arc consistency is confluent, so the survivors converge to exactly
+// the domains a healthy run computes.
+
+func TestParticipantCrashReachesSameFixpoint(t *testing.T) {
+	inst := GeneratePropagation(24, 24, 16, 2)
+	plain := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	if plain.NoSolution {
+		t.Fatal("test instance unexpectedly has no solution")
+	}
+	crash := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1,
+		Faults: &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 2, At: plain.Report.Elapsed / 3}}}},
+		inst, Params{FaultTolerant: true})
+	if crash.Report.TimedOut {
+		t.Fatalf("crash run timed out; blocked: %v", crash.Report.Blocked)
+	}
+	if len(crash.Report.Crashes) != 1 || crash.Report.Crashes[0].Node != 2 {
+		t.Fatalf("crash report = %+v", crash.Report.Crashes)
+	}
+	if len(crash.Domains) != len(plain.Domains) {
+		t.Fatalf("domain count %d != %d", len(crash.Domains), len(plain.Domains))
+	}
+	for i := range plain.Domains {
+		if crash.Domains[i] != plain.Domains[i] {
+			t.Fatalf("variable %d: crash-run domain %x != healthy %x", i, crash.Domains[i], plain.Domains[i])
+		}
+	}
+}
+
+func TestFaultTolerantNoCrashMatchesPlain(t *testing.T) {
+	inst := GeneratePropagation(24, 24, 16, 2)
+	plain := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	ft := RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, inst, Params{FaultTolerant: true})
+	for i := range plain.Domains {
+		if ft.Domains[i] != plain.Domains[i] {
+			t.Fatalf("variable %d: fault-tolerant domain %x != plain %x", i, ft.Domains[i], plain.Domains[i])
+		}
+	}
+	if ft.Report.TimedOut {
+		t.Fatal("fault-tolerant run timed out")
+	}
+}

@@ -95,44 +95,117 @@ func (d Domains) Snapshot(p *orca.Proc) []uint64 { return domainSnapshot.Call(p,
 // computation is finished. Orca guards range over a single object, so
 // the blocking claim must see both the flags and the done bit — the
 // paper's "indivisible operations for testing these two conditions".
+//
+// For crash tolerance it additionally tracks which worker is currently
+// revising which variable (claimed), which workers have been retired
+// after their machine crashed (dead), and the orphaned variables of
+// dead workers (orphans), which any surviving worker may claim. In a
+// healthy run all three stay at their zero state and the object
+// behaves exactly as before.
 type workState struct {
-	bits []bool
-	idle []bool
-	done bool
+	bits    []bool
+	idle    []bool
+	done    bool
+	claimed []int  // claimed[w]: variable w is revising, -1 if none
+	dead    []bool // w retired after a crash
+	orphans []int  // dead workers' variables, claimable by anyone
 }
 
 // WireSize implements rts.Sized.
-func (st *workState) WireSize() int { return 9 + len(st.bits) + len(st.idle) }
+func (st *workState) WireSize() int {
+	return 9 + len(st.bits) + len(st.idle) + len(st.dead) + 8*len(st.claimed) + 4 + 8*len(st.orphans)
+}
 
-// claim is the shared core of the claim and await operations.
+// claim is the shared core of the claim and await operations. A
+// retired worker's claim — one already in flight when its machine
+// crashed — reports done so the (dead) caller would exit rather than
+// steal work. Survivors claim from their own partition first, then
+// from the orphan pool.
 func (st *workState) claim(me int, vars []int) (int, bool) {
-	if st.done {
+	if st.done || st.dead[me] {
 		return -1, true
+	}
+	take := func(v int) (int, bool) {
+		st.bits[v] = false
+		st.idle[me] = false
+		st.claimed[me] = v
+		return v, false
 	}
 	for _, v := range vars {
 		if st.bits[v] {
-			st.bits[v] = false
-			st.idle[me] = false
-			return v, false
+			return take(v)
+		}
+	}
+	for _, v := range st.orphans {
+		if st.bits[v] {
+			return take(v)
 		}
 	}
 	return -1, false
 }
 
+// hasWork reports whether a claim by me would succeed.
+func (st *workState) hasWork(me int, vars []int) bool {
+	if st.done || st.dead[me] {
+		return true
+	}
+	for _, v := range vars {
+		if st.bits[v] {
+			return true
+		}
+	}
+	for _, v := range st.orphans {
+		if st.bits[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// refresh re-evaluates termination: every worker idle (the dead count
+// as idle forever) and no variable flagged.
+func (st *workState) refresh() {
+	if st.done {
+		return
+	}
+	for _, id := range st.idle {
+		if !id {
+			return
+		}
+	}
+	for _, b := range st.bits {
+		if b {
+			return
+		}
+	}
+	st.done = true
+}
+
 var (
 	workB = orca.NewType(WorkObj, func(args []any) *workState {
 		nVars, workers := args[0].(int), args[1].(int)
-		s := &workState{bits: make([]bool, nVars), idle: make([]bool, workers)}
+		s := &workState{
+			bits:    make([]bool, nVars),
+			idle:    make([]bool, workers),
+			claimed: make([]int, workers),
+			dead:    make([]bool, workers),
+		}
 		for i := range s.bits {
 			s.bits[i] = true
+		}
+		for i := range s.claimed {
+			s.claimed[i] = -1
 		}
 		return s
 	}).
 		CloneWith(func(st *workState) *workState {
 			return &workState{
-				bits: append([]bool(nil), st.bits...),
-				idle: append([]bool(nil), st.idle...),
-				done: st.done,
+				bits:    append([]bool(nil), st.bits...),
+				idle:    append([]bool(nil), st.idle...),
+				done:    st.done,
+				claimed: append([]int(nil), st.claimed...),
+				dead:    append([]bool(nil), st.dead...),
+				orphans: append([]int(nil), st.orphans...),
 			}
 		}).
 		SizedBy((*workState).WireSize)
@@ -148,47 +221,42 @@ var (
 	workClaim = orca.DefWrite2x2(workB, "claim", func(st *workState, me int, vars []int) (int, bool) {
 		return st.claim(me, vars)
 	})
-	// await blocks until the caller's partition has work or the
-	// computation is finished, then claims indivisibly.
+	// await blocks until the caller has claimable work (its partition
+	// or the orphan pool) or the computation is finished, then claims
+	// indivisibly.
 	workAwait = orca.DefWrite2x2(workB, "await", func(st *workState, me int, vars []int) (int, bool) {
 		return st.claim(me, vars)
-	}).Guard(func(st *workState, _ int, vars []int) bool {
-		if st.done {
-			return true
-		}
-		for _, v := range vars {
-			if st.bits[v] {
-				return true
-			}
-		}
-		return false
+	}).Guard(func(st *workState, me int, vars []int) bool {
+		return st.hasWork(me, vars)
 	})
 	// setIdle declares the caller out of work; if every worker is idle
 	// and no flags remain, the computation is done. Returns done.
 	workSetIdle = orca.DefWrite(workB, "setIdle", func(st *workState, me int) bool {
 		st.idle[me] = true
-		if !st.done {
-			all := true
-			for _, id := range st.idle {
-				if !id {
-					all = false
-					break
-				}
+		st.claimed[me] = -1
+		st.refresh()
+		return st.done
+	})
+	// retire removes crashed workers from the termination protocol:
+	// they count as idle forever, their partitions join the orphan pool
+	// for the survivors, and the variable each was revising mid-crash
+	// is re-flagged (its revision may have been half done — revising
+	// again is idempotent). Termination is re-evaluated, since the
+	// retired workers may have been the last busy ones.
+	workRetire = orca.DefUpdate2(workB, "retire", func(st *workState, ws []int, vars []int) {
+		for _, w := range ws {
+			if st.dead[w] {
+				continue
 			}
-			if all {
-				any := false
-				for _, b := range st.bits {
-					if b {
-						any = true
-						break
-					}
-				}
-				if !any {
-					st.done = true
-				}
+			st.dead[w] = true
+			st.idle[w] = true
+			if v := st.claimed[w]; v >= 0 {
+				st.bits[v] = true
+				st.claimed[w] = -1
 			}
 		}
-		return st.done
+		st.orphans = append(st.orphans, vars...)
+		st.refresh()
 	})
 	// finish aborts the computation (no solution exists).
 	workFinish = orca.DefUpdate0(workB, "finish", func(st *workState) { st.done = true })
@@ -231,6 +299,11 @@ func (w Work) Await(p *orca.Proc, me int, vars []int) (int, bool) {
 // SetIdle declares the caller out of work and returns whether the
 // whole computation is now done.
 func (w Work) SetIdle(p *orca.Proc, me int) bool { return workSetIdle.Call(p, w.h, me) }
+
+// Retire removes crashed workers from the termination protocol and
+// hands their variables (vars) to the orphan pool, where any surviving
+// worker can claim them. Idempotent per worker.
+func (w Work) Retire(p *orca.Proc, ws []int, vars []int) { workRetire.Call(p, w.h, ws, vars) }
 
 // Finish aborts the computation (no solution exists).
 func (w Work) Finish(p *orca.Proc) { workFinish.Call(p, w.h) }

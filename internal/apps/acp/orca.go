@@ -25,6 +25,12 @@ type Params struct {
 	// on a separate processor"); with one processor, a single worker
 	// shares it with the master.
 	Workers int
+	// FaultTolerant runs the crash-aware variant: the master
+	// supervises worker liveness and retires dead participants, whose
+	// variables join an orphan pool the survivors drain, so a fault
+	// plan crashing worker machines still reaches the arc-consistent
+	// fixpoint (see faults.go).
+	FaultTolerant bool
 }
 
 // RunOrca executes the paper's parallel ACP program.
@@ -36,11 +42,10 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 			workers = 1
 		}
 	}
-	setup := func(reg *rts.Registry) {
-		std.Register(reg)
-		RegisterTypes(reg)
+	if params.FaultTolerant {
+		return runOrcaFT(cfg, inst, workers)
 	}
-	rt := orca.New(cfg, setup)
+	rt := orca.New(cfg, registerAll)
 	res := Result{}
 	rep := rt.Run(func(p *orca.Proc) {
 		domains := NewDomains(p, inst.NVars, inst.FullDomain())
@@ -50,92 +55,11 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 		revAcc := std.NewAccum(p)
 		fin := std.NewBarrier(p, workers)
 
-		// Static partition of the variables among the workers.
-		parts := make([][]int, workers)
-		for v := 0; v < inst.NVars; v++ {
-			parts[v%workers] = append(parts[v%workers], v)
-		}
-
+		parts := partition(inst.NVars, workers)
 		for me := 0; me < workers; me++ {
 			me := me
-			cpu := me + 1
-			if cpu >= cfg.Processors {
-				cpu = me % cfg.Processors
-			}
-			p.Fork(cpu, fmt.Sprintf("acp-worker%d", me), func(wp *orca.Proc) {
-				myVars := parts[me]
-				var revisions int64
-
-				// process rechecks the constraints involving variable
-				// v, shrinking v's set; returns false on wipeout.
-				// Work flags for neighbors are marked once at the
-				// end, in a single indivisible operation.
-				process := func(v int) bool {
-					changed := false
-					for _, ci := range inst.Incident(v) {
-						c := inst.Constraints[ci]
-						other := c.I
-						if other == v {
-							other = c.J
-						}
-						dv, do := domains.Get2(wp, v, other)
-						nv := Revise(c, v, dv, do, inst.DomainSize)
-						wp.Work(inst.ReviseCost())
-						revisions++
-						if nv == dv {
-							continue
-						}
-						_, wipeout := domains.Remove(wp, v, dv&^nv)
-						changed = true
-						if wipeout {
-							// Empty set: no solution exists.
-							nosolution.Set(wp, true)
-							work.Finish(wp)
-							return false
-						}
-					}
-					if changed {
-						// Neighbors must be rechecked; so must v
-						// itself, since its set changed.
-						nbs := append([]int{v}, inst.Neighbors(v)...)
-						work.Mark(wp, nbs)
-					}
-					return true
-				}
-
-				for {
-					// "Each process reads the object before doing new
-					// work, and quits if the value is true." (a local
-					// read on the replicated flag)
-					if nosolution.Value(wp) {
-						break
-					}
-					v, done := work.Claim(wp, me, myVars)
-					if done {
-						break
-					}
-					if v >= 0 {
-						if !process(v) {
-							break
-						}
-						continue
-					}
-					// Out of work: declare willingness to terminate,
-					// then block for more work or termination.
-					result.Set(wp, me, true)
-					if work.SetIdle(wp, me) {
-						break
-					}
-					v, done = work.Await(wp, me, myVars)
-					if done {
-						break
-					}
-					result.Set(wp, me, false)
-					if v >= 0 && !process(v) {
-						break
-					}
-				}
-				revAcc.Add(wp, int(revisions))
+			p.Fork(workerCPU(me, cfg.Processors), fmt.Sprintf("acp-worker%d", me), func(wp *orca.Proc) {
+				workerLoop(wp, inst, me, parts[me], domains, work, result, nosolution, revAcc)
 				fin.Arrive(wp)
 			})
 		}
@@ -148,4 +72,108 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 	res.Report = rep
 	res.Runtime = rt
 	return res
+}
+
+// registerAll registers the std and ACP object types.
+func registerAll(reg *rts.Registry) {
+	std.Register(reg)
+	RegisterTypes(reg)
+}
+
+// partition statically splits the variables among the workers.
+func partition(nVars, workers int) [][]int {
+	parts := make([][]int, workers)
+	for v := 0; v < nVars; v++ {
+		parts[v%workers] = append(parts[v%workers], v)
+	}
+	return parts
+}
+
+// workerCPU places worker me following the paper: workers start on
+// processor 1 (the master has processor 0 to itself) and wrap.
+func workerCPU(me, procs int) int {
+	cpu := me + 1
+	if cpu >= procs {
+		cpu = me % procs
+	}
+	return cpu
+}
+
+// workerLoop is one ACP worker: claim a flagged variable (its own
+// partition first, then the orphan pool), recheck its constraints, and
+// participate in the distributed termination protocol. Shared by the
+// plain and fault-tolerant variants.
+func workerLoop(wp *orca.Proc, inst *Instance, me int, myVars []int,
+	domains Domains, work Work, result std.BoolArray, nosolution std.Flag, revAcc std.Accum) {
+	var revisions int64
+
+	// process rechecks the constraints involving variable v, shrinking
+	// v's set; returns false on wipeout. Work flags for neighbors are
+	// marked once at the end, in a single indivisible operation.
+	process := func(v int) bool {
+		changed := false
+		for _, ci := range inst.Incident(v) {
+			c := inst.Constraints[ci]
+			other := c.I
+			if other == v {
+				other = c.J
+			}
+			dv, do := domains.Get2(wp, v, other)
+			nv := Revise(c, v, dv, do, inst.DomainSize)
+			wp.Work(inst.ReviseCost())
+			revisions++
+			if nv == dv {
+				continue
+			}
+			_, wipeout := domains.Remove(wp, v, dv&^nv)
+			changed = true
+			if wipeout {
+				// Empty set: no solution exists.
+				nosolution.Set(wp, true)
+				work.Finish(wp)
+				return false
+			}
+		}
+		if changed {
+			// Neighbors must be rechecked; so must v itself, since its
+			// set changed.
+			nbs := append([]int{v}, inst.Neighbors(v)...)
+			work.Mark(wp, nbs)
+		}
+		return true
+	}
+
+	for {
+		// "Each process reads the object before doing new work, and
+		// quits if the value is true." (a local read on the replicated
+		// flag)
+		if nosolution.Value(wp) {
+			break
+		}
+		v, done := work.Claim(wp, me, myVars)
+		if done {
+			break
+		}
+		if v >= 0 {
+			if !process(v) {
+				break
+			}
+			continue
+		}
+		// Out of work: declare willingness to terminate, then block
+		// for more work or termination.
+		result.Set(wp, me, true)
+		if work.SetIdle(wp, me) {
+			break
+		}
+		v, done = work.Await(wp, me, myVars)
+		if done {
+			break
+		}
+		result.Set(wp, me, false)
+		if v >= 0 && !process(v) {
+			break
+		}
+	}
+	revAcc.Add(wp, int(revisions))
 }

@@ -1,12 +1,3 @@
-// Package atpg implements the paper's fourth application (§4.4):
-// Automatic Test Pattern Generation for combinational circuits, based
-// on the PODEM algorithm (Goel, the paper's reference [7]), with
-// serial fault simulation as the optimization the paper evaluates.
-//
-// The parallel program statically partitions the fault set among the
-// processors; with fault simulation enabled, processes share an object
-// containing the faults for which patterns have been generated, so
-// every process can delete covered faults from its own list.
 package atpg
 
 import (
@@ -31,6 +22,7 @@ const (
 	Xor
 )
 
+// String names the gate kind.
 func (g GateType) String() string {
 	switch g {
 	case Input:

@@ -1,0 +1,16 @@
+// Package atpg implements the paper's fourth application (§4.4):
+// Automatic Test Pattern Generation for combinational circuits, based
+// on the PODEM algorithm (Goel, the paper's reference [7]), with
+// serial fault simulation as the optimization the paper evaluates.
+//
+// The parallel program statically partitions the fault set among the
+// processors; with fault simulation enabled, processes share an
+// object containing the faults for which patterns have been
+// generated, so every process can delete covered faults from its own
+// list. The dynamic work distribution the paper lists as future work
+// is also implemented.
+//
+// Downward: built on package orca and the std object types. Upward:
+// internal/harness reproduces the §4.4 speedup-by-mode experiment
+// from this package.
+package atpg

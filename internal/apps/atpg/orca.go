@@ -27,6 +27,7 @@ const (
 	DynamicFaultSim
 )
 
+// String names the parallelization mode for tables.
 func (m Mode) String() string {
 	switch m {
 	case Static:

@@ -1,12 +1,3 @@
-// Package chess implements Oracol, the paper's chess problem solver
-// (§4.3): alpha-beta search with iterative deepening and quiescence,
-// a killer table, and a transposition table, parallelized by
-// partitioning the search tree among processors. It solves
-// "mate-in-N-moves" and tactical problems; positional play is out of
-// scope, as in the paper.
-//
-// The board uses the 0x88 representation: a 128-byte array where
-// off-board squares have bit 0x88 set, making attack arithmetic cheap.
 package chess
 
 import (

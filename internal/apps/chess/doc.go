@@ -1,0 +1,16 @@
+// Package chess implements Oracol, the paper's chess problem solver
+// (§4.3): alpha-beta search with iterative deepening and quiescence,
+// a killer table, and a transposition table, parallelized by
+// partitioning the search tree among processors. It solves
+// "mate-in-N-moves" and tactical problems; positional play is out of
+// scope, as in the paper.
+//
+// The shared objects are the transposition table and the killer table
+// (std.Table, std.Killer); the paper reports shared tables — the
+// killer table especially — as the most efficient configuration, which
+// the harness experiment reproduces.
+//
+// Downward: built on package orca and the std object types. Upward:
+// internal/harness reproduces the §4.3 speedup comparison from this
+// package.
+package chess

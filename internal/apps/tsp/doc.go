@@ -1,0 +1,24 @@
+// Package tsp implements the paper's first application (§4.1): the
+// Traveling Salesman Problem solved by parallel branch-and-bound in
+// the replicated worker style.
+//
+// "The parallel program keeps track of the best solution found so far
+// by any worker process. This value is used as a bound. [...] The
+// bound must be accessible to all workers, so it is stored in a shared
+// object. This object is read very frequently and is written only when
+// a new better route has been found. In practice, the object may be
+// read millions of times and written only a few times."
+//
+// The program uses two shared objects: the global bound (a
+// std.Counter, whose indivisible min operation checks the new value
+// is actually smaller, preventing races) and a job queue filled by a
+// manager with partial initial routes. Params selects queue placement
+// variants (replicated, single-copy, primary-copy) and the
+// fault-tolerant variant (faults.go), whose claim-tracking queue lets
+// the manager requeue a crashed worker's jobs so the search still
+// finds the optimum.
+//
+// Downward: built on package orca and the std object types. Upward:
+// internal/harness reproduces Figure 2 and the fault scenarios from
+// this package.
+package tsp

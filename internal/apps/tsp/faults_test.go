@@ -1,0 +1,95 @@
+package tsp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/orca"
+	"repro/internal/sim"
+)
+
+// Crash-survival tests for the fault-tolerant TSP variant: a fault
+// plan kills a worker machine mid-search and the run must still report
+// the optimum a healthy run finds.
+
+func ftConfig(seqOn int, crashes ...netsim.Crash) orca.Config {
+	cfg := orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1, Sequencer: seqOn}
+	if len(crashes) > 0 {
+		cfg.Faults = &netsim.FaultPlan{Crashes: crashes}
+	}
+	return cfg
+}
+
+func TestFaultTolerantMatchesPlain(t *testing.T) {
+	inst := Generate(12, 5)
+	plain := RunOrca(ftConfig(0), inst, Params{})
+	ft := RunOrca(ftConfig(0), inst, Params{FaultTolerant: true})
+	if ft.Best != plain.Best {
+		t.Fatalf("fault-tolerant run found %d, plain run %d", ft.Best, plain.Best)
+	}
+	if ft.Report.TimedOut {
+		t.Fatal("fault-tolerant run timed out")
+	}
+}
+
+func TestWorkerCrashStillFindsOptimum(t *testing.T) {
+	inst := Generate(12, 5)
+	plain := RunOrca(ftConfig(0), inst, Params{})
+	half := plain.Report.Elapsed / 2
+	r := RunOrca(ftConfig(0, netsim.Crash{Node: 3, At: half}), inst, Params{FaultTolerant: true})
+	if r.Report.TimedOut {
+		t.Fatalf("crash run timed out; blocked: %v", r.Report.Blocked)
+	}
+	if r.Best != plain.Best {
+		t.Fatalf("crash run found %d, want optimum %d", r.Best, plain.Best)
+	}
+	if len(r.Report.Crashes) != 1 || r.Report.Crashes[0].Node != 3 {
+		t.Fatalf("crash report = %+v", r.Report.Crashes)
+	}
+	if r.Report.Crashes[0].ProcsKilled != 1 {
+		t.Fatalf("ProcsKilled = %d, want 1 (the node-3 worker)", r.Report.Crashes[0].ProcsKilled)
+	}
+	if r.Report.RTS.Crashes != 1 {
+		t.Fatalf("RTS crash counter = %d", r.Report.RTS.Crashes)
+	}
+}
+
+func TestSequencerCrashElectsAndFindsOptimum(t *testing.T) {
+	// Put the group sequencer on the crashed machine: the survivors
+	// must elect a new one and the search must still complete with the
+	// true optimum.
+	inst := Generate(12, 5)
+	plain := RunOrca(ftConfig(0), inst, Params{})
+	half := plain.Report.Elapsed / 2
+	r := RunOrca(ftConfig(3, netsim.Crash{Node: 3, At: half}), inst, Params{FaultTolerant: true})
+	if r.Report.TimedOut {
+		t.Fatalf("sequencer-crash run timed out; blocked: %v", r.Report.Blocked)
+	}
+	if r.Best != plain.Best {
+		t.Fatalf("sequencer-crash run found %d, want optimum %d", r.Best, plain.Best)
+	}
+	var elections int64
+	for i, gs := range r.Runtime.GroupStats() {
+		if i != 3 {
+			elections += gs.Elections
+		}
+	}
+	if elections == 0 {
+		t.Fatal("no elections after the sequencer crashed")
+	}
+}
+
+func TestCrashRunsAreDeterministic(t *testing.T) {
+	inst := Generate(12, 5)
+	run := func() (int, sim.Time, int64) {
+		r := RunOrca(ftConfig(3, netsim.Crash{Node: 3, At: 800 * sim.Millisecond}), inst,
+			Params{FaultTolerant: true})
+		return r.Best, r.Report.Elapsed, r.Report.Net.Messages
+	}
+	b1, e1, m1 := run()
+	b2, e2, m2 := run()
+	if b1 != b2 || e1 != e2 || m1 != m2 {
+		t.Fatalf("same seed, same fault plan, different runs: (%d,%v,%d) vs (%d,%v,%d)",
+			b1, e1, m1, b2, e2, m2)
+	}
+}

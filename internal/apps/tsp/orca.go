@@ -37,6 +37,12 @@ type Params struct {
 	// secondaries) while the bound stays broadcast-replicated — the
 	// paper's mixed strategy inside one program. Requires Config.Mixed.
 	PrimaryCopyQueue bool
+	// FaultTolerant runs the crash-aware variant: jobs travel through
+	// a claim-tracking queue and the manager requeues a dead worker's
+	// chunks, so a fault plan crashing worker machines still finds the
+	// true optimum (see faults.go). Incompatible with the queue
+	// placement options above.
+	FaultTolerant bool
 	// Workers overrides the worker count (default: one per CPU).
 	Workers int
 }
@@ -63,6 +69,12 @@ func RunOrca(cfg orca.Config, inst *Instance, params Params) Result {
 	}
 	if params.ChunkSize == 0 {
 		params.ChunkSize = 6
+	}
+	if params.FaultTolerant {
+		if params.SingleCopyQueue || params.PrimaryCopyQueue {
+			panic("tsp: FaultTolerant uses its own job tracker; queue placement options do not apply")
+		}
+		return runOrcaFT(cfg, inst, params)
 	}
 	workers := params.Workers
 	if workers == 0 {

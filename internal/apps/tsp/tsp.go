@@ -1,18 +1,3 @@
-// Package tsp implements the paper's first application (§4.1): the
-// Traveling Salesman Problem solved by parallel branch-and-bound in
-// the replicated worker style.
-//
-// "The parallel program keeps track of the best solution found so far
-// by any worker process. This value is used as a bound. [...] The
-// bound must be accessible to all workers, so it is stored in a shared
-// object. This object is read very frequently and is written only when
-// a new better route has been found. In practice, the object may be
-// read millions of times and written only a few times."
-//
-// The program uses two shared objects: the global bound (std.IntObj,
-// whose indivisible min operation checks the new value is actually
-// smaller, preventing races) and a job queue (std.JobQueue) filled by
-// a manager with partial initial routes.
 package tsp
 
 import (

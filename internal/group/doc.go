@@ -1,0 +1,23 @@
+// Package group implements Amoeba's totally-ordered reliable
+// broadcast (Kaashoek's group-communication protocol) as the paper
+// describes it: a sequencer orders all broadcasts; the PB method
+// (Point-to-point, then Broadcast) sends the message to the sequencer
+// which broadcasts it with a sequence number, while the BB method
+// (Broadcast, then Broadcast) broadcasts the message directly and the
+// sequencer broadcasts a short Accept. PB costs 2m bandwidth and one
+// interrupt per machine; BB costs m plus a tiny accept and two
+// interrupts. The implementation dynamically picks PB for messages
+// that fit one packet and BB for longer ones, exactly as the paper
+// states.
+//
+// Reliability: the sequencer keeps a history buffer; members detect
+// sequence gaps and request retransmission; senders retransmit
+// unacknowledged requests. If the sequencer crashes, surviving
+// members elect a new one (the candidate that has seen the most
+// messages wins) and resynchronize from its rebuilt history — the
+// paper's "committee electing a chairman", re-run on failure.
+//
+// Downward: members speak kernel ports and timers from package
+// amoeba. Upward: the broadcast runtime in package rts consumes each
+// member's totally-ordered delivery stream.
+package group

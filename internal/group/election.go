@@ -254,9 +254,21 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 }
 
 // kickOutstanding retransmits every unacknowledged broadcast to the
-// (possibly new) sequencer.
+// (possibly new) sequencer, in uid (submission) order: outstanding is
+// a map, and iterating it directly would retransmit — and therefore
+// sequence — concurrent messages in a random order, breaking run
+// determinism.
 func (g *Member) kickOutstanding(p *sim.Proc) {
+	sts := make([]*sendState, 0, len(g.outstanding))
 	for _, st := range g.outstanding {
+		sts = append(sts, st)
+	}
+	for i := 1; i < len(sts); i++ {
+		for j := i; j > 0 && sts[j].uid < sts[j-1].uid; j-- {
+			sts[j], sts[j-1] = sts[j-1], sts[j]
+		}
+	}
+	for _, st := range sts {
 		st.retries = 0
 		// Re-resolve the method in case the sequencer moved to us.
 		if g.isSeq && g.installed {

@@ -145,6 +145,45 @@ func TestCrashWithLossAndBBMethod(t *testing.T) {
 	h.env.Shutdown()
 }
 
+func TestTransientPartitionHeals(t *testing.T) {
+	// A fault-plan partition splits the group in two for a while:
+	// messages from the minority side stall (their requests cannot
+	// reach the sequencer), gap recovery kicks in on the far side, and
+	// once the partition heals every member converges on one identical
+	// delivery sequence with no losses of the senders' messages. The
+	// window is shorter than the retry budget, so no election fires —
+	// the reliability machinery alone must absorb the fault.
+	h := newHarness(63, 4, nil, func(c *Config) {
+		c.SenderTimeout = 80 * sim.Millisecond
+		c.SenderRetries = 30
+		c.GapTimeout = 40 * sim.Millisecond
+	})
+	h.net.InstallFaults(&netsim.FaultPlan{Partitions: []netsim.Partition{
+		{A: []int{0, 1}, B: []int{2, 3}, From: 50 * sim.Millisecond, Until: 450 * sim.Millisecond},
+	}}, nil)
+	sent := 0
+	for i := 0; i < 4; i++ {
+		i := i
+		h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+			for k := 0; k < 25; k++ {
+				h.gs[i].Broadcast(p, "m", k, 64)
+				sent++
+				p.Sleep(10 * sim.Millisecond)
+			}
+		})
+	}
+	h.env.RunUntil(60 * sim.Second)
+	h.checkAgreement(t, -1, nil)
+	if got := len(h.uidLogs[0]); got != sent {
+		t.Fatalf("delivered %d messages, want all %d sends", got, sent)
+	}
+	if el := h.gs[2].Stats().Elections; el != 0 {
+		t.Fatalf("partition (not crash) triggered %d elections; retry budget should have absorbed it", el)
+	}
+	h.env.Stop()
+	h.env.Shutdown()
+}
+
 func TestStatsAccounting(t *testing.T) {
 	h := newHarness(61, 3, nil, nil)
 	h.ms[1].SpawnThread("producer", func(p *sim.Proc) {

@@ -1,19 +1,3 @@
-// Package group implements Amoeba's totally-ordered reliable broadcast
-// (Kaashoek's group-communication protocol) as the paper describes it:
-// a sequencer orders all broadcasts; the PB method (Point-to-point,
-// then Broadcast) sends the message to the sequencer which broadcasts
-// it with a sequence number, while the BB method (Broadcast, then
-// Broadcast) broadcasts the message directly and the sequencer
-// broadcasts a short Accept. PB costs 2m bandwidth and one interrupt
-// per machine; BB costs m plus a tiny accept and two interrupts. The
-// implementation dynamically picks PB for messages that fit one packet
-// and BB for longer ones, exactly as the paper states.
-//
-// Reliability: the sequencer keeps a history buffer; members detect
-// sequence gaps and request retransmission; senders retransmit
-// unacknowledged requests. If the sequencer crashes, surviving members
-// elect a new one (the candidate that has seen the most messages wins)
-// and resynchronize from its rebuilt history.
 package group
 
 import (
@@ -36,6 +20,7 @@ const (
 	ForceBB
 )
 
+// String names the method for tables and traces.
 func (m Method) String() string {
 	switch m {
 	case Auto:
@@ -51,8 +36,15 @@ func (m Method) String() string {
 // Config parameterizes a group.
 type Config struct {
 	// Members lists the node ids in the group. The initial sequencer
-	// is the lowest id ("a committee electing a chairman").
+	// is the lowest id ("a committee electing a chairman") unless
+	// Sequencer picks another member.
 	Members []int
+	// Sequencer, when it names a member, is the initial sequencer.
+	// Any other value (including the zero value when node 0 is not a
+	// member) falls back to the lowest member id. Fault experiments
+	// use it to place the sequencer on a machine the fault plan
+	// crashes without losing the computation's main process.
+	Sequencer int
 	// Method selects PB/BB policy; Auto follows the paper.
 	Method Method
 	// SenderTimeout is how long a sender waits for its broadcast to be
@@ -281,6 +273,12 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 	for _, id := range cfg.Members {
 		if id < seq {
 			seq = id
+		}
+	}
+	for _, id := range cfg.Members {
+		if id == cfg.Sequencer {
+			seq = cfg.Sequencer
+			break
 		}
 	}
 	g := &Member{

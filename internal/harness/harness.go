@@ -1,8 +1,3 @@
-// Package harness drives the experiments that regenerate every table
-// and figure of the paper's evaluation, plus the protocol analyses of
-// §3. Each experiment returns a structured result and can render
-// itself as text (tables and ASCII speedup curves in the style of the
-// paper's figures).
 package harness
 
 import (

@@ -1,13 +1,3 @@
-// Package netsim models the shared-medium network of the paper's
-// testbed: a 10 Mb/s Ethernet connecting the processor-pool machines.
-//
-// The model captures the two costs that drive the paper's protocol
-// analysis: bandwidth (all frames serialize over one bus) and per-frame
-// receiver interrupts (charged by the kernel layer for every fragment
-// delivered). Frames above the MTU are fragmented; messages occupy the
-// bus for all fragments back to back, as Amoeba's blast protocols did.
-// Losses are injected per receiver with a configurable probability so
-// the reliability machinery of the upper layers is actually exercised.
 package netsim
 
 import (
@@ -88,6 +78,7 @@ type Stats struct {
 	WireBytes     int64 // bytes on the wire including overhead
 	PayloadBytes  int64
 	Drops         int64 // per-receiver fragment losses
+	FaultDrops    int64 // deliveries suppressed by an installed fault plan
 	Interrupts    []int64
 	BytesByKind   map[string]int64
 	CountsByKind  map[string]int64
@@ -104,6 +95,7 @@ type Network struct {
 	down      []bool
 	downCount int
 	busFreeAt sim.Time
+	faults    *FaultPlan
 	stats     Stats
 }
 
@@ -194,6 +186,23 @@ func (nw *Network) deliver(f Frame, dst int, at sim.Time, frags int) {
 	if nw.down[dst] || nw.handlers[dst] == nil {
 		return
 	}
+	if nw.faults != nil {
+		now := nw.env.Now()
+		if nw.linkCut(f.Src, dst, now) {
+			nw.stats.FaultDrops++
+			nw.env.Tracef("net: partition cut %s %d->%d", f.Kind, f.Src, dst)
+			return
+		}
+		if p := nw.linkLoss(f.Src, dst, now); p > 0 {
+			for i := 0; i < frags; i++ {
+				if nw.env.Rand().Float64() < p {
+					nw.stats.FaultDrops++
+					nw.env.Tracef("net: fault loss %s %d->%d", f.Kind, f.Src, dst)
+					return
+				}
+			}
+		}
+	}
 	// A message is lost to a receiver if any fragment is lost.
 	if nw.params.DropProb > 0 {
 		for i := 0; i < frags; i++ {
@@ -244,7 +253,7 @@ func (nw *Network) BroadcastFrame(f Frame) {
 	}
 	f.Dst = Broadcast
 	at, frags := nw.transmit(f)
-	if nw.params.DropProb > 0 || nw.downCount > 0 {
+	if nw.params.DropProb > 0 || nw.downCount > 0 || nw.faultsActive(nw.env.Now()) {
 		// Per-receiver loss rolls, and the schedule-time down-node
 		// filter (a node down at transmit time must not hear the frame
 		// even if it recovers before the arrival instant), need the

@@ -1,0 +1,78 @@
+package orca_test
+
+// Crash accounting at the orca layer: a fault plan's crash must settle
+// the runtime's process bookkeeping (the run terminates normally, not
+// by timeout), produce a faithful Report.Crashes record, and notify
+// the runtime system.
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+func TestReportCrashAccounting(t *testing.T) {
+	plan := &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 2, At: 500 * sim.Millisecond}}}
+	rt := orca.New(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1, Faults: plan}, std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
+		exited := std.NewCounter(p, 0)
+		// Two workers on the doomed machine, one on a survivor.
+		for _, cpu := range []int{2, 2, 3} {
+			p.Fork(cpu, "w", func(wp *orca.Proc) {
+				wp.Sleep(2 * sim.Second) // node 2 dies under the first two
+				exited.Add(wp, 1)
+			})
+		}
+		// Supervise: the survivor exits, the dead never do.
+		for exited.Value(p) < 1 {
+			p.Sleep(100 * sim.Millisecond)
+		}
+		if got := p.DeadNodes(); len(got) != 1 || got[0] != 2 {
+			t.Errorf("DeadNodes = %v, want [2]", got)
+		}
+		if !p.NodeDown(2) || p.NodeDown(3) {
+			t.Error("NodeDown disagrees with the executed fault plan")
+		}
+	})
+	if rep.TimedOut {
+		t.Fatalf("run timed out; crash accounting must settle liveness (blocked: %v)", rep.Blocked)
+	}
+	if len(rep.Crashes) != 1 {
+		t.Fatalf("Crashes = %+v, want one record", rep.Crashes)
+	}
+	c := rep.Crashes[0]
+	if c.Node != 2 || c.At != 500*sim.Millisecond {
+		t.Fatalf("crash record = %+v", c)
+	}
+	if c.ProcsKilled != 2 {
+		t.Fatalf("ProcsKilled = %d, want 2 (both node-2 workers)", c.ProcsKilled)
+	}
+	if rep.RTS.Crashes != 1 {
+		t.Fatalf("RTS.Crashes = %d, want 1 (runtime system must be notified)", rep.RTS.Crashes)
+	}
+	if rep.Elapsed >= 3600*sim.Second {
+		t.Fatalf("Elapsed = %v, run should end shortly after the survivor exits", rep.Elapsed)
+	}
+}
+
+func TestCrashAccountingMixedRuntime(t *testing.T) {
+	// The mixed runtime must forward the crash to both subsystems and
+	// report it once.
+	plan := &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 1, At: 200 * sim.Millisecond}}}
+	rt := orca.New(orca.Config{Processors: 3, RTS: orca.Broadcast, Mixed: true, Seed: 1, Faults: plan}, std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
+		p.Sleep(sim.Second)
+	})
+	if rep.TimedOut {
+		t.Fatal("run timed out")
+	}
+	if rep.RTS.Crashes != 1 {
+		t.Fatalf("merged RTS.Crashes = %d, want 1 (max-merge, not sum)", rep.RTS.Crashes)
+	}
+	if len(rep.Crashes) != 1 || rep.Crashes[0].ProcsKilled != 0 {
+		t.Fatalf("Crashes = %+v, want one record with no procs killed", rep.Crashes)
+	}
+}

@@ -1,24 +1,3 @@
-// Package orca provides the programming model of the Orca language as
-// an embedded Go API: processes and shared data-objects.
-//
-// The paper's Orca is a procedural language whose parallel constructs
-// are `fork` (create a process, optionally on a chosen processor,
-// passing shared objects by reference) and operations on shared
-// objects, which are sequentially consistent and indivisible, with
-// guarded operations for condition synchronization. This package
-// reproduces exactly that semantic model; what a compiler front-end
-// would add is syntax, not behaviour (see DESIGN.md for the
-// substitution argument).
-//
-// A program is a function run as the main process on processor 0 of a
-// simulated Amoeba multicomputer. It creates objects (Proc.New), forks
-// workers (Proc.Fork), performs operations (Proc.Invoke), and charges
-// its computation in virtual time (Proc.Work). The runtime beneath is
-// selected by Config.RTS: the broadcast runtime on broadcast hardware,
-// or the point-to-point runtime with the invalidation or update
-// protocol. With Config.Mixed both runtimes share the machines and
-// individual objects choose theirs at creation (Proc.NewWith, Policy)
-// — the paper's per-object replication decision made expressible.
 package orca
 
 import (
@@ -46,6 +25,7 @@ const (
 	P2PInvalidate
 )
 
+// String names the runtime kind for tables and traces.
 func (k RTSKind) String() string {
 	switch k {
 	case Broadcast:
@@ -83,6 +63,18 @@ type Config struct {
 	P2P *rts.P2PConfig
 	// GroupMethod forces the broadcast method (PB/BB); zero is Auto.
 	GroupMethod group.Method
+	// Sequencer picks the initial group sequencer for the broadcast
+	// runtime (default: processor 0). Fault experiments use it to put
+	// the sequencer on a machine the fault plan crashes, without
+	// crashing the main process on processor 0.
+	Sequencer int
+	// Faults, when non-nil, is the failure schedule for the run:
+	// machine crashes executed by the runtime (kernel, threads,
+	// process accounting, and runtime-system routing all follow), plus
+	// network partitions and loss windows applied at the wire. All
+	// fault handling is seed-deterministic. Crash reports land in
+	// Report.Crashes.
+	Faults *netsim.FaultPlan
 	// MaxTime bounds the virtual run (default 1 hour of virtual
 	// time); a program still running then is reported as timed out.
 	MaxTime sim.Time
@@ -106,6 +98,9 @@ type Runtime struct {
 
 	forkSeq int64
 	forks   map[int64]forkEntry
+
+	procs   []*procRec // every Orca process, for crash accounting
+	crashes []CrashRecord
 }
 
 // forkMsg travels the wire so process creation is ordered with respect
@@ -118,9 +113,10 @@ type forkMsg struct {
 }
 
 type forkEntry struct {
-	name string
-	cpu  int
-	fn   func(p *Proc)
+	name   string
+	cpu    int
+	origin int // forking processor; the fork dies with it while in flight
+	fn     func(p *Proc)
 }
 
 // New builds a runtime. setup registers the program's object types.
@@ -161,6 +157,7 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		}
 		gcfg := group.DefaultConfig(ids)
 		gcfg.Method = cfg.GroupMethod
+		gcfg.Sequencer = cfg.Sequencer
 		for _, m := range rt.machines {
 			rt.members = append(rt.members, group.Join(m, gcfg))
 		}
@@ -208,6 +205,9 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		}
 	}
 	rt.fastRead, _ = rt.sys.(rts.LocalReader)
+	// Arm the fault plan last: link faults filter at the wire, and
+	// each crash entry fires rt.crashNode at its instant.
+	rt.net.InstallFaults(cfg.Faults, rt.crashNode)
 	return rt
 }
 
@@ -275,6 +275,9 @@ type Report struct {
 	// Blocked lists the simulated threads still parked when a run
 	// timed out — the first place to look at a deadlocked program.
 	Blocked []string
+	// Crashes lists the machine crashes the fault plan executed, in
+	// crash order, with per-crash process accounting.
+	Crashes []CrashRecord
 }
 
 // Run executes main as the program's main Orca process on processor 0
@@ -292,6 +295,7 @@ func (rt *Runtime) Run(main func(p *Proc)) Report {
 		TimedOut: rt.timedOut,
 		Net:      rt.net.Stats(),
 		RTS:      rt.Stats(),
+		Crashes:  rt.Crashes(),
 	}
 	if rt.timedOut {
 		rep.Blocked = rt.env.Blocked()
@@ -319,8 +323,18 @@ func (rt *Runtime) forkOn(cpu int, name string, fn func(p *Proc)) {
 // it in liveProcs.
 func (rt *Runtime) spawnProc(cpu int, name string, fn func(p *Proc)) {
 	m := rt.machines[cpu]
+	rec := &procRec{node: cpu}
+	rt.procs = append(rt.procs, rec)
 	m.SpawnThread(name, func(sp *sim.Proc) {
 		defer func() {
+			if sp.Killed() {
+				// The machine crashed under this process: crashNode
+				// already settled the accounting, and this goroutine is
+				// unwinding concurrently with its machine-mates during
+				// Shutdown — it must not touch shared state.
+				return
+			}
+			rec.done = true
 			rt.liveProcs--
 			if rt.liveProcs == 0 {
 				rt.env.Stop()
@@ -408,6 +422,9 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 	if cpu >= len(rt.machines) {
 		panic(fmt.Sprintf("orca: fork on invalid processor %d", cpu))
 	}
+	if rt.machines[cpu].Crashed() {
+		panic(fmt.Sprintf("orca: fork on crashed processor %d", cpu))
+	}
 	p.w.Flush()
 	if cpu == p.CPU() {
 		// A local fork needs no wire: the local replica already
@@ -417,7 +434,7 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 	}
 	rt.forkSeq++
 	fid := rt.forkSeq
-	rt.forks[fid] = forkEntry{name: name, cpu: cpu, fn: fn}
+	rt.forks[fid] = forkEntry{name: name, cpu: cpu, origin: p.CPU(), fn: fn}
 	rt.liveProcs++
 	msg := forkMsg{FID: fid, Target: cpu}
 	if len(rt.members) > 0 {

@@ -406,6 +406,36 @@ func (op WriteOp0x2[S, R1, R2]) Call(p *Proc, h Handle[S]) (R1, R2) {
 	return as[R1](res[0]), as[R2](res[1])
 }
 
+// WriteOp1x2 is a write taking one argument and returning two results
+// (the crash-aware dequeue shape: take(worker) -> (job, ok)).
+type WriteOp1x2[S rts.State, A, R1, R2 any] struct{ def *rts.OpDef }
+
+// DefWrite1x2 attaches a one-argument, two-result write to a type.
+func DefWrite1x2[S rts.State, A, R1, R2 any](b *TypeBuilder[S], name string, apply func(S, A) (R1, R2)) WriteOp1x2[S, A, R1, R2] {
+	return WriteOp1x2[S, A, R1, R2]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
+		r1, r2 := apply(s, argAs[A](a[0]))
+		return append(dst, r1, r2)
+	})}
+}
+
+// Guard makes the write blocking; the guard sees the argument.
+func (op WriteOp1x2[S, A, R1, R2]) Guard(g func(S, A) bool) WriteOp1x2[S, A, R1, R2] {
+	op.def.Guard = func(s rts.State, a []any) bool { return g(s.(S), argAs[A](a[0])) }
+	return op
+}
+
+// Cost sets the operation's virtual CPU cost.
+func (op WriteOp1x2[S, A, R1, R2]) Cost(d sim.Time) WriteOp1x2[S, A, R1, R2] {
+	op.def.CPUCost = d
+	return op
+}
+
+// Call performs the operation on h.
+func (op WriteOp1x2[S, A, R1, R2]) Call(p *Proc, h Handle[S], arg A) (R1, R2) {
+	res := p.Invoke(h.o, op.def.Name, arg)
+	return as[R1](res[0]), as[R2](res[1])
+}
+
 // WriteOp2x2 is a write taking two arguments and returning two
 // results (the claim-style shape of termination protocols).
 type WriteOp2x2[S rts.State, A1, A2, R1, R2 any] struct{ def *rts.OpDef }

@@ -29,11 +29,17 @@ type BroadcastRTS struct {
 	// machines; absent means replicated everywhere (see CreateOn).
 	placements map[ObjID][]int
 
+	// down marks machines the runtime was told have crashed (see
+	// NodeCrashed); forwarded operations route around them.
+	down map[int]bool
+
 	// Stats
 	localReads  int64
 	guardWaits  int64
 	bcastWrites int64
 	forwarded   int64
+	crashes     int64
+	opsRetried  int64
 }
 
 // System is the interface shared by the runtime systems; the Orca
@@ -184,7 +190,26 @@ func (r *BroadcastRTS) Counters() RTSStats {
 		BcastWrites: r.bcastWrites,
 		GuardWaits:  r.guardWaits,
 		Forwarded:   r.forwarded,
+		Crashes:     r.crashes,
+		OpsRetried:  r.opsRetried,
 	}
+}
+
+// NodeCrashed implements CrashAware. The replicated core needs no
+// repair — the dead machine's replicas, guard waiters, and manager
+// thread died with it, and the group layer already routes around a
+// dead member (electing a new sequencer if necessary) — so the
+// runtime only has to stop choosing the dead machine as a target for
+// forwarded operations on partially replicated objects.
+func (r *BroadcastRTS) NodeCrashed(node int) {
+	if r.down == nil {
+		r.down = make(map[int]bool)
+	}
+	if r.down[node] {
+		return
+	}
+	r.down[node] = true
+	r.crashes++
 }
 
 // Create broadcasts object creation so every machine instantiates a

@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/amoeba"
@@ -115,19 +116,38 @@ func (r *BroadcastRTS) startForwarders(machines []*amoeba.Machine) {
 }
 
 // forward executes an operation at a replica holder on behalf of a
-// machine outside the placement.
+// machine outside the placement. Dead holders are skipped, and a
+// holder that dies mid-operation fails the RPC with ErrCrashed; the
+// operation is then retried at the next surviving holder. A retried
+// write may therefore execute twice if the dead holder applied it
+// before crashing and the write had already been broadcast — the
+// at-least-once caveat every crash-recovery path of the runtime
+// shares (see DESIGN.md).
 func (mgr *bcastManager) forward(w *Worker, id ObjID, pl []int, opName string, args []any) []any {
 	w.Flush()
 	mgr.rts.forwarded++
-	rep, err := mgr.fwdClient.Trans(w.P, pl[0], fwdPort, opName,
-		fwdOp{Obj: id, Op: opName, Args: args}, SizeOfArgs(args)+len(opName)+16)
-	if err != nil {
-		panic(fmt.Sprintf("rts: forwarded op %s on object %d failed: %v", opName, id, err))
+	first := true
+	for _, holder := range pl {
+		if mgr.rts.down[holder] || mgr.m.Net().Down(holder) {
+			continue
+		}
+		if !first {
+			mgr.rts.opsRetried++
+		}
+		first = false
+		rep, err := mgr.fwdClient.Trans(w.P, holder, fwdPort, opName,
+			fwdOp{Obj: id, Op: opName, Args: args}, SizeOfArgs(args)+len(opName)+16)
+		if err == nil {
+			if rep == nil {
+				return nil
+			}
+			return rep.([]any)
+		}
+		if !errors.Is(err, amoeba.ErrCrashed) {
+			panic(fmt.Sprintf("rts: forwarded op %s on object %d failed: %v", opName, id, err))
+		}
 	}
-	if rep == nil {
-		return nil
-	}
-	return rep.([]any)
+	panic(fmt.Sprintf("rts: no live replica holder for object %d (placement %v)", id, pl))
 }
 
 // Forwarded reports how many operations were forwarded to replica

@@ -60,9 +60,16 @@ type RTSStats struct {
 	Discards      int64 `json:"discards,omitempty"`      // secondary copies dropped by the ratio heuristic
 	Invalidations int64 `json:"invalidations,omitempty"` // invalidation messages sent
 	Updates       int64 `json:"updates,omitempty"`       // update messages sent
+
+	// Fault-tolerance counters (see CrashAware).
+	Crashes    int64 `json:"crashes,omitempty"`     // machine crashes observed by the runtime
+	OpsRetried int64 `json:"ops_retried,omitempty"` // operations retried after a crash broke their first attempt
+	Rehomed    int64 `json:"rehomed,omitempty"`     // objects re-homed or restarted on a new primary
 }
 
-// merge adds o's counters into s.
+// merge adds o's counters into s. Crashes is a node count both
+// subsystems observe identically (a MixedRTS forwards every crash to
+// both), so it merges by max rather than sum.
 func (s RTSStats) merge(o RTSStats) RTSStats {
 	s.LocalReads += o.LocalReads
 	s.BcastWrites += o.BcastWrites
@@ -74,7 +81,34 @@ func (s RTSStats) merge(o RTSStats) RTSStats {
 	s.Discards += o.Discards
 	s.Invalidations += o.Invalidations
 	s.Updates += o.Updates
+	if o.Crashes > s.Crashes {
+		s.Crashes = o.Crashes
+	}
+	s.OpsRetried += o.OpsRetried
+	s.Rehomed += o.Rehomed
 	return s
+}
+
+// CrashAware is implemented by runtime systems that recover from
+// machine crashes. The layer that detects (or injects) a crash — the
+// orca runtime executing a fault plan — notifies the runtime system,
+// which drops the dead machine from its routing decisions: the
+// broadcast runtime stops forwarding to dead replica holders, and the
+// point-to-point runtime re-homes objects whose primary died.
+type CrashAware interface {
+	NodeCrashed(node int)
+}
+
+var (
+	_ CrashAware = (*BroadcastRTS)(nil)
+	_ CrashAware = (*P2PRTS)(nil)
+	_ CrashAware = (*MixedRTS)(nil)
+)
+
+// NodeCrashed implements CrashAware, forwarding to both subsystems.
+func (m *MixedRTS) NodeCrashed(node int) {
+	m.br.NodeCrashed(node)
+	m.p2p.NodeCrashed(node)
 }
 
 // StatsSource is implemented by every runtime system: a unified

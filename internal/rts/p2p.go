@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/amoeba"
@@ -50,6 +51,7 @@ const (
 	Update
 )
 
+// String names the protocol for tables and traces.
 func (p P2PProtocol) String() string {
 	if p == Invalidation {
 		return "invalidate"
@@ -71,6 +73,7 @@ const (
 	FullReplication
 )
 
+// String names the placement policy for tables and traces.
 func (pl Placement) String() string {
 	switch pl {
 	case DynamicPlacement:
@@ -119,6 +122,9 @@ type P2PStats struct {
 	Discards      int64
 	Invalidations int64 // invalidation messages sent
 	Updates       int64 // update messages sent
+	Crashes       int64 // machine crashes the runtime was notified of
+	OpsRetried    int64 // operations re-issued after a crash broke their first attempt
+	Rehomed       int64 // objects re-homed (or restarted) on a new primary
 }
 
 // p2pMeta is the global registry entry for an object: its type, the
@@ -133,6 +139,10 @@ type p2pMeta struct {
 	primary   int
 	protocol  P2PProtocol
 	placement Placement
+	// ctorArgs are the creation arguments, kept so an object whose
+	// every copy died with its machines can be restarted from its
+	// initial state (see rehome).
+	ctorArgs []any
 
 	ops opCache
 }
@@ -264,16 +274,23 @@ func (r *P2PRTS) Counters() RTSStats {
 		Discards:      r.stats.Discards,
 		Invalidations: r.stats.Invalidations,
 		Updates:       r.stats.Updates,
+		Crashes:       r.stats.Crashes,
+		OpsRetried:    r.stats.OpsRetried,
+		Rehomed:       r.stats.Rehomed,
 	}
 }
 
 // Primary reports an object's primary machine.
 func (r *P2PRTS) Primary(id ObjID) int { return r.meta(id).primary }
 
-// CopyCount reports how many machines currently hold a copy.
+// CopyCount reports how many machines currently hold a copy. Copies
+// that died with a crashed machine do not count.
 func (r *P2PRTS) CopyCount(id ObjID) int {
 	n := 0
 	for _, node := range r.nodes {
+		if node.m.Crashed() {
+			continue
+		}
 		if inst, ok := node.insts[id]; ok && inst.valid {
 			n++
 		}
@@ -283,6 +300,9 @@ func (r *P2PRTS) CopyCount(id ObjID) int {
 
 // HasCopy reports whether a machine holds a valid copy.
 func (r *P2PRTS) HasCopy(node int, id ObjID) bool {
+	if r.nodes[node].m.Crashed() {
+		return false
+	}
 	inst, ok := r.nodes[node].insts[id]
 	return ok && inst.valid
 }
@@ -331,7 +351,8 @@ func (r *P2PRTS) CreateWith(w *Worker, typeName string, protocol P2PProtocol, pl
 		seg:     w.M.AllocSegment(int64(t.stateSize(state))),
 	}
 	node.insts[id] = inst
-	r.objs[id] = &p2pMeta{id: id, typ: t, primary: w.Node(), protocol: protocol, placement: placement}
+	r.objs[id] = &p2pMeta{id: id, typ: t, primary: w.Node(), protocol: protocol, placement: placement,
+		ctorArgs: append([]any(nil), args...)}
 	q := sim.NewQueue[*p2pTask](w.M.Env())
 	node.queues[id] = q
 	node.m.SpawnThread(fmt.Sprintf("obj%d", id), func(p *sim.Proc) { node.objectLoop(p, id, q) })
@@ -366,7 +387,9 @@ func (r *P2PRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) []any {
 
 // invokeRead serves a read locally when a valid copy exists, otherwise
 // remotely at the primary; it then updates statistics and may fetch a
-// copy.
+// copy. A primary that dies mid-read is detected by the failing RPC
+// (or by a copy left locked forever) and the object is re-homed before
+// the read retries.
 func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []any {
 	r := n.rts
 	st := n.accessFor(meta.id)
@@ -384,6 +407,12 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 				continue // invalidated while flushing
 			}
 			if inst.locked {
+				if r.nodeDown(meta.primary) {
+					// The primary died between update phases; re-home
+					// the object, which also unlocks this copy.
+					r.rehome(w, meta)
+					continue
+				}
 				inst.cond.Wait(w.P)
 				continue
 			}
@@ -406,13 +435,21 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 		}
 		r.stats.RemoteReads++
 		w.Flush()
-		res := n.remoteOp(w.P, meta, op, args)
+		res, err := n.remoteOp(w.P, meta, op, args)
+		if err != nil {
+			r.stats.OpsRetried++
+			r.rehome(w, meta)
+			continue
+		}
 		return res
 	}
 }
 
 // invokeWrite routes a write to the primary and afterwards applies the
-// discard heuristic.
+// discard heuristic. If the primary crashed, the object is re-homed
+// and the write re-issued: crash recovery gives writes at-least-once
+// semantics (see DESIGN.md), exactly once in the common case where the
+// first attempt never reached the dead primary.
 func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) []any {
 	r := n.rts
 	st := n.accessFor(meta.id)
@@ -420,31 +457,44 @@ func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) [
 	r.stats.Writes++
 	w.Flush()
 	var res []any
-	if meta.primary == n.m.ID() {
-		t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID()}
-		n.queues[meta.id].Put(t)
-		for !t.done {
-			t.cond.Wait(w.P)
+	for {
+		if meta.primary == n.m.ID() {
+			t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID()}
+			n.queues[meta.id].Put(t)
+			for !t.done {
+				t.cond.Wait(w.P)
+			}
+			res = t.res
+			break
 		}
-		res = t.res
-	} else {
-		res = n.remoteOp(w.P, meta, op, args)
+		var err error
+		res, err = n.remoteOp(w.P, meta, op, args)
+		if err == nil {
+			break
+		}
+		r.stats.OpsRetried++
+		r.rehome(w, meta)
 	}
 	n.maybeDiscard(w, meta, st)
 	return res
 }
 
-// remoteOp performs the operation at the primary over RPC.
-func (n *p2pNode) remoteOp(p *sim.Proc, meta *p2pMeta, op *OpDef, args []any) []any {
+// remoteOp performs the operation at the primary over RPC. A crashed
+// primary returns an error for the caller to recover from; any other
+// failure is a bug and panics.
+func (n *p2pNode) remoteOp(p *sim.Proc, meta *p2pMeta, op *OpDef, args []any) ([]any, error) {
 	body := p2pOpReq{Obj: meta.id, Op: op.Name, Args: args}
 	rep, err := n.client.Trans(p, meta.primary, p2pRPCPort, "op", body, SizeOfArgs(args)+len(op.Name)+16)
 	if err != nil {
+		if errors.Is(err, amoeba.ErrCrashed) {
+			return nil, err
+		}
 		panic(fmt.Sprintf("rts: remote op %s on object %d failed: %v", op.Name, meta.id, err))
 	}
 	if rep == nil {
-		return nil
+		return nil, nil
 	}
-	return rep.([]any)
+	return rep.([]any), nil
 }
 
 // accessFor returns this machine's statistics for an object.
@@ -489,19 +539,29 @@ func (n *p2pNode) maybeDiscard(w *Worker, meta *p2pMeta, st *accessStats) {
 	st.reads, st.writes = 0, 0
 }
 
-// fetchCopy installs a secondary copy from the primary.
+// fetchCopy installs a secondary copy from the primary, re-homing the
+// object first if the primary died.
 func (n *p2pNode) fetchCopy(w *Worker, meta *p2pMeta) {
 	r := n.rts
 	r.stats.Fetches++
 	st := n.accessFor(meta.id)
 	st.reads, st.writes = 0, 0
-	rep, err := n.client.Trans(w.P, meta.primary, p2pRPCPort, "fetch",
-		p2pFetchReq{Obj: meta.id, Node: n.m.ID()}, 16)
-	if err != nil {
-		panic(fmt.Sprintf("rts: fetch of object %d failed: %v", meta.id, err))
+	for {
+		if meta.primary == n.m.ID() {
+			return // re-homed onto this very machine while fetching
+		}
+		rep, err := n.client.Trans(w.P, meta.primary, p2pRPCPort, "fetch",
+			p2pFetchReq{Obj: meta.id, Node: n.m.ID()}, 16)
+		if err == nil {
+			n.installCopy(meta.id, meta.typ, rep.(State))
+			return
+		}
+		if !errors.Is(err, amoeba.ErrCrashed) {
+			panic(fmt.Sprintf("rts: fetch of object %d failed: %v", meta.id, err))
+		}
+		r.stats.OpsRetried++
+		r.rehome(w, meta)
 	}
-	state := rep.(State)
-	n.installCopy(meta.id, meta.typ, state)
 }
 
 // installCopy places a (cloned) state as a valid secondary.

@@ -1,0 +1,148 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Crash recovery for the point-to-point runtime. The paper's §3.2.2
+// RTS keeps one primary copy per object; a machine crash therefore
+// threatens whole objects, not just replicas. Recovery re-homes each
+// affected object onto a surviving machine the first time an operation
+// trips over the dead primary:
+//
+//   - if any machine still holds a valid copy, the lowest-numbered
+//     such machine is promoted to primary — the object's state (as of
+//     the last update that reached that copy) survives;
+//   - if the only copy died with the primary, the object is restarted
+//     from its creation arguments on the lowest-numbered live machine
+//     — the state is lost and the object begins again, which the
+//     program must tolerate (Orca's fault-tolerance story for
+//     unreplicated data is exactly this weak, which is why the paper's
+//     broadcast RTS replicates everything).
+//
+// Writes interrupted by a crash are re-issued against the new primary,
+// giving at-least-once execution: an update-protocol write that
+// reached some secondaries before the primary died survives in the
+// promoted copy and runs again on retry. DESIGN.md discusses why
+// exactly-once would require write-ahead intentions the paper's RTS
+// does not keep.
+
+// nodeDown reports whether a machine has crashed.
+func (r *P2PRTS) nodeDown(node int) bool { return r.nodes[node].m.Crashed() }
+
+// NodeCrashed implements CrashAware: it counts the crash and releases
+// copies the dead primary left locked mid-update, so local readers
+// suspended on a locked copy re-check instead of sleeping forever.
+// Object re-homing itself happens lazily, when the next operation
+// against a dead primary fails.
+func (r *P2PRTS) NodeCrashed(node int) {
+	r.stats.Crashes++
+	// Iterate objects in id order: waking suspended readers must happen
+	// in a deterministic order, and the objs map iterates randomly.
+	ids := make([]ObjID, 0, len(r.objs))
+	for id, meta := range r.objs {
+		if meta.primary == node {
+			ids = append(ids, id)
+		}
+	}
+	sortObjIDs(ids)
+	for _, id := range ids {
+		for _, n := range r.nodes {
+			if n.m.Crashed() {
+				continue
+			}
+			if inst, ok := n.insts[id]; ok && inst.valid && inst.locked {
+				inst.locked = false
+				inst.cond.Broadcast()
+			}
+		}
+	}
+}
+
+// sortObjIDs sorts a small ObjID slice (insertion sort, like sortInts).
+func sortObjIDs(a []ObjID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// rehome moves an object whose primary crashed onto a surviving
+// machine. It runs in the invoking thread's context, on whichever
+// machine first observed the failure; the promotion mutates the global
+// object table directly, modelling the recovery round a real RTS would
+// run without simulating its messages (the cost of the failed attempts
+// and retries is what the fault experiments measure). Idempotent: if
+// another invoker already re-homed the object, this is a no-op.
+func (r *P2PRTS) rehome(w *Worker, meta *p2pMeta) {
+	if !r.nodeDown(meta.primary) {
+		return // already re-homed by an earlier detector
+	}
+	// Prefer the lowest-numbered live machine holding a valid copy.
+	target, restart := -1, false
+	for _, n := range r.nodes {
+		if n.m.Crashed() {
+			continue
+		}
+		if inst, ok := n.insts[meta.id]; ok && inst.valid {
+			target = n.m.ID()
+			break
+		}
+	}
+	if target == -1 {
+		// Every copy died: restart from the creation arguments on the
+		// lowest-numbered live machine.
+		restart = true
+		for _, n := range r.nodes {
+			if !n.m.Crashed() {
+				target = n.m.ID()
+				break
+			}
+		}
+		if target == -1 {
+			panic(fmt.Sprintf("rts: no live machine to re-home object %d", meta.id))
+		}
+	}
+	nn := r.nodes[target]
+	inst, ok := nn.insts[meta.id]
+	if !ok || !inst.valid {
+		nn.installCopy(meta.id, meta.typ, meta.typ.New(meta.ctorArgs))
+		inst = nn.insts[meta.id]
+	}
+	inst.primary = true
+	inst.locked = false
+	if inst.copyset == nil {
+		inst.copyset = make(map[int]bool)
+	}
+	// Adopt the surviving secondaries and release any copy the dead
+	// primary left locked between update phases.
+	for _, n := range r.nodes {
+		if n.m.Crashed() || n.m.ID() == target {
+			continue
+		}
+		if sec, ok := n.insts[meta.id]; ok && sec.valid {
+			inst.copyset[n.m.ID()] = true
+			sec.primary = false
+			sec.locked = false
+			sec.cond.Broadcast()
+		}
+	}
+	inst.cond.Broadcast()
+	if _, ok := nn.queues[meta.id]; !ok {
+		q := sim.NewQueue[*p2pTask](nn.m.Env())
+		nn.queues[meta.id] = q
+		id := meta.id
+		nn.m.SpawnThread(fmt.Sprintf("obj%d", id), func(p *sim.Proc) { nn.objectLoop(p, id, q) })
+	}
+	old := meta.primary
+	meta.primary = target
+	r.stats.Rehomed++
+	if restart {
+		nn.m.Env().Tracef("rts: object %d restarted on node %d (primary %d died with the only copy)", meta.id, target, old)
+	} else {
+		nn.m.Env().Tracef("rts: object %d re-homed %d -> %d", meta.id, old, target)
+	}
+}

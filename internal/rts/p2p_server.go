@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/amoeba"
@@ -165,6 +166,13 @@ func (n *p2pNode) commitWrite(p *sim.Proc, id ObjID, inst *p2pInstance, t *p2pTa
 	r := n.rts
 	meta := r.meta(id)
 	inst.locked = true
+	// Crashed secondaries leave the copyset: their copies died with
+	// their machines and must not be waited on.
+	for node := range inst.copyset {
+		if r.nodeDown(node) {
+			delete(inst.copyset, node)
+		}
+	}
 	secs := make([]int, 0, len(inst.copyset))
 	for node := range inst.copyset {
 		secs = append(secs, node)
@@ -229,7 +237,10 @@ func (n *p2pNode) drainPending(p *sim.Proc, id ObjID, pending *[]*p2pTask) {
 }
 
 // fanoutRPC issues the same RPC to several machines in parallel and
-// waits for all acknowledgements.
+// waits for all acknowledgements. A target that crashes mid-protocol
+// acknowledges vacuously — its copy died with it, so there is nothing
+// left to keep consistent — and the next commitWrite prunes it from
+// the copyset.
 func (n *p2pNode) fanoutRPC(p *sim.Proc, targets []int, op string, body func(dst int) any, size int) {
 	remaining := len(targets)
 	cond := sim.NewCond(n.m.Env())
@@ -237,7 +248,9 @@ func (n *p2pNode) fanoutRPC(p *sim.Proc, targets []int, op string, body func(dst
 		dst := dst
 		n.m.SpawnThread("fan-"+op, func(pp *sim.Proc) {
 			if _, err := n.client.Trans(pp, dst, p2pRPCPort, op, body(dst), size); err != nil {
-				panic(fmt.Sprintf("rts: %s to node %d failed: %v", op, dst, err))
+				if !errors.Is(err, amoeba.ErrCrashed) {
+					panic(fmt.Sprintf("rts: %s to node %d failed: %v", op, dst, err))
+				}
 			}
 			remaining--
 			cond.Broadcast()

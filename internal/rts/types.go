@@ -1,16 +1,3 @@
-// Package rts implements the paper's shared data-object runtime
-// systems: the broadcast RTS (full replication, local reads, writes
-// propagated by totally-ordered broadcast) and the point-to-point RTS
-// (primary copy plus secondaries kept by either an invalidation
-// protocol or a two-phase update protocol, with dynamic replication
-// decisions from read/write statistics).
-//
-// An object is an instance of an ObjectType: encapsulated state plus a
-// set of operations, each classified as a read (does not change state)
-// or a write. Operations may carry a guard; a guarded operation blocks
-// until its guard is true and then executes indivisibly — Orca's
-// condition synchronization. All operations on all shared objects are
-// sequentially consistent.
 package rts
 
 import (
@@ -36,6 +23,7 @@ const (
 	Write
 )
 
+// String names the operation kind.
 func (k OpKind) String() string {
 	if k == Read {
 		return "read"

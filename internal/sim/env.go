@@ -270,7 +270,7 @@ func (e *Env) advance(self *Proc) bool {
 		}
 		p := ev.proc
 		e.recycle(ev)
-		if p == self && !p.terminated {
+		if p == self && !p.terminated && !p.killed {
 			return true // our own resume: just keep running
 		}
 		if p.terminated || p.killed {
@@ -329,16 +329,32 @@ func (e *Env) Stop() { e.stopped = true }
 
 // Blocked returns the names of processes that are alive but parked,
 // sorted for stable output. After Run returns, a non-empty result
-// usually means the simulated program deadlocked.
+// usually means the simulated program deadlocked. Killed processes are
+// not listed: they are dead, not deadlocked.
 func (e *Env) Blocked() []string {
 	var names []string
 	for p := range e.live {
-		if !p.terminated {
+		if !p.terminated && !p.killed {
 			names = append(names, p.name)
 		}
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Kill marks a process dead from the current instant: the scheduler
+// never resumes it again, and any event that would have woken it is
+// discarded when it fires. It models a thread dying with its crashed
+// machine, so — unlike a cooperative exit — the process's current
+// state (held resources, queued wait entries) is simply abandoned.
+// The goroutine itself is reclaimed by Shutdown. Killing the process
+// that is currently executing is allowed: it finishes its current
+// non-blocking step and is unwound at its next park.
+func (e *Env) Kill(p *Proc) {
+	if p.terminated || p.killed {
+		return
+	}
+	p.killed = true
 }
 
 // LiveProcs reports the number of processes that have been spawned and

@@ -14,6 +14,7 @@ type Proc struct {
 	resume     chan struct{}
 	terminated bool
 	killed     bool
+	reaped     bool // unwound via Goexit; must not touch scheduler state
 }
 
 // Spawn creates a process named name running fn and schedules it to
@@ -35,12 +36,17 @@ func (e *Env) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			return
 		}
 		defer func() {
-			if p.killed {
-				// Shutdown is reaping this goroutine; it resets the
-				// live set itself, and several reaped goroutines run
-				// concurrently, so no shared state may be touched here.
+			if p.reaped {
+				// This goroutine is being reaped via Goexit (Shutdown,
+				// or a mid-run Kill caught at a park); the reaper owns
+				// the scheduler state, and several reaped goroutines
+				// run concurrently, so no shared state may be touched
+				// here.
 				return
 			}
+			// A process that was killed while executing but ran to
+			// completion still holds the scheduling baton and must
+			// pass it on like a normal termination.
 			p.terminated = true
 			delete(e.live, p)
 			// Pass the scheduling baton onward one last time: the
@@ -73,11 +79,23 @@ func (p *Proc) park() {
 		<-p.resume
 	}
 	if p.killed {
-		// Shutdown in progress: unwind this goroutine. Deferred
-		// handlers must not touch the scheduler when killed.
+		// Killed (machine crash mid-run, or Shutdown reaping): unwind
+		// this goroutine. Deferred handlers must not touch the
+		// scheduler on this path — the baton was already handed off
+		// before the park blocked.
+		p.reaped = true
 		runtime.Goexit()
 	}
 }
+
+// Killed reports whether the process has been killed (its machine
+// crashed, or Shutdown reaped it). Cleanup code that may run while the
+// process unwinds uses it to avoid touching shared state.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Terminated reports whether the process body has returned. The
+// kernel layer uses it to prune dead threads from its bookkeeping.
+func (p *Proc) Terminated() bool { return p.terminated }
 
 // Sleep suspends the process for d of virtual time.
 func (p *Proc) Sleep(d Time) {

@@ -1,15 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// The kernel models virtual time with an event queue and cooperatively
-// scheduled processes. Exactly one simulated process (or event handler)
-// executes at any instant, so simulations are fully deterministic and
-// race-free by construction: the entire run is a single logical thread
-// of control that hops between goroutines via channel handshakes.
-//
-// Higher layers (the simulated Ethernet, the Amoeba kernel, the shared
-// object runtime, and the Orca applications) are all built on this
-// package. Because time is virtual, a 16-processor run is exact and
-// repeatable on a single-core host.
 package sim
 
 import "fmt"
