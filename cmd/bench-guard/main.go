@@ -1,0 +1,166 @@
+// Command bench-guard compares fresh -bench-json output against the
+// pinned BENCH_engine.json baseline and fails on wall-clock
+// regressions.
+//
+// Usage:
+//
+//	bench-guard [-baseline BENCH_engine.json] [-threshold 1.30]
+//	            [-normalize engine/yield] fresh1.json [fresh2.json ...]
+//
+// Every engine/ and orca/ entry of the baseline is checked: the entry's
+// median wall-ns/op across the fresh files must stay within threshold
+// of the baseline figure. Medians across several fresh runs absorb
+// scheduler noise; -normalize divides every entry by the named entry's
+// wall-ns/op in the same file first, turning the comparison into a
+// hardware-independent shape check (the right mode on CI, whose
+// machines are not the machines the baseline was recorded on; pass
+// -normalize "" for a raw same-host comparison).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// entry mirrors the benchResult fields the guard needs.
+type entry struct {
+	Name        string  `json:"name"`
+	WallNsPerOp float64 `json:"wall_ns_per_op"`
+}
+
+// file mirrors the BENCH_engine.json schema.
+type file struct {
+	Results []entry `json:"results"`
+}
+
+// load reads one bench-json file into a name -> wall map.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64, len(f.Results))
+	for _, e := range f.Results {
+		m[e.Name] = e.WallNsPerOp
+	}
+	return m, nil
+}
+
+// normalize divides every entry by the reference entry's value.
+func normalize(m map[string]float64, ref string) error {
+	base, ok := m[ref]
+	if !ok || base <= 0 {
+		return fmt.Errorf("normalization entry %q missing or non-positive", ref)
+	}
+	for k, v := range m {
+		m[k] = v / base
+	}
+	return nil
+}
+
+// median returns the middle value (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_engine.json", "pinned baseline file")
+	threshold := flag.Float64("threshold", 1.30, "fail when median/baseline exceeds this ratio")
+	norm := flag.String("normalize", "engine/yield", "entry to normalize by (empty: compare raw wall times)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench-guard [flags] fresh1.json [fresh2.json ...]")
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench-guard:", err)
+		os.Exit(1)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	if *norm != "" {
+		if err := normalize(base, *norm); err != nil {
+			fail(fmt.Errorf("baseline: %w", err))
+		}
+	}
+	fresh := make([]map[string]float64, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		m, err := load(path)
+		if err != nil {
+			fail(err)
+		}
+		if *norm != "" {
+			if err := normalize(m, *norm); err != nil {
+				fail(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		fresh = append(fresh, m)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fail(fmt.Errorf("baseline %s has no engine/ or orca/ entries", *baseline))
+	}
+
+	bad, fast := 0, 0
+	for _, name := range names {
+		var samples []float64
+		for _, m := range fresh {
+			if v, ok := m[name]; ok {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			fmt.Printf("MISSING %-28s (no fresh samples)\n", name)
+			bad++
+			continue
+		}
+		med := median(samples)
+		ratio := med / base[name]
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			bad++
+		}
+		if ratio < 1 / *threshold {
+			fast++
+		}
+		fmt.Printf("%-9s %-28s ratio %.2f (median of %d)\n", status, name, ratio, len(samples))
+	}
+	// In normalized mode the reference entry itself always reads 1.00,
+	// so a regression THERE would show up as everything else
+	// "improving" in lockstep — which would mask real regressions of
+	// the same magnitude. Treat a majority of beyond-threshold
+	// improvements as the reference regressing.
+	if *norm != "" && fast*2 > len(names) {
+		fail(fmt.Errorf("%d of %d entries 'improved' beyond %.0f%% — the normalization entry %q likely regressed; rerun with -normalize \"\" on the baseline host",
+			fast, len(names), (1 - 1 / *threshold)*100, *norm))
+	}
+	if bad > 0 {
+		fail(fmt.Errorf("%d of %d entries regressed beyond %.0f%%", bad, len(names), (*threshold-1)*100))
+	}
+	fmt.Printf("all %d entries within %.0f%% of baseline\n", len(names), (*threshold-1)*100)
+}

@@ -157,12 +157,13 @@ func runBenchJSON(path string, quick bool) error {
 
 	// Object-runtime primitives over the broadcast RTS (4 processors),
 	// the workloads of BenchmarkOrcaOps. Their virtual-µs/op must not
-	// move across engine changes.
-	orcaOp := func(name string, n int64, op func(p *orca.Proc, c std.Counter, i int64)) benchResult {
+	// move across engine changes (the batched variant pins its own
+	// figures — batching changes virtual timing by design).
+	orcaOp := func(name string, n int64, cfg orca.Config, op func(p *orca.Proc, c std.Counter, i int64)) benchResult {
 		var rt *orca.Runtime
 		var per sim.Time
 		r := measure(name, n, func(n int64) *sim.Env {
-			rt = orca.New(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}, std.Register)
+			rt = orca.New(cfg, std.Register)
 			rt.Run(func(p *orca.Proc) {
 				c := std.NewCounter(p, 0)
 				start := p.Now()
@@ -178,9 +179,16 @@ func runBenchJSON(path string, quick bool) error {
 		r.RTS = &st
 		return r
 	}
-	results = append(results, orcaOp("orca/local-read", 2_000_000/scale,
+	base4 := orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}
+	batched4 := base4
+	batched4.Batching = orca.DefaultBatching()
+	results = append(results, orcaOp("orca/local-read", 2_000_000/scale, base4,
 		func(p *orca.Proc, c std.Counter, _ int64) { c.Value(p) }))
-	results = append(results, orcaOp("orca/broadcast-write", 100_000/scale,
+	results = append(results, orcaOp("orca/broadcast-write", 100_000/scale, base4,
+		func(p *orca.Proc, c std.Counter, i int64) { c.Assign(p, int(i)) }))
+	// The same op stream through the combining buffer: the ≥2×
+	// wall-clock amortization target of the batching pipeline.
+	results = append(results, orcaOp("orca/bcast-write-batched", 100_000/scale, batched4,
 		func(p *orca.Proc, c std.Counter, i int64) { c.Assign(p, int(i)) }))
 
 	// Full application runs on the 12-city instance at 8 processors:
@@ -209,7 +217,13 @@ func runBenchJSON(path string, quick bool) error {
 			orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, tsp.Params{}),
 		tspEntry("mixed/tsp-p8",
 			orca.Config{Processors: 8, RTS: orca.Broadcast, Mixed: true, Seed: 1},
-			tsp.Params{PrimaryCopyQueue: true}))
+			tsp.Params{PrimaryCopyQueue: true}),
+		// Large-P batched TSP: the scale-out datapoint BENCH_engine.json
+		// tracks (32 processors, sequencer batching on; the rts block
+		// records the batched-op/frame amortization).
+		tspEntry("scale/tsp-p32",
+			orca.Config{Processors: 32, RTS: orca.Broadcast, Seed: 1, Batching: orca.DefaultBatching()},
+			tsp.Params{}))
 
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

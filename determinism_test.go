@@ -38,6 +38,11 @@ func fingerprint(rep orca.Report, rt *orca.Runtime) string {
 	if br, ok := rt.System().(*rts.BroadcastRTS); ok {
 		lr, bw, gw := br.Stats()
 		s += fmt.Sprintf(" reads=%d writes=%d guardwaits=%d", lr, bw, gw)
+		if c := br.Counters(); c.BatchedOps > 0 {
+			// Batched runs pin their combining-pipeline counters too;
+			// unbatched runs keep the exact historical format.
+			s += fmt.Sprintf(" batched=%d bframes=%d", c.BatchedOps, c.Frames)
+		}
 	}
 	if mx, ok := rt.System().(*rts.MixedRTS); ok {
 		c := mx.Counters()
@@ -70,6 +75,17 @@ var determinismApps = []struct {
 		inst := tsp.Generate(10, 5)
 		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1}, inst,
 			tsp.Params{PrimaryCopyQueue: true})
+		return fingerprint(r.Report, r.Runtime)
+	}},
+	{"tsp-batched", func() string {
+		// TSP under the batching pipeline (sequencer frame packing +
+		// write combining): virtual timings legitimately differ from
+		// the unbatched run, so the variant pins its own golden. The
+		// optimum must match the unbatched run's — the scale harness
+		// asserts that; this test pins the full schedule.
+		inst := tsp.Generate(10, 5)
+		r := tsp.RunOrca(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1,
+			Batching: orca.DefaultBatching()}, inst, tsp.Params{})
 		return fingerprint(r.Report, r.Runtime)
 	}},
 	{"tsp-crash", func() string {
@@ -135,14 +151,15 @@ func TestCrossAppDeterminism(t *testing.T) {
 // change that is *meant* to alter simulated timing, and say so in the
 // commit message.
 var goldenFingerprints = map[string]string{
-	"tsp-crash": "elapsed=2170459800 frames=528 msgs=528 wire=78977 payload=56801 crash=3@150000000/1 reads=36684 writes=310 guardwaits=0 cpu=425614000 cpu=327868000 cpu=328374000 cpu=2141755600",
-	"acp-crash": "elapsed=302651400 frames=826 msgs=826 wire=107269 payload=72577 crash=2@120000000/1 reads=993 writes=402 guardwaits=0 cpu=169739000 cpu=192209000 cpu=268015400 cpu=195733800",
-	"tsp-p2p":   "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
-	"tsp-mixed": "elapsed=317604000 frames=157 msgs=157 wire=25941 payload=19347 reads=36616 bwrites=12 guardwaits=8 rreads=0 pwrites=201 updates=0 cpu=317009000 cpu=222118000 cpu=219396000 cpu=215382000",
-	"tsp":       "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",
-	"acp":       "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
-	"chess":     "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
-	"atpg":      "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
+	"tsp-batched": "elapsed=306115400 frames=203 msgs=203 wire=43248 payload=34722 reads=36630 writes=111 guardwaits=3 batched=103 bframes=26 cpu=304238000 cpu=246272000 cpu=246556000 cpu=247192000",
+	"tsp-crash":   "elapsed=2170459800 frames=528 msgs=528 wire=78977 payload=56801 crash=3@150000000/1 reads=36684 writes=310 guardwaits=0 cpu=425614000 cpu=327868000 cpu=328374000 cpu=2141755600",
+	"acp-crash":   "elapsed=302651400 frames=826 msgs=826 wire=107269 payload=72577 crash=2@120000000/1 reads=993 writes=402 guardwaits=0 cpu=169739000 cpu=192209000 cpu=268015400 cpu=195733800",
+	"tsp-p2p":     "elapsed=309479400 frames=254 msgs=254 wire=34536 payload=23868 cpu=305882000 cpu=234152000 cpu=233448000 cpu=234660000",
+	"tsp-mixed":   "elapsed=317604000 frames=157 msgs=157 wire=25941 payload=19347 reads=36616 bwrites=12 guardwaits=8 rreads=0 pwrites=201 updates=0 cpu=317009000 cpu=222118000 cpu=219396000 cpu=215382000",
+	"tsp":         "elapsed=324031600 frames=315 msgs=315 wire=48906 payload=35676 reads=36628 writes=213 guardwaits=2 cpu=323777000 cpu=271226000 cpu=268632000 cpu=266272000",
+	"acp":         "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
+	"chess":       "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
+	"atpg":        "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
 }
 
 // TestGoldenFingerprints compares each app's fingerprint against the

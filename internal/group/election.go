@@ -120,25 +120,36 @@ func (g *Member) becomeSequencer(p *sim.Proc) {
 	g.viewAcks = make(map[int]bool)
 	g.seqNode = g.m.ID()
 	g.maxSeen = g.nextSeq - 1 // discard knowledge of unsequenceable holes
-	g.history = make(map[int64]*dataMsg)
-	g.seen = make(map[int64]int64)
-	g.statuses = make(map[int]int64)
-	g.histLo = g.nextSeq
+	// Rebuild the history ring and the per-source dedup windows from
+	// the delivered cache. The cache holds a contiguous window of the
+	// most recently delivered messages, so the ring rebase is exact.
+	g.seenBySrc = make([]*seqRing[int64], len(g.cfg.Members))
+	for i := range g.statuses {
+		g.statuses[i] = -1
+	}
+	g.trimMin, g.trimOwn = 0, false
+	lo := g.nextSeq
 	for _, d := range g.cache {
 		if d == nil || d.Seq >= g.nextSeq {
 			continue
 		}
-		g.history[d.Seq] = d
-		g.seen[d.UID] = d.Seq
-		if d.Seq < g.histLo {
-			g.histLo = d.Seq
+		if d.Seq < lo {
+			lo = d.Seq
 		}
+	}
+	g.history.reset(lo)
+	for _, d := range g.cache {
+		if d == nil || d.Seq >= g.nextSeq {
+			continue
+		}
+		g.history.set(d.Seq, d)
+		g.noteSeen(d.Src, d.SrcSeq, d.Seq)
 	}
 	// Buffered-but-undelivered messages beyond the holes are dropped;
 	// their senders will retransmit and they will be re-sequenced
-	// (uid dedup suppresses double delivery).
-	g.buffered = make(map[int64]*dataMsg)
-	g.acceptedBB = make(map[int64]int64)
+	// (the per-source delivery windows suppress double delivery).
+	g.buffered.reset(g.nextSeq)
+	g.acceptedBB = make(map[int64]bbAccept)
 	g.m.Env().Tracef("node%d: became sequencer, epoch %d, highseq %d", g.m.ID(), g.epoch, g.maxSeen)
 	g.announceView(p)
 }
@@ -232,11 +243,7 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 	g.isSeq = c.Node == g.m.ID()
 	// Drop buffered sequence numbers the new sequencer does not know;
 	// their senders will resubmit them for re-sequencing.
-	for s := range g.buffered {
-		if s > c.HighSeq {
-			delete(g.buffered, s)
-		}
-	}
+	g.buffered.clearAbove(c.HighSeq)
 	for s := range g.acceptedBB {
 		if s > c.HighSeq {
 			delete(g.acceptedBB, s)
@@ -259,6 +266,28 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 // sequence — concurrent messages in a random order, breaking run
 // determinism.
 func (g *Member) kickOutstanding(p *sim.Proc) {
+	// Flatten batched sends into single-op states first: batch
+	// framing is not preserved across a view change, and per-op
+	// states keep the re-submission below uniform. Replacing map
+	// values is order-independent, so iterating the map here cannot
+	// perturb determinism (nothing transmits during the flatten).
+	for _, st := range g.outstanding {
+		if st.items == nil {
+			continue
+		}
+		if st.timer != nil {
+			st.timer.Cancel()
+			st.timer = nil
+		}
+		for i := range st.items {
+			it := st.items[i]
+			if g.outstanding[it.UID] != st {
+				continue
+			}
+			g.outstanding[it.UID] = &sendState{uid: it.UID, srcSeq: it.SrcSeq, kind: it.Kind,
+				body: it.Body, size: it.Size, method: g.resolveMethod(it.Size)}
+		}
+	}
 	sts := make([]*sendState, 0, len(g.outstanding))
 	for _, st := range g.outstanding {
 		sts = append(sts, st)
@@ -276,10 +305,10 @@ func (g *Member) kickOutstanding(p *sim.Proc) {
 				st.timer.Cancel()
 			}
 			delete(g.outstanding, st.uid)
-			if _, dup := g.seen[st.uid]; dup {
+			if _, dup := g.seenSeq(g.m.ID(), st.srcSeq); dup {
 				continue // already sequenced in a previous view
 			}
-			d := &dataMsg{Seq: g.nextSeqNum(), UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size, Epoch: g.epoch}
+			d := &dataMsg{Seq: g.nextSeqNum(), UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size, Epoch: g.epoch}
 			g.recordHistory(d)
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			g.processData(p, d)

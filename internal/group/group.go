@@ -33,6 +33,28 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// BatchConfig governs frame packing (see DESIGN.md, "Batching and
+// frame packing"). When enabled, the sequencer coalesces queued
+// requests into one sequenced multi-op frame (one sequence number per
+// op, one frame per batch), and a sender packs ops submitted in the
+// same virtual instant into one request frame. The zero value
+// disables packing and leaves every code path of the unbatched
+// protocol untouched.
+type BatchConfig struct {
+	// MaxOps flushes a packed frame at this many ops. Values below 2
+	// disable batching.
+	MaxOps int
+	// MaxBytes flushes when the packed payload reaches this many
+	// bytes (so a batch stays within one wire fragment).
+	MaxBytes int
+	// Linger is the flush deadline: an op waits at most this long in
+	// a packer before the partial batch is sent.
+	Linger sim.Time
+}
+
+// Enabled reports whether frame packing is on.
+func (b BatchConfig) Enabled() bool { return b.MaxOps > 1 }
+
 // Config parameterizes a group.
 type Config struct {
 	// Members lists the node ids in the group. The initial sequencer
@@ -47,6 +69,8 @@ type Config struct {
 	Sequencer int
 	// Method selects PB/BB policy; Auto follows the paper.
 	Method Method
+	// Batch configures frame packing; the zero value disables it.
+	Batch BatchConfig
 	// SenderTimeout is how long a sender waits for its broadcast to be
 	// sequenced before retransmitting.
 	SenderTimeout sim.Time
@@ -92,7 +116,13 @@ func DefaultConfig(members []int) Config {
 }
 
 // Delivery is one totally-ordered message handed to the application.
-// All members observe identical (Seq, UID, Src, Body) streams.
+// All members observe identical (Seq, UID, Src, Body) streams. More
+// marks a mid-batch op: the remaining ops of its packed frame follow
+// at the next sequence numbers, letting consumers amortize per-frame
+// work (the RTS runs one guard-retry sweep per frame, not per op).
+// The More flags are assigned by the sequencer and travel with the
+// message, so every member sees identical frame boundaries regardless
+// of how (or how often) a message reached it.
 type Delivery struct {
 	Seq  int64
 	UID  int64
@@ -100,44 +130,63 @@ type Delivery struct {
 	Kind string
 	Body any
 	Size int
+	More bool
+	// Dup marks a re-sequenced duplicate suppressed by the dedup
+	// window (batching only). The payload must not be applied again;
+	// the record exists so consumers still observe the frame boundary
+	// the duplicate occupied — without it a member whose frame tail
+	// was a duplicate would defer its per-frame sweep forever.
+	Dup bool
 }
 
-// Wire message bodies. All travel on the "grp" port.
+// Wire message bodies. All travel on the "grp" port. SrcSeq is the
+// sender's dense per-member submission counter: the sequencer and the
+// delivery path dedup on (Src, SrcSeq) with O(1) ring-buffer windows
+// instead of uid hash maps.
 type (
 	// reqMsg is PB's RequestForBroadcast, unicast to the sequencer.
 	reqMsg struct {
-		UID  int64
-		Src  int
-		Kind string
-		Body any
-		Size int
+		UID    int64
+		Src    int
+		SrcSeq int64
+		Kind   string
+		Body   any
+		Size   int
 	}
 	// dataMsg is the sequenced message broadcast by the sequencer
 	// (PB), or unicast as a retransmission. Epoch stamps the
 	// sequencer's view so stale pre-election frames cannot interleave
-	// with a new sequencer's stream.
+	// with a new sequencer's stream. More marks a mid-batch op (see
+	// Delivery).
 	dataMsg struct {
-		Seq   int64
-		UID   int64
-		Src   int
-		Kind  string
-		Body  any
-		Size  int
-		Epoch int
+		Seq    int64
+		UID    int64
+		Src    int
+		SrcSeq int64
+		Kind   string
+		Body   any
+		Size   int
+		Epoch  int
+		More   bool
 	}
 	// bbDataMsg is BB's unsequenced data broadcast from the sender.
 	bbDataMsg struct {
-		UID  int64
-		Src  int
-		Kind string
-		Body any
-		Size int
+		UID    int64
+		Src    int
+		SrcSeq int64
+		Kind   string
+		Body   any
+		Size   int
 	}
 	// acceptMsg is BB's short Accept broadcast from the sequencer.
+	// More mirrors the sequenced record's frame-boundary flag so a
+	// member completing a mid-batch op from a retransmitted accept
+	// reconstructs the boundary every other replica saw.
 	acceptMsg struct {
 		Seq   int64
 		UID   int64
 		Epoch int
+		More  bool
 	}
 	// retxReq asks the sequencer to retransmit sequence numbers
 	// [From, To]. Delivered piggybacks the requester's progress.
@@ -190,21 +239,58 @@ const (
 	hdrData   = 24
 	hdrAccept = 20
 	hdrSmall  = 20
+	// hdrItem is the per-op framing overhead inside a packed frame
+	// (uid, source, length).
+	hdrItem = 12
 )
+
+// srcWindow is the per-source dedup window, in submissions: how far
+// back the sequencer and the delivery path remember a source's
+// operations. A source only retransmits while one of its ops is
+// unacknowledged, and it can have at most a handful in flight, so the
+// window is orders of magnitude deeper than any reachable
+// retransmission. Submissions older than the window are treated as
+// already handled.
+const srcWindow = 4096
 
 // Port is the kernel port the group protocol binds on every member.
 const Port = "grp"
 
+// bbAccept is a recorded accept whose data frame has not arrived yet.
+type bbAccept struct {
+	uid  int64
+	more bool
+}
+
 // sendState tracks one of this member's broadcasts until it is
-// sequenced.
+// sequenced. A batched send (items != nil) tracks several ops that
+// travel in one frame; each op completes individually as it appears
+// in the sequenced stream, and retransmissions carry only the ops
+// still outstanding.
 type sendState struct {
 	uid     int64
+	srcSeq  int64
 	kind    string
 	body    any
 	size    int
-	method  Method // resolved (PB or BB)
+	items   []batchItem // batched ops; nil for the single-op path
+	method  Method      // resolved (PB or BB)
 	retries int
 	timer   *sim.Event
+}
+
+// live reports whether any op of this send is still unacknowledged.
+func (st *sendState) live(g *Member) bool {
+	if st.items == nil {
+		_, ok := g.outstanding[st.uid]
+		return ok
+	}
+	for i := range st.items {
+		if g.outstanding[st.items[i].UID] == st {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats counts protocol activity at one member.
@@ -216,6 +302,10 @@ type Stats struct {
 	Retransmits int64
 	GapRequests int64
 	Elections   int64
+	// BatchedOps counts ops that traveled inside a multi-op frame
+	// this member sequenced or sent; Batches counts those frames.
+	BatchedOps int64
+	Batches    int64
 }
 
 // Member is one node's endpoint of the group. All methods must run in
@@ -228,31 +318,53 @@ type Member struct {
 	epoch   int
 	nextSeq int64 // next sequence number to deliver
 	maxSeen int64 // highest sequence number observed
+	sendSeq int64 // dense per-member submission counter (SrcSeq)
 	outQ    *sim.Queue[Delivery]
 
-	buffered    map[int64]*dataMsg   // seq -> out-of-order data
+	buffered    seqRing[*dataMsg]    // seq -> out-of-order data
 	pendingBB   map[int64]*bbDataMsg // uid -> BB data awaiting accept
-	acceptedBB  map[int64]int64      // seq -> uid accepted but data missing
+	acceptedBB  map[int64]bbAccept   // seq -> accept waiting for its data
 	outstanding map[int64]*sendState // uid -> my unsequenced sends
 	gapTimer    *sim.Event
 
-	// Delivered-message cache and uid dedup for election recovery.
-	// dlvOrder[dlvHead:] is the FIFO dedup window.
+	// memberIdx maps a node id to its dense index in cfg.Members (-1
+	// for non-members); the per-source rings below are indexed by it.
+	memberIdx []int
+
+	// Delivered-message cache (for election history rebuild) and
+	// per-source delivered windows: dlvBySrc[i] records, per
+	// submission number, the sequence a source's op was delivered
+	// under, so a re-sequenced duplicate after an election is
+	// recognized in O(1).
 	cache    []*dataMsg
-	dlvUID   map[int64]bool
-	dlvOrder []int64
-	dlvHead  int
+	dlvBySrc []*seqRing[int64]
 
 	// Sequencer state. A freshly elected sequencer is not installed
 	// until every live member acknowledged its view; it assigns no
-	// sequence numbers before that.
+	// sequence numbers before that. history is a seq-indexed ring:
+	// sequence numbers are dense, so lookup, record, and trim are
+	// array steps and nothing iterates a map on the delivery path.
 	isSeq     bool
 	installed bool
 	viewAcks  map[int]bool
-	history   map[int64]*dataMsg
-	histLo    int64           // lowest retained seq
-	seen      map[int64]int64 // uid -> seq (sequencer dedup)
-	statuses  map[int]int64
+	history   seqRing[*dataMsg]
+	seenBySrc []*seqRing[int64] // per-source: submission -> assigned seq
+	statuses  []int64           // per-member delivered progress (-1: none)
+	trimMin   int64             // min status found by the last trim scan
+	trimOwn   bool              // last scan was limited by own progress
+
+	// Sequencer-side packers (batching only; see batch.go).
+	packQ     []batchItem // PB ops queued for the next packed frame
+	packBytes int
+	packTimer *sim.Event
+	accQ      []batchItem // BB ops queued for the next packed accept
+	accTimer  *sim.Event
+
+	// Sender-side packer (batching only): ops submitted in the same
+	// instant leave in one request frame.
+	sendQ     []batchItem
+	sendBytes int
+	sendArmed bool
 
 	// Election state.
 	electing   bool
@@ -270,9 +382,13 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 		panic("group: empty membership")
 	}
 	seq := cfg.Members[0]
+	maxID := 0
 	for _, id := range cfg.Members {
 		if id < seq {
 			seq = id
+		}
+		if id > maxID {
+			maxID = id
 		}
 	}
 	for _, id := range cfg.Members {
@@ -281,23 +397,35 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 			break
 		}
 	}
+	histMax := cfg.HistoryMax
+	if histMax <= 0 {
+		histMax = 1
+	}
 	g := &Member{
 		m:           m,
 		cfg:         cfg,
 		seqNode:     seq,
 		nextSeq:     1,
 		outQ:        sim.NewQueue[Delivery](m.Env()),
-		buffered:    make(map[int64]*dataMsg),
 		pendingBB:   make(map[int64]*bbDataMsg),
-		acceptedBB:  make(map[int64]int64),
+		acceptedBB:  make(map[int64]bbAccept),
 		outstanding: make(map[int64]*sendState),
+		memberIdx:   make([]int, maxID+1),
 		cache:       make([]*dataMsg, cfg.CacheSize),
-		dlvUID:      make(map[int64]bool),
-		history:     make(map[int64]*dataMsg),
-		histLo:      1,
-		seen:        make(map[int64]int64),
-		statuses:    make(map[int]int64),
+		dlvBySrc:    make([]*seqRing[int64], len(cfg.Members)),
+		history:     seqRing[*dataMsg]{max: histMax},
+		seenBySrc:   make([]*seqRing[int64], len(cfg.Members)),
+		statuses:    make([]int64, len(cfg.Members)),
 	}
+	for i := range g.memberIdx {
+		g.memberIdx[i] = -1
+	}
+	for i, id := range cfg.Members {
+		g.memberIdx[id] = i
+		g.statuses[i] = -1
+	}
+	g.buffered.reset(1)
+	g.history.reset(1)
 	g.isSeq = m.ID() == seq
 	g.installed = true // the boot view needs no installation round
 	m.Bind(Port, g.handle)
@@ -305,6 +433,83 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 		g.armHeartbeat()
 	}
 	return g
+}
+
+// srcIdx resolves a node id to its member index (-1 for non-members).
+func (g *Member) srcIdx(node int) int {
+	if node < 0 || node >= len(g.memberIdx) {
+		return -1
+	}
+	return g.memberIdx[node]
+}
+
+// seenSeq consults the sequencer's per-source dedup window: it reports
+// whether submission srcSeq from src was already sequenced, and under
+// which sequence number (0 if that has been forgotten). Submissions
+// below the window are certainly ancient and report as handled.
+func (g *Member) seenSeq(src int, srcSeq int64) (seq int64, dup bool) {
+	idx := g.srcIdx(src)
+	if idx < 0 || srcSeq <= 0 {
+		return 0, false
+	}
+	r := g.seenBySrc[idx]
+	if r == nil {
+		return 0, false
+	}
+	if srcSeq < r.lo {
+		return 0, true
+	}
+	s := r.get(srcSeq)
+	return s, s != 0
+}
+
+// noteSeen records that submission srcSeq from src was assigned seq.
+func (g *Member) noteSeen(src int, srcSeq int64, seq int64) {
+	idx := g.srcIdx(src)
+	if idx < 0 || srcSeq <= 0 {
+		return
+	}
+	r := g.seenBySrc[idx]
+	if r == nil {
+		r = &seqRing[int64]{max: srcWindow}
+		r.reset(1)
+		g.seenBySrc[idx] = r
+	}
+	r.set(srcSeq, seq)
+}
+
+// dupDelivery reports whether submission srcSeq from src was already
+// handed to the application (a re-sequenced duplicate after an
+// election). Submissions below the window are ancient and count as
+// delivered.
+func (g *Member) dupDelivery(src int, srcSeq int64) bool {
+	idx := g.srcIdx(src)
+	if idx < 0 || srcSeq <= 0 {
+		return false
+	}
+	r := g.dlvBySrc[idx]
+	if r == nil {
+		return false
+	}
+	if srcSeq < r.lo {
+		return true
+	}
+	return r.get(srcSeq) != 0
+}
+
+// noteDelivered records a delivery in the per-source window.
+func (g *Member) noteDelivered(src int, srcSeq int64, seq int64) {
+	idx := g.srcIdx(src)
+	if idx < 0 || srcSeq <= 0 {
+		return
+	}
+	r := g.dlvBySrc[idx]
+	if r == nil {
+		r = &seqRing[int64]{max: srcWindow}
+		r.reset(1)
+		g.dlvBySrc[idx] = r
+	}
+	r.set(srcSeq, seq)
 }
 
 // armHeartbeat runs the periodic sequencer announcement. Every member
@@ -336,6 +541,10 @@ func (g *Member) NextSeq() int64 { return g.nextSeq }
 // Stats returns a snapshot of this member's protocol counters.
 func (g *Member) Stats() Stats { return g.stats }
 
+// historyLen reports how many sequenced messages the sequencer
+// history retains (exposed for tests).
+func (g *Member) historyLen() int { return g.history.span() }
+
 // resolveMethod picks PB or BB for a message of the given payload
 // size, following the paper's one-packet rule in Auto mode.
 func (g *Member) resolveMethod(size int) Method {
@@ -358,19 +567,23 @@ func (g *Member) resolveMethod(size int) Method {
 // for delivery: callers needing write-completion semantics wait until
 // their uid appears in the delivery stream.
 func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
+	if g.cfg.Batch.Enabled() {
+		return g.submitOp(p, kind, body, size)
+	}
 	uid := g.m.ServiceID()
+	g.sendSeq++
 	g.stats.Sent++
 	if g.isSeq && g.installed {
 		// The sequencer sequences its own messages directly and
 		// broadcasts the sequenced data: one message on the wire.
-		d := &dataMsg{Seq: g.nextSeqNum(), UID: uid, Src: g.m.ID(), Kind: kind, Body: body, Size: size, Epoch: g.epoch}
+		d := &dataMsg{Seq: g.nextSeqNum(), UID: uid, Src: g.m.ID(), SrcSeq: g.sendSeq, Kind: kind, Body: body, Size: size, Epoch: g.epoch}
 		g.recordHistory(d)
 		g.stats.PBSends++
 		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: size + hdrData})
 		g.processData(p, d)
 		return uid
 	}
-	st := &sendState{uid: uid, kind: kind, body: body, size: size, method: g.resolveMethod(size)}
+	st := &sendState{uid: uid, srcSeq: g.sendSeq, kind: kind, body: body, size: size, method: g.resolveMethod(size)}
 	g.outstanding[uid] = st
 	g.transmit(p, st)
 	g.armSenderTimer(st)
@@ -379,19 +592,23 @@ func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
 
 // transmit performs one send attempt for an outstanding message.
 func (g *Member) transmit(p *sim.Proc, st *sendState) {
+	if st.items != nil {
+		g.transmitBatch(p, st)
+		return
+	}
 	switch st.method {
 	case ForcePB:
 		g.stats.PBSends++
 		g.m.Send(p, g.seqNode, amoeba.Packet{
 			Port: Port, Kind: "grp-req",
-			Body: reqMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size},
+			Body: reqMsg{UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size},
 			Size: st.size + hdrData,
 		})
 	case ForceBB:
 		g.stats.BBSends++
 		// The sender keeps the same record it broadcasts; it will not
 		// hear its own frame, and nobody mutates the record.
-		bb := &bbDataMsg{UID: st.uid, Src: g.m.ID(), Kind: st.kind, Body: st.body, Size: st.size}
+		bb := &bbDataMsg{UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size}
 		g.pendingBB[st.uid] = bb
 		g.m.Broadcast(p, amoeba.Packet{
 			Port: Port, Kind: "grp-bb-data",
@@ -405,7 +622,7 @@ func (g *Member) transmit(p *sim.Proc, st *sendState) {
 // acknowledged by appearing in the sequenced stream.
 func (g *Member) armSenderTimer(st *sendState) {
 	st.timer = g.m.After(g.cfg.SenderTimeout, func(p *sim.Proc) {
-		if _, live := g.outstanding[st.uid]; !live {
+		if !st.live(g) {
 			return
 		}
 		st.retries++
@@ -432,39 +649,57 @@ func (g *Member) nextSeqNum() int64 {
 }
 
 // recordHistory stores a sequenced message in the sequencer's history
-// buffer, trimming if the buffer exceeds its cap.
+// ring (which drops its oldest entry beyond HistoryMax) and the
+// per-source dedup window.
 func (g *Member) recordHistory(d *dataMsg) {
-	g.history[d.Seq] = d
-	g.seen[d.UID] = d.Seq
-	if len(g.history) > g.cfg.HistoryMax {
-		delete(g.history, g.histLo)
-		g.histLo++
-	}
+	g.history.set(d.Seq, d)
+	g.noteSeen(d.Src, d.SrcSeq, d.Seq)
 }
 
-// trimHistory drops history entries all members have delivered.
+// trimHistory drops history entries all members have delivered. It is
+// an O(members) scan, so callers gate it on the possibility that the
+// minimum actually advanced (see noteStatus); the trim itself touches
+// exactly the dropped entries.
 func (g *Member) trimHistory() {
 	min := int64(1<<62 - 1)
-	for _, id := range g.cfg.Members {
+	for i, id := range g.cfg.Members {
 		if id == g.m.ID() {
 			continue
 		}
 		if g.m.Net().Down(id) {
 			continue // crashed members never report; don't stall
 		}
-		d, ok := g.statuses[id]
-		if !ok {
+		d := g.statuses[i]
+		if d < 0 {
 			return // no report yet; cannot trim
 		}
 		if d < min {
 			min = d
 		}
 	}
+	g.trimMin = min
+	g.trimOwn = false
 	if own := g.nextSeq - 1; own < min {
 		min = own
+		g.trimOwn = true
 	}
-	for g.histLo <= min {
-		delete(g.history, g.histLo)
-		g.histLo++
+	g.history.advanceTo(min + 1)
+}
+
+// noteStatus records a member's delivery progress and re-trims when
+// the minimum may have advanced: when the reporter was at (or below)
+// the last scan's minimum, had not reported before, or the last scan
+// was limited by this sequencer's own progress. Reports strictly
+// above the known minimum cannot move it, so the O(members) scan runs
+// about once per reporting round instead of once per report.
+func (g *Member) noteStatus(node int, delivered int64) {
+	idx := g.srcIdx(node)
+	if idx < 0 {
+		return
+	}
+	old := g.statuses[idx]
+	g.statuses[idx] = delivered
+	if g.isSeq && (old < 0 || old <= g.trimMin || g.trimOwn) {
+		g.trimHistory()
 	}
 }

@@ -52,7 +52,12 @@ func newHarness(seed int64, n int, netMut func(*netsim.Params), cfgMut func(*Con
 					return
 				}
 				h.logs[i] = append(h.logs[i], d)
-				h.uidLogs[i] = append(h.uidLogs[i], d.UID)
+				if !d.Dup {
+					// Dup records are suppressed re-deliveries that only
+					// carry a frame boundary; agreement is over the
+					// applied stream.
+					h.uidLogs[i] = append(h.uidLogs[i], d.UID)
+				}
 			}
 		})
 	}
@@ -354,8 +359,8 @@ func TestHistoryTrimming(t *testing.T) {
 	if !seq.IsSequencer() {
 		t.Fatal("node 0 should be sequencer")
 	}
-	if len(seq.history) > 64 {
-		t.Fatalf("history holds %d entries after trimming, want <= 64", len(seq.history))
+	if n := seq.historyLen(); n > 64 {
+		t.Fatalf("history holds %d entries after trimming, want <= 64", n)
 	}
 	h.checkAgreement(t, 200, nil)
 	h.env.Stop()

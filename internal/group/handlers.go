@@ -12,6 +12,8 @@ func (g *Member) handle(p *sim.Proc, from int, pkt amoeba.Packet) {
 	switch b := pkt.Body.(type) {
 	case reqMsg:
 		g.onRequest(p, b)
+	case *reqBatchMsg:
+		g.onReqBatch(p, b)
 	case *dataMsg:
 		// Sequenced data travels by pointer: every receiver (and the
 		// sequencer's own history) shares one record, which is never
@@ -20,10 +22,16 @@ func (g *Member) handle(p *sim.Proc, from int, pkt amoeba.Packet) {
 	case dataMsg:
 		// Retransmissions are restamped copies and travel by value.
 		g.processData(p, &b)
+	case *dataBatchMsg:
+		g.onDataBatch(p, b)
 	case *bbDataMsg:
 		g.onBBData(p, b)
+	case *bbBatchMsg:
+		g.onBBBatch(p, b)
 	case acceptMsg:
 		g.onAccept(p, b)
+	case *acceptBatchMsg:
+		g.onAcceptBatch(p, b)
 	case retxReq:
 		g.onRetxReq(p, b)
 	case statusMsg:
@@ -61,15 +69,19 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 	if !g.isSeq || !g.installed {
 		return // stale or uninstalled view; the sender will retry
 	}
-	if seq, dup := g.seen[r.UID]; dup {
+	if seq, dup := g.seenSeq(r.Src, r.SrcSeq); dup {
 		// Retransmitted request: rebroadcast the sequenced message so
 		// the sender (and anyone else who missed it) sees it.
-		if d, ok := g.history[seq]; ok {
+		if d := g.history.get(seq); d != nil {
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 		}
 		return
 	}
-	d := &dataMsg{Seq: g.nextSeqNum(), UID: r.UID, Src: r.Src, Kind: r.Kind, Body: r.Body, Size: r.Size, Epoch: g.epoch}
+	if g.cfg.Batch.Enabled() {
+		g.enqueuePack(p, batchItem{UID: r.UID, Src: r.Src, SrcSeq: r.SrcSeq, Kind: r.Kind, Body: r.Body, Size: r.Size})
+		return
+	}
+	d := &dataMsg{Seq: g.nextSeqNum(), UID: r.UID, Src: r.Src, SrcSeq: r.SrcSeq, Kind: r.Kind, Body: r.Body, Size: r.Size, Epoch: g.epoch}
 	g.recordHistory(d)
 	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 	g.processData(p, d)
@@ -78,13 +90,23 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 // onBBData handles BB's data broadcast at every member.
 func (g *Member) onBBData(p *sim.Proc, b *bbDataMsg) {
 	if g.isSeq && g.installed {
-		if seq, dup := g.seen[b.UID]; dup {
-			// Retransmission: the accept may have been lost.
+		if seq, dup := g.seenSeq(b.Src, b.SrcSeq); dup {
+			// Retransmission: the accept may have been lost. Recover
+			// the frame-boundary flag from the sequenced record so the
+			// receiver reconstructs the boundary every replica saw.
+			more := false
+			if d := g.history.get(seq); d != nil {
+				more = d.More
+			}
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
-				Body: acceptMsg{Seq: seq, UID: b.UID, Epoch: g.epoch}, Size: hdrAccept})
+				Body: acceptMsg{Seq: seq, UID: b.UID, Epoch: g.epoch, More: more}, Size: hdrAccept})
 			return
 		}
-		d := &dataMsg{Seq: g.nextSeqNum(), UID: b.UID, Src: b.Src, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch}
+		if g.cfg.Batch.Enabled() {
+			g.enqueueAccept(p, batchItem{UID: b.UID, Src: b.Src, SrcSeq: b.SrcSeq, Kind: b.Kind, Body: b.Body, Size: b.Size})
+			return
+		}
+		d := &dataMsg{Seq: g.nextSeqNum(), UID: b.UID, Src: b.Src, SrcSeq: b.SrcSeq, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch}
 		g.recordHistory(d)
 		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
 			Body: acceptMsg{Seq: d.Seq, UID: b.UID, Epoch: g.epoch}, Size: hdrAccept})
@@ -96,23 +118,29 @@ func (g *Member) onBBData(p *sim.Proc, b *bbDataMsg) {
 		g.pendingBB[b.UID] = b
 		return
 	}
-	if seq, accepted := g.acceptedUID(b.UID); accepted {
+	if acc, accepted := g.acceptedUID(b.UID); accepted {
 		// Accept arrived before the data: complete it now.
-		g.processData(p, &dataMsg{Seq: seq, UID: b.UID, Src: b.Src, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch})
+		g.processData(p, &dataMsg{Seq: acc.seq, UID: b.UID, Src: b.Src, SrcSeq: b.SrcSeq, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch, More: acc.more})
 		return
 	}
 	g.pendingBB[b.UID] = b
 }
 
+// acceptedRec is an accept matched back to its data by uid.
+type acceptedRec struct {
+	seq  int64
+	more bool
+}
+
 // acceptedUID reports whether an accept for uid is waiting for data.
-func (g *Member) acceptedUID(uid int64) (int64, bool) {
-	for seq, u := range g.acceptedBB {
-		if u == uid {
+func (g *Member) acceptedUID(uid int64) (acceptedRec, bool) {
+	for seq, a := range g.acceptedBB {
+		if a.uid == uid {
 			delete(g.acceptedBB, seq)
-			return seq, true
+			return acceptedRec{seq: seq, more: a.more}, true
 		}
 	}
-	return 0, false
+	return acceptedRec{}, false
 }
 
 // onAccept handles BB's Accept at a non-sequencer member.
@@ -130,12 +158,12 @@ func (g *Member) onAccept(p *sim.Proc, a acceptMsg) {
 	}
 	if bb, ok := g.pendingBB[a.UID]; ok {
 		delete(g.pendingBB, a.UID)
-		g.processData(p, &dataMsg{Seq: a.Seq, UID: a.UID, Src: bb.Src, Kind: bb.Kind, Body: bb.Body, Size: bb.Size, Epoch: g.epoch})
+		g.processData(p, &dataMsg{Seq: a.Seq, UID: a.UID, Src: bb.Src, SrcSeq: bb.SrcSeq, Kind: bb.Kind, Body: bb.Body, Size: bb.Size, Epoch: g.epoch, More: a.More})
 		return
 	}
 	// Data frame lost: remember the accept and fetch the payload from
 	// the sequencer's history via the gap machinery.
-	g.acceptedBB[a.Seq] = a.UID
+	g.acceptedBB[a.Seq] = bbAccept{uid: a.UID, more: a.More}
 	if a.Seq > g.maxSeen {
 		g.maxSeen = a.Seq
 	}
@@ -144,17 +172,16 @@ func (g *Member) onAccept(p *sim.Proc, a acceptMsg) {
 
 // onRetxReq serves retransmissions out of the sequencer history.
 func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
-	g.statuses[r.Node] = r.Delivered
+	g.noteStatus(r.Node, r.Delivered)
 	if !g.isSeq {
 		return
 	}
-	g.trimHistory()
 	to := r.To
 	if to > g.maxSeen {
 		to = g.maxSeen
 	}
 	for s := r.From; s <= to; s++ {
-		if d, ok := g.history[s]; ok {
+		if d := g.history.get(s); d != nil {
 			// Restamp with the current epoch: history may hold
 			// messages sequenced under a previous view that are still
 			// part of the (unchanged) prefix this view vouches for.
@@ -167,10 +194,7 @@ func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
 
 // onStatus records a member's delivery progress.
 func (g *Member) onStatus(s statusMsg) {
-	g.statuses[s.Node] = s.Delivered
-	if g.isSeq {
-		g.trimHistory()
-	}
+	g.noteStatus(s.Node, s.Delivered)
 }
 
 // processData runs the ordered-delivery core: acknowledge own sends,
@@ -185,11 +209,11 @@ func (g *Member) processData(p *sim.Proc, d *dataMsg) {
 		g.electing = false
 	}
 	if st, mine := g.outstanding[d.UID]; mine {
-		if st.timer != nil {
-			st.timer.Cancel()
-		}
 		delete(g.outstanding, d.UID)
 		delete(g.pendingBB, d.UID)
+		if st.timer != nil && !st.live(g) {
+			st.timer.Cancel()
+		}
 	}
 	if d.Seq > g.maxSeen {
 		g.maxSeen = d.Seq
@@ -197,15 +221,16 @@ func (g *Member) processData(p *sim.Proc, d *dataMsg) {
 	if d.Seq < g.nextSeq {
 		return // duplicate
 	}
-	g.buffered[d.Seq] = d
+	g.buffered.set(d.Seq, d)
 	for {
-		nd, ok := g.buffered[g.nextSeq]
-		if !ok {
+		nd := g.buffered.get(g.nextSeq)
+		if nd == nil {
 			break
 		}
-		delete(g.buffered, g.nextSeq)
+		g.buffered.del(g.nextSeq)
 		g.deliver(p, nd)
 		g.nextSeq++
+		g.buffered.advanceTo(g.nextSeq)
 	}
 	if g.nextSeq <= g.maxSeen {
 		g.armGapTimer()
@@ -216,31 +241,28 @@ func (g *Member) processData(p *sim.Proc, d *dataMsg) {
 }
 
 // deliver hands one sequenced message to the application stream and
-// maintains the delivered cache, uid dedup, and status reporting.
+// maintains the delivered cache, per-source dedup windows, and status
+// reporting. Everything here is O(1) per delivery.
 func (g *Member) deliver(p *sim.Proc, d *dataMsg) {
 	delete(g.acceptedBB, d.Seq)
 	delete(g.pendingBB, d.UID)
 	if len(g.cache) > 0 {
 		g.cache[int(d.Seq)%len(g.cache)] = d
 	}
-	if g.dlvUID[d.UID] {
-		return // re-sequenced duplicate after an election
+	if g.dupDelivery(d.Src, d.SrcSeq) {
+		// Re-sequenced duplicate after an election. Under batching the
+		// consumer still needs the frame boundary this sequence slot
+		// occupies (a frame whose tail is a suppressed duplicate would
+		// otherwise never close its per-frame sweep), so a Dup-marked
+		// record travels in its place; the payload is never re-applied.
+		if g.cfg.Batch.Enabled() {
+			g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Size: d.Size, More: d.More, Dup: true})
+		}
+		return
 	}
-	g.dlvUID[d.UID] = true
-	if len(g.dlvOrder) == cap(g.dlvOrder) && g.dlvHead > 0 {
-		// Compact the dedup window in place rather than letting the
-		// backing array march and reallocate on every refill.
-		n := copy(g.dlvOrder, g.dlvOrder[g.dlvHead:])
-		g.dlvOrder = g.dlvOrder[:n]
-		g.dlvHead = 0
-	}
-	g.dlvOrder = append(g.dlvOrder, d.UID)
-	if len(g.dlvOrder)-g.dlvHead > 4*len(g.cache) && len(g.cache) > 0 {
-		delete(g.dlvUID, g.dlvOrder[g.dlvHead])
-		g.dlvHead++
-	}
+	g.noteDelivered(d.Src, d.SrcSeq, d.Seq)
 	g.stats.Delivered++
-	g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Body: d.Body, Size: d.Size})
+	g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Body: d.Body, Size: d.Size, More: d.More})
 	if !g.isSeq && g.cfg.StatusEvery > 0 && g.stats.Delivered%int64(g.cfg.StatusEvery) == 0 {
 		g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-status",
 			Body: statusMsg{Node: g.m.ID(), Delivered: g.nextSeq}, Size: hdrSmall})

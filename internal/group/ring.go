@@ -1,0 +1,119 @@
+package group
+
+// seqRing is a buffer indexed by a dense, monotonically advancing
+// sequence number. It replaces the hot-path maps of the protocol
+// (sequencer history, per-source dedup windows, the out-of-order
+// buffer): a lookup or store is an array index, a trim is a pointer
+// walk over exactly the dropped entries, and nothing ever iterates a
+// hash table on the delivery path.
+//
+// The window [lo, hi) holds the retained indices; entries below lo are
+// forgotten, the zero value of T means "absent". A ring with max > 0
+// caps the window at max entries and silently forgets the oldest when
+// a store would exceed it (the sequencer history cap); max == 0 grows
+// the backing array instead (the out-of-order buffer, whose window is
+// bounded by gap recovery).
+type seqRing[T comparable] struct {
+	vals []T
+	lo   int64 // lowest retained index
+	hi   int64 // one past the highest index ever stored
+	max  int   // window cap; 0 = grow on demand
+}
+
+// reset empties the ring and rebases the window at lo.
+func (r *seqRing[T]) reset(lo int64) {
+	clear(r.vals)
+	r.lo, r.hi = lo, lo
+}
+
+// get returns the value stored at index i, or T's zero value if i is
+// outside the window or was never stored.
+func (r *seqRing[T]) get(i int64) T {
+	var zero T
+	if i < r.lo || i >= r.hi {
+		return zero
+	}
+	return r.vals[int(i%int64(len(r.vals)))]
+}
+
+// set stores v at index i. Stores below lo are ignored (the window has
+// moved on); stores that would widen a capped window past max advance
+// lo first, forgetting the oldest entries.
+func (r *seqRing[T]) set(i int64, v T) {
+	if i < r.lo {
+		return
+	}
+	need := i - r.lo + 1
+	if r.max > 0 && need > int64(r.max) {
+		r.advanceTo(i - int64(r.max) + 1)
+		need = int64(r.max)
+	}
+	if int64(len(r.vals)) < need {
+		r.grow(need)
+	}
+	r.vals[int(i%int64(len(r.vals)))] = v
+	if i >= r.hi {
+		r.hi = i + 1
+	}
+}
+
+// del clears the entry at index i without moving the window.
+func (r *seqRing[T]) del(i int64) {
+	if i < r.lo || i >= r.hi {
+		return
+	}
+	var zero T
+	r.vals[int(i%int64(len(r.vals)))] = zero
+}
+
+// advanceTo forgets every entry below newLo.
+func (r *seqRing[T]) advanceTo(newLo int64) {
+	if newLo <= r.lo {
+		return
+	}
+	var zero T
+	top := newLo
+	if top > r.hi {
+		top = r.hi
+	}
+	for i := r.lo; i < top; i++ {
+		r.vals[int(i%int64(len(r.vals)))] = zero
+	}
+	r.lo = newLo
+	if r.hi < newLo {
+		r.hi = newLo
+	}
+}
+
+// clearAbove forgets every entry at indices > n, shrinking the window
+// from the top (used when a new view discards unsequenceable tails).
+func (r *seqRing[T]) clearAbove(n int64) {
+	var zero T
+	from := n + 1
+	if from < r.lo {
+		from = r.lo
+	}
+	for i := from; i < r.hi; i++ {
+		r.vals[int(i%int64(len(r.vals)))] = zero
+	}
+	if r.hi > from {
+		r.hi = from
+	}
+}
+
+// span reports the width of the retained window.
+func (r *seqRing[T]) span() int { return int(r.hi - r.lo) }
+
+// grow reallocates the backing array to hold at least need entries,
+// re-placing the live window under the new modulus.
+func (r *seqRing[T]) grow(need int64) {
+	n := int64(16)
+	for n < need {
+		n *= 2
+	}
+	nv := make([]T, n)
+	for i := r.lo; i < r.hi; i++ {
+		nv[int(i%n)] = r.vals[int(i%int64(len(r.vals)))]
+	}
+	r.vals = nv
+}

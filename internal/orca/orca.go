@@ -38,6 +38,57 @@ func (k RTSKind) String() string {
 	return fmt.Sprintf("RTSKind(%d)", int(k))
 }
 
+// Batching configures the broadcast runtime's batching pipeline: the
+// group sequencer packs queued requests into multi-op frames (one
+// sequence number per op, one network frame per batch), senders pack
+// same-instant submissions, and unguarded no-result writes travel
+// through per-worker combining buffers instead of blocking the
+// invoker per op. Defaults fill zero fields (see DefaultBatching).
+// Batching amortizes the ordering protocol — frames per op drop
+// roughly by MaxOps under write-heavy load — at the cost of up to
+// Linger of added latency for a lone op. Results, guards, and
+// read-own-write force synchronization, so program semantics are
+// unchanged; virtual timings differ, which is why batched runs pin
+// their own determinism goldens.
+type Batching struct {
+	// MaxOps flushes a batch at this many ops (minimum 2).
+	MaxOps int
+	// MaxBytes flushes when a batch's payload reaches this many
+	// bytes, keeping frames within one wire fragment.
+	MaxBytes int
+	// Linger is the flush deadline: an op waits at most this long in
+	// a pack buffer.
+	Linger sim.Time
+}
+
+// DefaultBatching returns the default batching parameters: 16-op
+// batches, one-fragment frames, and a linger of about one small
+// frame's wire time — long enough to pack concurrent submissions,
+// short enough that a lone operation barely notices.
+func DefaultBatching() *Batching {
+	return &Batching{MaxOps: 16, MaxBytes: 1024, Linger: 50 * sim.Microsecond}
+}
+
+// batchConfig resolves the group-layer configuration, filling
+// defaults for zero fields.
+func (b *Batching) batchConfig() group.BatchConfig {
+	d := DefaultBatching()
+	bc := group.BatchConfig{MaxOps: b.MaxOps, MaxBytes: b.MaxBytes, Linger: b.Linger}
+	if bc.MaxOps == 0 {
+		bc.MaxOps = d.MaxOps
+	}
+	if bc.MaxBytes == 0 {
+		bc.MaxBytes = d.MaxBytes
+	}
+	if bc.Linger == 0 {
+		bc.Linger = d.Linger
+	}
+	if bc.MaxOps < 2 {
+		panic("orca: Batching.MaxOps must be at least 2")
+	}
+	return bc
+}
+
 // Config describes the simulated machine and runtime choice.
 type Config struct {
 	// Processors is the number of pool machines.
@@ -63,6 +114,12 @@ type Config struct {
 	P2P *rts.P2PConfig
 	// GroupMethod forces the broadcast method (PB/BB); zero is Auto.
 	GroupMethod group.Method
+	// Batching, when non-nil, turns on the broadcast runtime's
+	// batching pipeline (frame packing in the group layer plus
+	// per-worker write combining in the RTS). Off by default: the
+	// unbatched code paths are untouched and bit-identical. Under
+	// Mixed, batching applies to the broadcast subsystem only.
+	Batching *Batching
 	// Sequencer picks the initial group sequencer for the broadcast
 	// runtime (default: processor 0). Fault experiments use it to put
 	// the sequencer on a machine the fault plan crashes, without
@@ -158,10 +215,28 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		gcfg := group.DefaultConfig(ids)
 		gcfg.Method = cfg.GroupMethod
 		gcfg.Sequencer = cfg.Sequencer
+		if cfg.Batching != nil {
+			gcfg.Batch = cfg.Batching.batchConfig()
+			// Batched runs move MaxOps times the work per frame, so
+			// delivery-progress reports can be MaxOps times sparser
+			// for the same history-trimming lag — and every member
+			// reports, so the interval also scales with P to keep the
+			// aggregate status traffic flat (statuses contribute
+			// (P-1)/StatusEvery frames per delivered op). The trim
+			// lag stays a small fraction of HistoryMax.
+			pScale := cfg.Processors / 32
+			if pScale < 1 {
+				pScale = 1
+			}
+			gcfg.StatusEvery *= gcfg.Batch.MaxOps * pScale
+		}
 		for _, m := range rt.machines {
 			rt.members = append(rt.members, group.Join(m, gcfg))
 		}
 		br := rts.NewBroadcastRTS(rt.reg, rc, rt.machines, rt.members)
+		if cfg.Batching != nil {
+			br.EnableBatching(gcfg.Batch)
+		}
 		br.SetExtraHandler(func(node int, body any) {
 			if fm, ok := body.(forkMsg); ok && node == fm.Target {
 				rt.startFork(fm.FID)
@@ -187,6 +262,8 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 	switch {
 	case cfg.RTS != Broadcast && cfg.RTS != P2PUpdate && cfg.RTS != P2PInvalidate:
 		panic("orca: unknown RTS kind")
+	case cfg.Batching != nil && cfg.RTS != Broadcast && !cfg.Mixed:
+		panic("orca: Batching requires the broadcast runtime (or Mixed)")
 	case cfg.Mixed:
 		// Both managers share the machines and the group members; the
 		// RTS kind only picks where Default-policy objects live. Forks
@@ -343,6 +420,10 @@ func (rt *Runtime) spawnProc(cpu int, name string, fn func(p *Proc)) {
 		p := &Proc{rt: rt, w: rts.NewWorker(sp, m)}
 		fn(p)
 		p.w.Flush()
+		// Drain the write-combining buffer: a process's final writes
+		// (a barrier arrival, an accumulator update) must reach the
+		// total order before the process counts as done.
+		p.w.SyncShared()
 	})
 }
 
@@ -385,6 +466,7 @@ func (p *Proc) Work(d sim.Time) { p.w.Charge(d) }
 // Sleep idles the process for d of virtual time.
 func (p *Proc) Sleep(d sim.Time) {
 	p.w.Flush()
+	p.w.FlushShared() // buffered writes should not sit out the sleep
 	p.w.P.Sleep(d)
 }
 
@@ -426,6 +508,10 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 		panic(fmt.Sprintf("orca: fork on crashed processor %d", cpu))
 	}
 	p.w.Flush()
+	// The child must observe every write its parent issued before the
+	// fork: drain the combining buffer before the fork message joins
+	// the total order.
+	p.w.SyncShared()
 	if cpu == p.CPU() {
 		// A local fork needs no wire: the local replica already
 		// reflects every write this process completed.

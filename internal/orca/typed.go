@@ -474,10 +474,12 @@ type UpdateOp0[S rts.State] struct{ def *rts.OpDef }
 
 // DefUpdate0 attaches a no-argument, no-result write to a type.
 func DefUpdate0[S rts.State](b *TypeBuilder[S], name string, apply func(S)) UpdateOp0[S] {
-	return UpdateOp0[S]{def: addOp(b, name, rts.Write, func(s S, _ []any, dst []any) []any {
+	op := UpdateOp0[S]{def: addOp(b, name, rts.Write, func(s S, _ []any, dst []any) []any {
 		apply(s)
 		return dst
 	})}
+	op.def.NoResult = true
+	return op
 }
 
 // Cost sets the operation's virtual CPU cost.
@@ -493,10 +495,12 @@ type UpdateOp[S rts.State, A any] struct{ def *rts.OpDef }
 
 // DefUpdate attaches a one-argument, no-result write to a type.
 func DefUpdate[S rts.State, A any](b *TypeBuilder[S], name string, apply func(S, A)) UpdateOp[S, A] {
-	return UpdateOp[S, A]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
+	op := UpdateOp[S, A]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
 		apply(s, argAs[A](a[0]))
 		return dst
 	})}
+	op.def.NoResult = true
+	return op
 }
 
 // Cost sets the operation's virtual CPU cost.
@@ -512,10 +516,12 @@ type UpdateOp2[S rts.State, A1, A2 any] struct{ def *rts.OpDef }
 
 // DefUpdate2 attaches a two-argument, no-result write to a type.
 func DefUpdate2[S rts.State, A1, A2 any](b *TypeBuilder[S], name string, apply func(S, A1, A2)) UpdateOp2[S, A1, A2] {
-	return UpdateOp2[S, A1, A2]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
+	op := UpdateOp2[S, A1, A2]{def: addOp(b, name, rts.Write, func(s S, a []any, dst []any) []any {
 		apply(s, argAs[A1](a[0]), argAs[A2](a[1]))
 		return dst
 	})}
+	op.def.NoResult = true
+	return op
 }
 
 // Cost sets the operation's virtual CPU cost.

@@ -1,0 +1,249 @@
+package rts
+
+// Write combining for the broadcast runtime (see
+// BroadcastRTS.EnableBatching).
+//
+// Each worker owns a combining buffer. An unguarded, no-result write
+// (the DefUpdate* shapes: queue add, counter assign, flag set) does
+// not broadcast individually: it is appended to the buffer and the
+// invoker continues immediately. The buffer leaves as ONE group
+// frame — a batch the group layer's packers keep together — when it
+// reaches Batch.MaxOps/MaxBytes, when its Linger deadline fires, or
+// when the pipeline continuation sends it (see below).
+//
+// Semantics are preserved by flushing at every point where buffering
+// could become observable:
+//
+//   - read-own-write: a local read of an object with a buffered or
+//     in-flight write first syncs (flushes and waits until the writes
+//     applied locally), so the invoker always sees its own writes;
+//   - guards: any guarded operation syncs first — a guard may depend
+//     on the invoker's earlier writes, and suspending with unsent
+//     writes could deadlock the program;
+//   - ordering: any operation that leaves the combining path (a
+//     result-bearing write, a create, a forward, a direct write, a
+//     fork, an op routed to the point-to-point subsystem) syncs
+//     first, so the total order observes program order;
+//   - process exit and Sleep flush (exit syncs).
+//
+// A buffer keeps at most ONE batch in flight (depth-1 pipelining):
+// the next batch is not sent until the previous one has been applied
+// locally, which — combined with the group layer's per-source
+// FIFO — preserves the worker's program order even when a batch frame
+// is lost and retransmitted. While a batch is in flight the worker
+// keeps filling the buffer; when the flight completes, the manager
+// sends the accumulated next batch immediately (the continuation
+// flush), so a streaming writer settles into one frame per
+// round-trip, MaxOps ops at a time.
+
+import (
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// batchFlight tracks one in-flight batch: how many of its ops have
+// not yet been applied on the submitting machine.
+type batchFlight struct {
+	remaining int
+	buf       *writeBuf
+	insts     []*bcastInstance // objects with writes in this flight
+	cond      sim.Cond
+}
+
+// writeBuf is a worker's combining buffer.
+type writeBuf struct {
+	mgr    *bcastManager
+	ops    []group.BatchOp
+	insts  []*bcastInstance // objects with buffered writes
+	bytes  int
+	uids   []int64 // scratch for BroadcastBatch
+	flight *batchFlight
+	fl0    batchFlight // the pooled flight record (one in flight max)
+	timer  *sim.Event
+
+	// spare buffers ping-pong with ops/insts across flushes: a flush
+	// detaches the filled buffers before broadcasting (the broadcast
+	// blocks on the CPU, and the worker may buffer more ops
+	// meanwhile) and returns them cleared afterwards.
+	opsSpare   []group.BatchOp
+	instsSpare []*bcastInstance
+}
+
+// holds reports whether the buffer (or its in-flight batch) carries a
+// write to inst — the read-own-write test. Buffers hold at most
+// MaxOps ops, so the scan is a handful of pointer compares.
+func (b *writeBuf) holds(inst *bcastInstance) bool {
+	for _, x := range b.insts {
+		if x == inst {
+			return true
+		}
+	}
+	if fl := b.flight; fl != nil {
+		for _, x := range fl.insts {
+			if x == inst {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bufferWrite appends one unguarded no-result write to w's combining
+// buffer, flushing or arming the linger deadline per the batch
+// configuration.
+func (mgr *bcastManager) bufferWrite(w *Worker, id ObjID, inst *bcastInstance, opName string, args []any) {
+	b := w.batch
+	if b == nil {
+		b = &writeBuf{mgr: mgr}
+		w.batch = b
+	}
+	r := mgr.rts
+	bc := r.batch
+	if b.flight != nil && len(b.ops) >= bc.MaxOps {
+		// Depth-1 pipeline backpressure: the buffer is full and the
+		// previous batch is still in flight — wait for it.
+		b.waitFlight(w.P)
+	}
+	size := SizeOfArgs(args) + len(opName) + 16
+	b.ops = append(b.ops, group.BatchOp{Kind: "rts-op", Body: wireOp{Obj: id, Op: opName, Args: args}, Size: size})
+	b.bytes += size
+	found := false
+	for _, x := range b.insts {
+		if x == inst {
+			found = true
+			break
+		}
+	}
+	if !found {
+		b.insts = append(b.insts, inst)
+	}
+	r.batchedOps++
+	if len(b.ops) >= bc.MaxOps || (bc.MaxBytes > 0 && b.bytes >= bc.MaxBytes) {
+		if b.flight != nil {
+			b.waitFlight(w.P)
+		}
+		b.flush(w.P)
+		return
+	}
+	if b.timer == nil && bc.Linger > 0 {
+		b.timer = mgr.m.After(bc.Linger, func(tp *sim.Proc) {
+			b.timer = nil
+			// A linger flush must not block, so it defers to the
+			// continuation flush when a batch is in flight.
+			b.flush(tp)
+		})
+	}
+}
+
+// flush sends the buffered ops as one batch, if none is in flight.
+//
+// The broadcast below blocks on the machine's CPU, and arbitrary
+// simulation activity runs meanwhile: the worker may buffer more ops
+// (when the flush runs in manager or timer context), another flush
+// attempt may fire, and the local manager may already apply some of
+// the batch. So the flight is installed FIRST (making any concurrent
+// flush a no-op and keeping read-own-write checks truthful), the op
+// buffer is detached before broadcasting, and completions that beat
+// the uid registration are reconciled from the early-completion
+// buffer afterwards.
+func (b *writeBuf) flush(p *sim.Proc) {
+	if len(b.ops) == 0 || b.flight != nil {
+		return
+	}
+	mgr := b.mgr
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+	fl := &b.fl0 // at most one flight exists; the record is pooled
+	fl.buf = b
+	fl.remaining = len(b.ops) // provisional until the uids register
+	fl.insts = append(fl.insts[:0], b.insts...)
+	b.flight = fl
+	ops := b.ops
+	insts := b.insts
+	b.ops = b.opsSpare[:0]
+	b.insts = b.instsSpare[:0]
+	b.bytes = 0
+	mgr.rts.batchFrames++
+	b.uids = mgr.g.BroadcastBatch(p, ops, b.uids[:0])
+	for _, uid := range b.uids {
+		if _, done := mgr.early[uid]; done {
+			delete(mgr.early, uid)
+			fl.remaining--
+			continue
+		}
+		mgr.flights[uid] = fl
+	}
+	clear(ops)
+	b.opsSpare = ops[:0]
+	clear(insts)
+	b.instsSpare = insts[:0]
+	if fl.remaining == 0 {
+		b.flight = nil
+		fl.cond.Broadcast()
+		if len(b.ops) > 0 {
+			b.flush(p) // ops buffered during the broadcast
+		}
+	}
+}
+
+// waitFlight blocks until the current in-flight batch (if any) has
+// been applied locally.
+func (b *writeBuf) waitFlight(p *sim.Proc) {
+	for b.flight != nil && b.flight.remaining > 0 {
+		b.flight.cond.Wait(p)
+	}
+}
+
+// sync flushes everything and waits until every buffered op has been
+// applied on this machine: afterwards the worker's reads observe all
+// its writes and the total order contains them before anything the
+// worker does next.
+func (b *writeBuf) sync(w *Worker) {
+	for {
+		if b.flight != nil {
+			b.waitFlight(w.P)
+			continue
+		}
+		if len(b.ops) > 0 {
+			b.flush(w.P)
+			continue
+		}
+		return
+	}
+}
+
+// syncBuf is the manager-side hook: flush-and-wait the worker's
+// buffer before an operation that must observe program order.
+func (mgr *bcastManager) syncBuf(w *Worker) {
+	if w.batch != nil {
+		w.batch.sync(w)
+	}
+}
+
+// completeFlight finishes one async op. It reports whether uid
+// belonged to a flight (otherwise the caller falls through to the
+// synchronous waiter path).
+func (mgr *bcastManager) completeFlight(p *sim.Proc, uid int64) bool {
+	fl, ok := mgr.flights[uid]
+	if !ok {
+		return false
+	}
+	delete(mgr.flights, uid)
+	fl.remaining--
+	if fl.remaining == 0 {
+		b := fl.buf
+		if b.flight == fl {
+			b.flight = nil
+		}
+		fl.cond.Broadcast()
+		if len(b.ops) > 0 {
+			// Continuation flush: ops accumulated while the batch was
+			// in flight leave immediately — the pipeline's steady
+			// state.
+			b.flush(p)
+		}
+	}
+	return true
+}

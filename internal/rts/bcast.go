@@ -25,6 +25,10 @@ type BroadcastRTS struct {
 	mgrs  []*bcastManager
 	ids   *idAlloc
 
+	// batch, when enabled, turns on the write-combining pipeline (see
+	// EnableBatching and batch.go).
+	batch group.BatchConfig
+
 	// placements maps partially replicated objects to their replica
 	// machines; absent means replicated everywhere (see CreateOn).
 	placements map[ObjID][]int
@@ -40,6 +44,8 @@ type BroadcastRTS struct {
 	forwarded   int64
 	crashes     int64
 	opsRetried  int64
+	batchedOps  int64
+	batchFrames int64
 }
 
 // System is the interface shared by the runtime systems; the Orca
@@ -100,8 +106,23 @@ type bcastManager struct {
 	insts    map[ObjID]*bcastInstance
 	waiters  map[int64]*opWaiter
 	early    map[int64][]any // completions that beat their waiter
-	instCond *sim.Cond       // signalled when a replica is instantiated
+	flights  map[int64]*batchFlight
+	instCond *sim.Cond // signalled when a replica is instantiated
 	extra    func(node int, body any)
+
+	// touched collects the replicas written since the last frame
+	// boundary; the guard-retry sweep runs once per frame over them
+	// (see run), which is what batching amortizes.
+	touched []*bcastInstance
+
+	// inFrame and pendCharge amortize the apply-cost accounting over
+	// a packed frame: mid-frame ops accrue their CPU cost and the
+	// frame's last op charges the sum in ONE Compute (one busy
+	// interval, one timer event) instead of one per op. Unbatched
+	// messages are single-op frames — nothing accrues and the charge
+	// happens exactly where it always did.
+	inFrame    bool
+	pendCharge sim.Time
 
 	// lastID/lastInst memoize the most recent instance lookup.
 	// Replicas are never removed from insts, so the cache cannot go
@@ -128,6 +149,7 @@ type bcastInstance struct {
 	seg     *amoeba.Segment
 	reads   int64
 	writes  int64
+	touched bool // written since the last frame boundary (see run)
 
 	ops opCache
 }
@@ -165,6 +187,7 @@ func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, mem
 			insts:    make(map[ObjID]*bcastInstance),
 			waiters:  make(map[int64]*opWaiter),
 			early:    make(map[int64][]any),
+			flights:  make(map[int64]*batchFlight),
 			instCond: sim.NewCond(m.Env()),
 		}
 		r.mgrs = append(r.mgrs, mgr)
@@ -176,6 +199,16 @@ func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, mem
 
 // Nodes reports the machine count.
 func (r *BroadcastRTS) Nodes() int { return len(r.mgrs) }
+
+// EnableBatching turns on the write-combining pipeline: unguarded
+// no-result writes are submitted through per-worker combining buffers
+// and leave as multi-op frames (see batch.go). Call before the
+// simulation starts. The group members should run the same
+// configuration so the sequencer packs frames too.
+func (r *BroadcastRTS) EnableBatching(bc group.BatchConfig) { r.batch = bc }
+
+// BatchingEnabled reports whether the write-combining pipeline is on.
+func (r *BroadcastRTS) BatchingEnabled() bool { return r.batch.Enabled() }
 
 // Stats reports aggregate runtime counters: local reads served without
 // communication, broadcast writes, and guard suspensions.
@@ -190,6 +223,8 @@ func (r *BroadcastRTS) Counters() RTSStats {
 		BcastWrites: r.bcastWrites,
 		GuardWaits:  r.guardWaits,
 		Forwarded:   r.forwarded,
+		BatchedOps:  r.batchedOps,
+		Frames:      r.batchFrames,
 		Crashes:     r.crashes,
 		OpsRetried:  r.opsRetried,
 	}
@@ -217,8 +252,9 @@ func (r *BroadcastRTS) NodeCrashed(node int) {
 func (r *BroadcastRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 	t := r.reg.Lookup(typeName) // validate before broadcasting
 	id := r.ids.alloc()
-	w.Flush()
 	mgr := r.mgrs[w.Node()]
+	mgr.syncBuf(w) // creation is ordered after the worker's buffered writes
+	w.Flush()
 	body := wireCreate{Obj: id, Type: t.Name, Args: args}
 	uid := mgr.g.Broadcast(w.P, "rts-create", body, SizeOfArgs(args)+len(typeName)+16)
 	mgr.await(w.P, uid)
@@ -230,6 +266,7 @@ func (r *BroadcastRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) [
 	mgr := r.mgrs[w.Node()]
 	if pl := r.placement(id); pl != nil && !r.replicatedOn(w.Node(), id) {
 		// No local replica: forward the operation to a holder.
+		mgr.syncBuf(w)
 		return mgr.forward(w, id, pl, opName, args)
 	}
 	inst := mgr.instance(w.P, id)
@@ -240,10 +277,19 @@ func (r *BroadcastRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) [
 	if pl := r.placement(id); len(pl) == 1 {
 		// Single-copy object at its only holder: apply directly, no
 		// broadcast needed.
+		mgr.syncBuf(w)
 		return mgr.directWrite(w, inst, op, args)
+	}
+	if r.batch.Enabled() && op.NoResult && op.Guard == nil && r.placement(id) == nil {
+		// Unguarded no-result write under batching: combine. The
+		// invoker continues immediately; program order is preserved
+		// by the sync points (see batch.go).
+		mgr.bufferWrite(w, id, inst, opName, args)
+		return nil
 	}
 	// Write: ship the operation through the total order and wait for
 	// it to be applied on this machine.
+	mgr.syncBuf(w)
 	w.Flush()
 	r.bcastWrites++
 	body := wireOp{Obj: id, Op: opName, Args: args}
@@ -268,6 +314,9 @@ func (r *BroadcastRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bo
 	}
 	mgr := r.mgrs[w.Node()]
 	inst := mgr.instance(w.P, id)
+	if w.batch != nil && w.batch.holds(inst) {
+		w.batch.sync(w) // read-own-write: wait for the buffered writes
+	}
 	r.localReads++
 	inst.reads++
 	w.Charge(r.costs.ReadLocal + r.costs.opCost(op))
@@ -315,11 +364,18 @@ func (mgr *bcastManager) instance(p *sim.Proc, id ObjID) *bcastInstance {
 func (mgr *bcastManager) localRead(w *Worker, inst *bcastInstance, op *OpDef, args []any) []any {
 	r := mgr.rts
 	if op.Guard == nil {
+		if w.batch != nil && w.batch.holds(inst) {
+			w.batch.sync(w) // read-own-write: wait for the buffered writes
+		}
 		r.localReads++
 		inst.reads++
 		w.Charge(r.costs.ReadLocal + r.costs.opCost(op))
 		return w.applyLocal(op, inst.state, args)
 	}
+	// Guarded: sync first — the guard may depend on the worker's own
+	// buffered writes, and suspending with writes unsent could stall
+	// the program.
+	mgr.syncBuf(w)
 	for {
 		// Flush before evaluating the guard: flushing blocks on the
 		// CPU, and a wakeup that fires while this thread is neither
@@ -370,8 +426,12 @@ func (mgr *bcastManager) await(p *sim.Proc, uid int64) []any {
 
 // complete finishes a waiting invocation. src is the originating node:
 // completions for locally originated messages with no registered
-// waiter yet are buffered until await claims them.
-func (mgr *bcastManager) complete(uid int64, src int, res []any) {
+// waiter yet are buffered until await claims them. Async (combined)
+// ops complete through their batch flight instead of a waiter.
+func (mgr *bcastManager) complete(p *sim.Proc, uid int64, src int, res []any) {
+	if mgr.completeFlight(p, uid) {
+		return
+	}
 	if wt, ok := mgr.waiters[uid]; ok {
 		wt.done = true
 		wt.res = res
@@ -395,25 +455,74 @@ func (r *BroadcastRTS) SetExtraHandler(h func(node int, body any)) {
 }
 
 // run is the object-manager thread: it consumes the totally-ordered
-// delivery stream and applies creations and writes.
+// delivery stream and applies creations and writes. Guard retries run
+// once per frame, not per op: a write only marks its replica touched,
+// and the retry sweep over the touched replicas fires at the frame
+// boundary (d.More == false). Frame boundaries are assigned by the
+// sequencer and travel with each message, so every replica drains at
+// identical points in the total order — which is what keeps
+// replicated guard queues deterministic. Unbatched messages are
+// single-op frames, reproducing the drain-after-every-write behavior
+// exactly.
 func (mgr *bcastManager) run(p *sim.Proc) {
 	for {
 		d, ok := mgr.g.Deliveries().Get(p)
 		if !ok {
 			return
 		}
-		switch body := d.Body.(type) {
-		case wireCreate:
-			mgr.applyCreate(p, d.UID, d.Src, body)
-		case wireOp:
-			mgr.applyWrite(p, d.UID, d.Src, body)
-		default:
-			if mgr.extra == nil {
-				panic(fmt.Sprintf("rts: unexpected group message %T", d.Body))
+		mgr.inFrame = d.More
+		if !d.Dup {
+			switch body := d.Body.(type) {
+			case wireCreate:
+				mgr.applyCreate(p, d.UID, d.Src, body)
+			case wireOp:
+				mgr.applyWrite(p, d.UID, d.Src, body)
+			default:
+				if mgr.extra == nil {
+					panic(fmt.Sprintf("rts: unexpected group message %T", d.Body))
+				}
+				mgr.extra(mgr.m.ID(), d.Body)
 			}
-			mgr.extra(mgr.m.ID(), d.Body)
+		}
+		// A Dup record is a re-sequenced duplicate the group layer
+		// suppressed: nothing to apply (it completed at its first
+		// delivery), but its frame-boundary flag still counts below.
+		if !d.More {
+			if mgr.pendCharge > 0 {
+				// A frame whose tail op took a non-charging path (a
+				// guard queued it, a non-holder skipped it): settle
+				// the accrued cost at the boundary.
+				mgr.m.Compute(p, mgr.pendCharge)
+				mgr.pendCharge = 0
+			}
+			mgr.drainTouched(p)
 		}
 	}
+}
+
+// charge accounts CPU cost for one delivered op: mid-frame costs
+// accrue, and the frame's last op charges the accrued sum at once.
+func (mgr *bcastManager) charge(p *sim.Proc, d sim.Time) {
+	if mgr.inFrame {
+		mgr.pendCharge += d
+		return
+	}
+	if mgr.pendCharge > 0 {
+		d += mgr.pendCharge
+		mgr.pendCharge = 0
+	}
+	mgr.m.Compute(p, d)
+}
+
+// drainTouched runs the guard-retry sweep over every replica written
+// since the last frame boundary.
+func (mgr *bcastManager) drainTouched(p *sim.Proc) {
+	for i, inst := range mgr.touched {
+		inst.touched = false
+		mgr.touched[i] = nil
+		mgr.drainPending(p, inst)
+	}
+	mgr.touched = mgr.touched[:0]
 }
 
 // applyCreate instantiates the replica (on replica holders only, for
@@ -421,11 +530,11 @@ func (mgr *bcastManager) run(p *sim.Proc) {
 func (mgr *bcastManager) applyCreate(p *sim.Proc, uid int64, src int, c wireCreate) {
 	r := mgr.rts
 	if !r.replicatedOn(mgr.m.ID(), c.Obj) {
-		mgr.complete(uid, src, nil)
+		mgr.complete(p, uid, src, nil)
 		return
 	}
 	t := r.reg.Lookup(c.Type)
-	mgr.m.Compute(p, r.costs.Create)
+	mgr.charge(p, r.costs.Create)
 	state := t.New(c.Args)
 	inst := &bcastInstance{
 		typ:   t,
@@ -434,12 +543,13 @@ func (mgr *bcastManager) applyCreate(p *sim.Proc, uid int64, src int, c wireCrea
 	}
 	mgr.insts[c.Obj] = inst
 	mgr.instCond.Broadcast()
-	mgr.complete(uid, src, nil)
+	mgr.complete(p, uid, src, nil)
 }
 
 // applyWrite executes one write from the total order: check the guard
-// (queue if false), apply, complete the local invoker, retry pending
-// guarded writes, and wake guard-blocked readers.
+// (queue if false), apply, complete the local invoker, and wake
+// guard-blocked readers. The guard-retry sweep over pending writes
+// runs at the frame boundary (see run), not here.
 func (mgr *bcastManager) applyWrite(p *sim.Proc, uid int64, src int, wo wireOp) {
 	r := mgr.rts
 	inst, ok := mgr.insts[wo.Obj]
@@ -451,26 +561,29 @@ func (mgr *bcastManager) applyWrite(p *sim.Proc, uid int64, src int, wo wireOp) 
 	}
 	op := inst.op(wo.Op)
 	if op.Guard != nil {
-		mgr.m.Compute(p, r.costs.GuardCheck)
+		mgr.charge(p, r.costs.GuardCheck)
 		if !op.Guard(inst.state, wo.Args) {
 			inst.pending = append(inst.pending, pendingWrite{uid: uid, src: src, op: op, args: wo.Args})
 			return
 		}
 	}
 	mgr.execWrite(p, inst, uid, src, op, wo.Args)
-	mgr.drainPending(p, inst)
+	if !inst.touched {
+		inst.touched = true
+		mgr.touched = append(mgr.touched, inst)
+	}
 }
 
 // execWrite applies one write to the replica.
 func (mgr *bcastManager) execWrite(p *sim.Proc, inst *bcastInstance, uid int64, src int, op *OpDef, args []any) {
 	r := mgr.rts
-	mgr.m.Compute(p, r.costs.WriteApply+r.costs.opCost(op))
+	mgr.charge(p, r.costs.WriteApply+r.costs.opCost(op))
 	res := op.Apply(inst.state, args)
 	inst.writes++
 	if !inst.typ.SizeFixed {
 		inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
 	}
-	mgr.complete(uid, src, res)
+	mgr.complete(p, uid, src, res)
 	inst.cond.Broadcast()
 }
 

@@ -80,8 +80,9 @@ func (r *BroadcastRTS) CreateOn(w *Worker, typeName string, nodes []int, args ..
 		r.placements = make(map[ObjID][]int)
 	}
 	r.placements[id] = append([]int(nil), nodes...)
-	w.Flush()
 	mgr := r.mgrs[w.Node()]
+	mgr.syncBuf(w) // creation is ordered after the worker's buffered writes
+	w.Flush()
 	body := wireCreate{Obj: id, Type: t.Name, Args: args}
 	uid := mgr.g.Broadcast(w.P, "rts-create", body, SizeOfArgs(args)+len(typeName)+16)
 	mgr.await(w.P, uid)

@@ -53,6 +53,13 @@ type RTSStats struct {
 	GuardWaits  int64 `json:"guard_waits,omitempty"`  // guard suspensions (both runtimes)
 	Forwarded   int64 `json:"forwarded,omitempty"`    // ops forwarded to a partial-replication holder
 
+	// Batching counters (see BroadcastRTS.EnableBatching): ops
+	// submitted through per-worker combining buffers, and the batch
+	// frames that carried them — Frames << BatchedOps is the
+	// amortization experiments report.
+	BatchedOps int64 `json:"batched_ops,omitempty"`  // ops submitted through a combining buffer
+	Frames     int64 `json:"batch_frames,omitempty"` // combining-buffer flushes (batched frames sent)
+
 	// Point-to-point-runtime counters.
 	RemoteReads   int64 `json:"remote_reads,omitempty"`  // reads RPC'd to the primary
 	P2PWrites     int64 `json:"p2p_writes,omitempty"`    // writes routed to a primary copy
@@ -75,6 +82,8 @@ func (s RTSStats) merge(o RTSStats) RTSStats {
 	s.BcastWrites += o.BcastWrites
 	s.GuardWaits += o.GuardWaits
 	s.Forwarded += o.Forwarded
+	s.BatchedOps += o.BatchedOps
+	s.Frames += o.Frames
 	s.RemoteReads += o.RemoteReads
 	s.P2PWrites += o.P2PWrites
 	s.Fetches += o.Fetches
@@ -162,6 +171,9 @@ func (m *MixedRTS) sub(id ObjID) System {
 // Create implements System: a Default-policy creation, hosted by the
 // runtime the program's configuration selects.
 func (m *MixedRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	if m.def != m.br {
+		w.SyncShared() // order after any buffered broadcast writes
+	}
 	id := m.def.Create(w, typeName, args...)
 	m.owner[id] = m.def
 	return id
@@ -179,6 +191,7 @@ func (m *MixedRTS) CreateReplicated(w *Worker, typeName string, nodes []int, arg
 // under the given consistency protocol and placement policy. The
 // primary copy lives on the creating machine.
 func (m *MixedRTS) CreatePrimaryCopy(w *Worker, typeName string, protocol P2PProtocol, placement Placement, args ...any) ObjID {
+	w.SyncShared() // order after any buffered broadcast writes
 	id := m.p2p.CreateWith(w, typeName, protocol, placement, args...)
 	m.owner[id] = m.p2p
 	return id
@@ -186,7 +199,13 @@ func (m *MixedRTS) CreatePrimaryCopy(w *Worker, typeName string, protocol P2PPro
 
 // Invoke implements System, routing by object.
 func (m *MixedRTS) Invoke(w *Worker, id ObjID, op string, args ...any) []any {
-	return m.sub(id).Invoke(w, id, op, args...)
+	s := m.sub(id)
+	if s != System(m.br) {
+		// An op leaving the broadcast subsystem must observe the
+		// worker's buffered broadcast writes in program order.
+		w.SyncShared()
+	}
+	return s.Invoke(w, id, op, args...)
 }
 
 // PeekState implements System, routing by object.

@@ -29,7 +29,7 @@ func intCellType() *ObjectType {
 		Ops: map[string]*OpDef{
 			"get": {Name: "get", Kind: Read,
 				Apply: func(s State, _ []any) []any { return []any{s.(*intCellState).v} }},
-			"set": {Name: "set", Kind: Write,
+			"set": {Name: "set", Kind: Write, NoResult: true,
 				Apply: func(s State, a []any) []any { s.(*intCellState).v = a[0].(int); return nil }},
 			"inc": {Name: "inc", Kind: Write,
 				Apply: func(s State, _ []any) []any {
@@ -64,7 +64,7 @@ func queueType() *ObjectType {
 		},
 		SizeOf: func(s State) int { return 8 + 16*len(s.(*queueState).items) },
 		Ops: map[string]*OpDef{
-			"put": {Name: "put", Kind: Write,
+			"put": {Name: "put", Kind: Write, NoResult: true,
 				Apply: func(s State, a []any) []any {
 					q := s.(*queueState)
 					q.items = append(q.items, a[0])
@@ -93,7 +93,7 @@ func flagType() *ObjectType {
 		Clone:  func(s State) State { c := *s.(*flagState); return &c },
 		SizeOf: func(State) int { return 1 },
 		Ops: map[string]*OpDef{
-			"set": {Name: "set", Kind: Write,
+			"set": {Name: "set", Kind: Write, NoResult: true,
 				Apply: func(s State, a []any) []any { s.(*flagState).b = a[0].(bool); return nil }},
 			"get": {Name: "get", Kind: Read,
 				Apply: func(s State, _ []any) []any { return []any{s.(*flagState).b} }},

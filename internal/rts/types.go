@@ -58,6 +58,12 @@ type OpDef struct {
 	// a read costs no result allocation. Optional; the typed builder
 	// layer always provides it.
 	ApplyInto func(s State, args []any, dst []any) []any
+	// NoResult declares that Apply always returns an empty result
+	// list (the typed DefUpdate* descriptors set it). Unguarded
+	// no-result writes are the ops a batching runtime may submit
+	// through a combining buffer, completing them asynchronously —
+	// there is no result the invoker could observe.
+	NoResult bool
 	// CPUCost is the virtual CPU time one execution takes, beyond the
 	// runtime's fixed overheads. Zero means DefaultOpCost.
 	CPUCost sim.Time

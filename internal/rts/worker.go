@@ -31,6 +31,31 @@ type Worker struct {
 	// every in-tree caller consumes results immediately, and the write
 	// paths (whose results are retained by waiters) never use it.
 	res []any
+
+	// batch is the write-combining buffer a batching BroadcastRTS
+	// attaches lazily on the worker's first combinable write; nil
+	// otherwise (including always under the point-to-point runtime).
+	batch *writeBuf
+}
+
+// SyncShared flushes the worker's write-combining buffer (if any) and
+// blocks until every buffered and in-flight operation has been
+// applied on this worker's machine. The runtimes call it at every
+// point where buffering could become observable; the process layer
+// calls it on fork and exit.
+func (w *Worker) SyncShared() {
+	if w.batch != nil {
+		w.batch.sync(w)
+	}
+}
+
+// FlushShared sends any buffered operations without waiting for their
+// application — used before a blocking step (such as Sleep) that does
+// not observe shared state.
+func (w *Worker) FlushShared() {
+	if w.batch != nil {
+		w.batch.flush(w.P)
+	}
 }
 
 // applyLocal executes a non-mutating operation through the zero-alloc
