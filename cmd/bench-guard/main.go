@@ -7,9 +7,12 @@
 //	bench-guard [-baseline BENCH_engine.json] [-threshold 1.30]
 //	            [-normalize engine/yield] fresh1.json [fresh2.json ...]
 //
-// Every engine/ and orca/ entry of the baseline is checked: the entry's
-// median wall-ns/op across the fresh files must stay within threshold
-// of the baseline figure. Medians across several fresh runs absorb
+// Every engine/, orca/, and kv/ entry of the baseline is checked: the
+// entry's median wall-ns/op across the fresh files must stay within
+// threshold of the baseline figure, and kv/ entries must additionally
+// reproduce their p99 virtual latency exactly — the percentile is a
+// deterministic simulation output, so any drift is a behavior change,
+// not noise. Medians across several fresh runs absorb
 // scheduler noise; -normalize divides every entry by the named entry's
 // wall-ns/op in the same file first, turning the comparison into a
 // hardware-independent shape check (the right mode on CI, whose
@@ -30,6 +33,7 @@ import (
 type entry struct {
 	Name        string  `json:"name"`
 	WallNsPerOp float64 `json:"wall_ns_per_op"`
+	P99VirtUs   float64 `json:"p99_virtual_us"`
 }
 
 // file mirrors the BENCH_engine.json schema.
@@ -37,8 +41,8 @@ type file struct {
 	Results []entry `json:"results"`
 }
 
-// load reads one bench-json file into a name -> wall map.
-func load(path string) (map[string]float64, error) {
+// load reads one bench-json file into a name -> entry map.
+func load(path string) (map[string]entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -47,21 +51,22 @@ func load(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m := make(map[string]float64, len(f.Results))
+	m := make(map[string]entry, len(f.Results))
 	for _, e := range f.Results {
-		m[e.Name] = e.WallNsPerOp
+		m[e.Name] = e
 	}
 	return m, nil
 }
 
-// normalize divides every entry by the reference entry's value.
-func normalize(m map[string]float64, ref string) error {
+// normalize divides every entry's wall time by the reference entry's.
+func normalize(m map[string]entry, ref string) error {
 	base, ok := m[ref]
-	if !ok || base <= 0 {
+	if !ok || base.WallNsPerOp <= 0 {
 		return fmt.Errorf("normalization entry %q missing or non-positive", ref)
 	}
-	for k, v := range m {
-		m[k] = v / base
+	for k, e := range m {
+		e.WallNsPerOp /= base.WallNsPerOp
+		m[k] = e
 	}
 	return nil
 }
@@ -100,7 +105,7 @@ func main() {
 			fail(fmt.Errorf("baseline: %w", err))
 		}
 	}
-	fresh := make([]map[string]float64, 0, flag.NArg())
+	fresh := make([]map[string]entry, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		m, err := load(path)
 		if err != nil {
@@ -116,21 +121,27 @@ func main() {
 
 	names := make([]string, 0, len(base))
 	for name := range base {
-		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") {
+		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") || strings.HasPrefix(name, "kv/") {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fail(fmt.Errorf("baseline %s has no engine/ or orca/ entries", *baseline))
+		fail(fmt.Errorf("baseline %s has no engine/, orca/, or kv/ entries", *baseline))
 	}
 
 	bad, fast := 0, 0
 	for _, name := range names {
 		var samples []float64
+		virtOK := true
 		for _, m := range fresh {
-			if v, ok := m[name]; ok {
-				samples = append(samples, v)
+			if e, ok := m[name]; ok {
+				samples = append(samples, e.WallNsPerOp)
+				// The virtual percentile is deterministic: every fresh
+				// run must reproduce the pinned figure bit for bit.
+				if base[name].P99VirtUs != 0 && e.P99VirtUs != base[name].P99VirtUs {
+					virtOK = false
+				}
 			}
 		}
 		if len(samples) == 0 {
@@ -139,10 +150,14 @@ func main() {
 			continue
 		}
 		med := median(samples)
-		ratio := med / base[name]
+		ratio := med / base[name].WallNsPerOp
 		status := "ok"
 		if ratio > *threshold {
 			status = "REGRESSED"
+			bad++
+		}
+		if !virtOK {
+			status = "VIRT-DRIFT"
 			bad++
 		}
 		if ratio < 1 / *threshold {

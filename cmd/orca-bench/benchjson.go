@@ -16,11 +16,13 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/apps/kv"
 	"repro/internal/apps/tsp"
 	"repro/internal/orca"
 	"repro/internal/orca/std"
 	"repro/internal/rts"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchResult is one benchmark's record in BENCH_engine.json.
@@ -32,6 +34,13 @@ type benchResult struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	VirtualUsOp  float64 `json:"virtual_us_per_op,omitempty"`
 	VirtualSec   float64 `json:"virtual_s,omitempty"`
+	// Virtual-latency percentiles of the serving workloads (kv/*
+	// entries): request->completion times measured from open-loop
+	// arrival instants. Deterministic — they must stay bit-identical
+	// across engine work, like the other virtual metrics.
+	P50VirtUs float64 `json:"p50_virtual_us,omitempty"`
+	P95VirtUs float64 `json:"p95_virtual_us,omitempty"`
+	P99VirtUs float64 `json:"p99_virtual_us,omitempty"`
 	// RTS records the unified runtime-system counters of the workload
 	// (runtime-level entries only). Like the virtual metrics they are
 	// part of the reproduced result and must not move across engine
@@ -224,6 +233,35 @@ func runBenchJSON(path string, quick bool) error {
 		tspEntry("scale/tsp-p32",
 			orca.Config{Processors: 32, RTS: orca.Broadcast, Seed: 1, Batching: orca.DefaultBatching()},
 			tsp.Params{}))
+
+	// Serving workload: the sharded KV store under open-loop Zipf(0.99)
+	// read-heavy traffic at 8 processors, replicated vs primary-copy
+	// shards on the identical trace. The virtual percentiles and rts
+	// counters are the reproduced datapoints; wall tracks the engine.
+	kvEntry := func(name string, policy kv.Policy) benchResult {
+		wl := workload.Config{
+			Keys: 2048, Dist: workload.Zipf, Theta: 0.99,
+			ReadFrac: 0.95, UpdateFrac: 0.02, Seed: 1,
+			Rate: 16000, Duration: 100 * sim.Millisecond,
+		}
+		var res kv.Result
+		r := measure(name, 1, func(int64) *sim.Env {
+			res = kv.Run(orca.Config{Processors: 8, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+				kv.Params{Policy: policy, Workload: wl})
+			return res.Runtime.Env()
+		})
+		r.VirtualSec = res.Report.Elapsed.Seconds()
+		all := res.Report.Latency["kv.all"]
+		r.P50VirtUs = all.Percentile(0.50).Microseconds()
+		r.P95VirtUs = all.Percentile(0.95).Microseconds()
+		r.P99VirtUs = all.Percentile(0.99).Microseconds()
+		st := res.Report.RTS
+		r.RTS = &st
+		return r
+	}
+	results = append(results,
+		kvEntry("kv/zipf-p8-repl", kv.PolicyReplicated),
+		kvEntry("kv/zipf-p8-primary", kv.PolicyPrimary))
 
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

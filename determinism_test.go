@@ -13,16 +13,19 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/apps/acp"
 	"repro/internal/apps/atpg"
 	"repro/internal/apps/chess"
+	"repro/internal/apps/kv"
 	"repro/internal/apps/tsp"
 	"repro/internal/netsim"
 	"repro/internal/orca"
 	"repro/internal/rts"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // fingerprint summarizes one run: virtual elapsed time, wire traffic,
@@ -51,6 +54,22 @@ func fingerprint(rep orca.Report, rt *orca.Runtime) string {
 	}
 	for _, busy := range rep.CPUBusy {
 		s += fmt.Sprintf(" cpu=%d", int64(busy))
+	}
+	if len(rep.Latency) > 0 {
+		// Serving runs pin their full latency accounting: sample count,
+		// virtual-time sum, and tail. Rendered in sorted name order —
+		// appended after the historical fields so apps without
+		// histograms keep their exact golden strings.
+		names := make([]string, 0, len(rep.Latency))
+		for n := range rep.Latency {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := rep.Latency[n]
+			s += fmt.Sprintf(" %s=%d/%d/%d/%d", n, h.Count(), h.Sum(),
+				int64(h.Percentile(0.99)), int64(h.Max()))
+		}
 	}
 	return s
 }
@@ -127,6 +146,33 @@ var determinismApps = []struct {
 			c, atpg.AllFaults(c), atpg.Params{Mode: atpg.StaticFaultSim})
 		return fingerprint(r.Report, r.Runtime)
 	}},
+	{"kv", func() string {
+		// The serving store: open-loop Zipf traffic against mixed-policy
+		// shards. The fingerprint additionally pins the full latency
+		// histograms — count, virtual sum, p99, max per op class.
+		r := kv.Run(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+			kv.Params{Policy: kv.PolicyMixed, Workload: workload.Config{
+				Keys: 512, Dist: workload.Zipf, Theta: 0.99,
+				ReadFrac: 0.9, UpdateFrac: 0.05, Seed: 1,
+				Rate: 4000, Duration: 50 * sim.Millisecond,
+			}})
+		return fmt.Sprintf("ops=%d acked=%d lost=%d ", r.Ops, r.AckedPuts, r.LostAcked) +
+			fingerprint(r.Report, r.Runtime)
+	}},
+	{"kv-crash", func() string {
+		// The serving store losing a client machine mid-run, replicated
+		// shards: the audit must find every acknowledged write, and the
+		// whole schedule (including the crash) must replay bit-identically.
+		r := kv.Run(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1,
+			Faults: &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 3, At: 25 * sim.Millisecond}}}},
+			kv.Params{Policy: kv.PolicyReplicated, Workload: workload.Config{
+				Keys: 512, Dist: workload.Zipf, Theta: 0.99,
+				ReadFrac: 0.9, UpdateFrac: 0.05, Seed: 1,
+				Rate: 4000, Duration: 50 * sim.Millisecond,
+			}})
+		return fmt.Sprintf("ops=%d acked=%d lost=%d ", r.Ops, r.AckedPuts, r.LostAcked) +
+			fingerprint(r.Report, r.Runtime)
+	}},
 }
 
 // TestCrossAppDeterminism runs each application twice with the same
@@ -160,6 +206,8 @@ var goldenFingerprints = map[string]string{
 	"acp":         "elapsed=279995800 frames=913 msgs=913 wire=116504 payload=78158 reads=983 writes=441 guardwaits=3 cpu=187486000 cpu=187704400 cpu=185154000 cpu=188186000",
 	"chess":       "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
 	"atpg":        "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
+	"kv":          "ops=208 acked=9 lost=0 elapsed=83656200 frames=228 msgs=228 wire=21297 payload=11721 reads=118 bwrites=20 guardwaits=4 rreads=83 pwrites=10 updates=0 cpu=22485000 cpu=38680000 cpu=19740000 cpu=31860000 kv.all=208/327430733/5767167/6376104 kv.get=186/290239671/5767167/6376104 kv.put=9/11467954/2630741/2630741 kv.update=13/25723108/4296403/4296403",
+	"kv-crash":    "ops=172 acked=6 lost=0 elapsed=81301295 frames=62 msgs=62 wire=6210 payload=3606 crash=3@25000000/1 reads=169 bwrites=24 guardwaits=4 rreads=0 pwrites=0 updates=0 cpu=13295000 cpu=11540000 cpu=11150000 cpu=7230000 kv.all=172/24418859/1835007/2113896 kv.get=155/10057938/950271/1810602 kv.put=6/3894539/1078000/1078000 kv.update=11/10466382/2113896/2113896",
 }
 
 // TestGoldenFingerprints compares each app's fingerprint against the

@@ -1,0 +1,46 @@
+// Serving on shared objects: a sharded KV/session store under
+// open-loop Zipf traffic, the same trace served twice with different
+// placement policies. §3.2 frames replication strategy as a per-object
+// decision driven by the read/write mix; a read-heavy serving workload
+// is the clearest case. Replicated shards answer every get from the
+// local copy and pay the total order only on writes; primary-copy
+// shards write cheaply at their home but turn every remote get into an
+// RPC — under 95% reads the clients saturate on their own synchronous
+// reads and the latency tail explodes. The percentiles are virtual
+// times measured from each request's scheduled arrival instant, so
+// queueing delay is included (no coordinated omission).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/kv"
+	"repro/internal/orca"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const procs = 8
+	wl := workload.Config{
+		Keys: 2048, Dist: workload.Zipf, Theta: 0.99,
+		ReadFrac: 0.95, UpdateFrac: 0.02, Seed: 1,
+		Rate: 2000 * procs, Duration: 100 * sim.Millisecond,
+	}
+	fmt.Printf("KV store, %d processors, Zipf(%.2f) over %d keys, %.0f%% reads, %.0f ops/s offered:\n\n",
+		procs, wl.Theta, wl.Keys, wl.ReadFrac*100, wl.Rate)
+	for _, pol := range []kv.Policy{kv.PolicyReplicated, kv.PolicyPrimary} {
+		r := kv.Run(orca.Config{Processors: procs, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+			kv.Params{Policy: pol, Workload: wl})
+		get, put := r.Report.Latency["kv.get"], r.Report.Latency["kv.put"]
+		fmt.Printf("%-10s  %d ops at %.0f ops/s\n", pol, r.Ops, r.Throughput)
+		fmt.Printf("            get p50=%v  p95=%v  p99=%v\n",
+			get.Percentile(0.50), get.Percentile(0.95), get.Percentile(0.99))
+		fmt.Printf("            put p50=%v  p99=%v   acked=%d lost=%d\n\n",
+			put.Percentile(0.50), put.Percentile(0.99), r.AckedPuts, r.LostAcked)
+	}
+	fmt.Println("Same trace, same machines; only the shards' placement differs.")
+	fmt.Println("Replication turns the read-heavy mix into local memory accesses,")
+	fmt.Println("so the store absorbs the offered load; the primary-copy variant")
+	fmt.Println("serializes on remote reads and falls behind its own arrivals.")
+}

@@ -1,0 +1,394 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/rts"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ShardObj is the registered type name of one store shard.
+const ShardObj = "kv.shard"
+
+// entry is one key's stored record: the value and a version that
+// increments on every write. Versions make acknowledged writes
+// auditable: a put's returned version is its durability receipt, and
+// a later read of the key must see at least that version or shard
+// state was lost.
+type entry struct {
+	val int64
+	ver int64
+}
+
+// shardState is one shard: a small map of keys. Many shards, each a
+// small object, is the store's shape — placement is decided per
+// shard, so the same traffic can run fully replicated, primary-copy,
+// or mixed.
+type shardState struct {
+	m map[int64]entry
+}
+
+// WireSize implements rts.Sized.
+func (s *shardState) WireSize() int { return 16 + 24*len(s.m) }
+
+var (
+	shardB = orca.NewType(ShardObj, func([]any) *shardState {
+		return &shardState{m: make(map[int64]entry)}
+	}).
+		CloneWith(func(s *shardState) *shardState {
+			c := &shardState{m: make(map[int64]entry, len(s.m))}
+			for k, v := range s.m {
+				c.m[k] = v
+			}
+			return c
+		}).
+		SizedBy((*shardState).WireSize)
+
+	// get reads one key: (value, version), (0, 0) when absent.
+	shardGet = orca.DefRead1x2(shardB, "get", func(s *shardState, key int64) (int64, int64) {
+		e := s.m[key]
+		return e.val, e.ver
+	})
+	// put overwrites a key and returns (new version, previous
+	// existence) — the version is the caller's durability receipt.
+	shardPut = orca.DefWrite2x2(shardB, "put", func(s *shardState, key, val int64) (int64, bool) {
+		e, had := s.m[key]
+		e.val = val
+		e.ver++
+		s.m[key] = e
+		return e.ver, had
+	})
+	// bump is the read-modify-write session update: add delta to the
+	// stored value indivisibly, returning (new value, new version).
+	shardBump = orca.DefWrite2x2(shardB, "bump", func(s *shardState, key, delta int64) (int64, int64) {
+		e := s.m[key]
+		e.val += delta
+		e.ver++
+		s.m[key] = e
+		return e.val, e.ver
+	})
+	// size reads the shard's key count.
+	shardSize = orca.DefRead0(shardB, "size", func(s *shardState) int { return len(s.m) })
+)
+
+// Shard is a typed handle to one store shard.
+type Shard struct{ h orca.Handle[*shardState] }
+
+// NewShard creates a shard under the given placement options.
+func NewShard(p *orca.Proc, opts ...orca.Option) Shard {
+	return Shard{h: shardB.NewWith(p, opts)}
+}
+
+// Handle exposes the typed handle (for statistics).
+func (s Shard) Handle() orca.Handle[*shardState] { return s.h }
+
+// Get reads key: (value, version), version 0 when absent.
+func (s Shard) Get(p *orca.Proc, key int64) (int64, int64) { return shardGet.Call(p, s.h, key) }
+
+// Put overwrites key with val and returns the new version.
+func (s Shard) Put(p *orca.Proc, key, val int64) int64 {
+	ver, _ := shardPut.Call(p, s.h, key, val)
+	return ver
+}
+
+// Bump adds delta to key's value indivisibly, returning the new
+// value and version.
+func (s Shard) Bump(p *orca.Proc, key, delta int64) (int64, int64) {
+	return shardBump.Call(p, s.h, key, delta)
+}
+
+// Size reads the shard's key count.
+func (s Shard) Size(p *orca.Proc) int { return shardSize.Call(p, s.h) }
+
+// Register adds the kv types on top of the std registrations.
+func Register(reg *rts.Registry) {
+	std.Register(reg)
+	shardB.Register(reg)
+}
+
+// Policy selects the per-shard placement strategy.
+type Policy int
+
+const (
+	// PolicyReplicated replicates every shard on every machine:
+	// local reads, writes through the total order (§3.2.1).
+	PolicyReplicated Policy = iota
+	// PolicyPrimary keeps each shard as a single primary copy on its
+	// home machine under the point-to-point update protocol: cheap
+	// writes at the home, remote reads RPC to it (§3.2.2). Requires
+	// Config.Mixed (or a point-to-point RTS default).
+	PolicyPrimary
+	// PolicyMixed alternates: even shards replicated, odd shards
+	// primary-copy — both strategies side by side on one trace.
+	// Requires Config.Mixed.
+	PolicyMixed
+)
+
+// String names the policy for tables.
+func (pl Policy) String() string {
+	switch pl {
+	case PolicyReplicated:
+		return "replicated"
+	case PolicyPrimary:
+		return "primary"
+	case PolicyMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("Policy(%d)", int(pl))
+}
+
+// Params configures one store run.
+type Params struct {
+	// Shards is the shard-object count (default 2 per processor).
+	// Shard s is homed on machine s mod P: its primary copy (under
+	// PolicyPrimary) lives there.
+	Shards int
+	// Policy is the per-shard placement strategy.
+	Policy Policy
+	// Clients is the client-process count (default one per
+	// processor); client c runs on machine c mod P.
+	Clients int
+	// Workload describes the aggregate traffic: Rate and Ops are
+	// split evenly across clients, each client drawing from its own
+	// seeded generator (Seed xor a per-client salt).
+	Workload workload.Config
+}
+
+// Result of one store run.
+type Result struct {
+	// Ops counts completed operations by class.
+	Ops, Gets, Puts, Updates int64
+	// AckedPuts counts writes whose ack (returned version) the
+	// issuing client recorded before the run ended.
+	AckedPuts int64
+	// LostAcked counts acknowledged writes the post-run audit could
+	// not find (stored version below the acked version) — zero
+	// unless shard state was genuinely lost (e.g. a primary-copy
+	// shard whose only copy crashed).
+	LostAcked int
+	// Throughput is completed ops per virtual second of serving time
+	// (first arrival to last completion).
+	Throughput float64
+	// Report is the run report; Report.Latency carries the kv.get /
+	// kv.put / kv.update / kv.all histograms.
+	Report orca.Report
+	// Runtime gives the harness access to post-run statistics.
+	Runtime *orca.Runtime
+}
+
+// shardOf maps a key to its shard with a multiplicative hash, so the
+// Zipf-hot low keys spread across shards (each shard still gets hot
+// keys — the hottest single key makes its shard the hot spot, which
+// is the serving behavior under test).
+func shardOf(key int64, shards int) int {
+	h := (uint64(key) + 1) * 0x9E3779B97F4A7C15
+	return int((h >> 17) % uint64(shards))
+}
+
+// shardOpts resolves one shard's creation options under the policy.
+func shardOpts(pl Policy, s int) []orca.Option {
+	if pl == PolicyMixed {
+		if s%2 == 0 {
+			pl = PolicyReplicated
+		} else {
+			pl = PolicyPrimary
+		}
+	}
+	if pl == PolicyPrimary {
+		return orca.Opts(orca.With(orca.PrimaryCopy{
+			Protocol: orca.Update, Placement: orca.SingleCopy,
+		}))
+	}
+	return orca.Opts(orca.With(orca.Replicated))
+}
+
+// supervisePollInterval is how often the supervisor checks client
+// liveness, mirroring the fault-tolerant solvers: liveness is not a
+// shared object, so the supervisor polls crash reports in virtual
+// time.
+const supervisePollInterval = 25 * sim.Millisecond
+
+// Run executes the store: shards are created on their home machines,
+// clients serve their trace slices, a supervisor on processor 0
+// waits for every client to finish or die, and the audit then checks
+// every acknowledged write. Crash schedules must not take machine 0
+// (the supervisor's home, as with the fault-tolerant solvers).
+func Run(cfg orca.Config, params Params) Result {
+	if params.Shards == 0 {
+		params.Shards = 2 * cfg.Processors
+	}
+	if params.Clients == 0 {
+		params.Clients = cfg.Processors
+	}
+	if params.Workload.Keys <= 0 {
+		panic("kv: Params.Workload.Keys must be positive")
+	}
+	rt := orca.New(cfg, Register)
+	res := Result{}
+	rep := rt.Run(func(p *orca.Proc) {
+		P := cfg.Processors
+		nShards, nClients := params.Shards, params.Clients
+
+		// Create shards from their home machines, so a primary copy
+		// lives where the shard is homed. The handles travel through
+		// host memory (the simulation shares an address space); the
+		// barrier orders every creation before the first client op.
+		shards := make([]Shard, nShards)
+		creators := P
+		if nShards < P {
+			creators = nShards
+		}
+		ready := std.NewBarrier(p, creators)
+		for home := 0; home < creators; home++ {
+			home := home
+			p.Fork(home, fmt.Sprintf("kv-place%d", home), func(cp *orca.Proc) {
+				for s := home; s < nShards; s += P {
+					shards[s] = NewShard(cp, shardOpts(params.Policy, s)...)
+				}
+				ready.Arrive(cp)
+			})
+		}
+		ready.Wait(p)
+
+		// Clients. Each records completion latencies into the shared
+		// histograms and its acknowledged puts into host memory; a
+		// client killed by a machine crash simply stops, leaving its
+		// acked map at the last write it saw complete.
+		histGet := p.Histogram("kv.get")
+		histPut := p.Histogram("kv.put")
+		histUpd := p.Histogram("kv.update")
+		histAll := p.Histogram("kv.all")
+		exited := std.NewBoolArray(p, nClients, false)
+		acked := make([]map[int64]int64, nClients) // key -> acked version
+		ackN := make([]int64, nClients)            // acks received (one per put)
+		counts := make([][3]int64, nClients)       // gets, puts, updates
+		var firstAt, lastDone sim.Time
+		perRate := params.Workload.Rate / float64(nClients)
+		perOps := params.Workload.Ops / nClients
+		for c := 0; c < nClients; c++ {
+			c := c
+			acked[c] = make(map[int64]int64)
+			wcfg := params.Workload
+			wcfg.Rate = perRate
+			wcfg.Ops = perOps
+			wcfg.Seed = params.Workload.Seed ^ int64(c+1)*0x5DEECE66D
+			p.Fork(c%P, fmt.Sprintf("kv-client%d", c), func(cp *orca.Proc) {
+				g := workload.New(wcfg)
+				// Trace arrival times count from the client's own
+				// start instant (the store is up, serving begins).
+				base := cp.Now()
+				for {
+					op, ok := g.Next()
+					if !ok {
+						break
+					}
+					start := cp.Now()
+					if op.At > 0 {
+						// Open loop: wait for the arrival instant; a
+						// busy client that is already past it issues
+						// immediately and the latency includes the
+						// backlog (no coordinated omission).
+						at := base + op.At
+						if at > start {
+							cp.Sleep(at - start)
+						}
+						start = at
+					}
+					sh := shards[shardOf(op.Key, nShards)]
+					switch op.Kind {
+					case workload.Get:
+						sh.Get(cp, op.Key)
+						counts[c][0]++
+					case workload.Put:
+						val := int64(c+1)<<32 | (counts[c][1] + 1)
+						ver := sh.Put(cp, op.Key, val)
+						acked[c][op.Key] = ver
+						ackN[c]++
+						counts[c][1]++
+					case workload.Update:
+						sh.Bump(cp, op.Key, 1)
+						counts[c][2]++
+					}
+					end := cp.Now()
+					d := end - start
+					switch op.Kind {
+					case workload.Get:
+						histGet.Record(d)
+					case workload.Put:
+						histPut.Record(d)
+					case workload.Update:
+						histUpd.Record(d)
+					}
+					histAll.Record(d)
+					if firstAt == 0 || start < firstAt {
+						firstAt = start
+					}
+					if end > lastDone {
+						lastDone = end
+					}
+					if op.At == 0 && wcfg.Think > 0 {
+						cp.Sleep(wcfg.Think)
+					}
+				}
+				exited.Set(cp, c, true)
+			})
+		}
+
+		// Supervisor: a client is settled once it has exited or its
+		// machine is down.
+		for {
+			settled := true
+			for c := 0; c < nClients; c++ {
+				if !exited.Get(p, c) && !p.NodeDown(c%P) {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+			p.Sleep(supervisePollInterval)
+		}
+
+		// Audit: every acknowledged write must still be visible at
+		// (at least) its acked version — including writes acked to
+		// clients that died afterwards. Keys are audited in sorted
+		// order so the audit's own op sequence is deterministic.
+		worst := make(map[int64]int64)
+		for c := 0; c < nClients; c++ {
+			for k, v := range acked[c] {
+				if v > worst[k] {
+					worst[k] = v
+				}
+			}
+		}
+		keys := make([]int64, 0, len(worst))
+		for k := range worst {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			_, ver := shards[shardOf(k, nShards)].Get(p, k)
+			if ver < worst[k] {
+				res.LostAcked++
+			}
+		}
+		for c := 0; c < nClients; c++ {
+			res.AckedPuts += ackN[c]
+			res.Gets += counts[c][0]
+			res.Puts += counts[c][1]
+			res.Updates += counts[c][2]
+		}
+		res.Ops = res.Gets + res.Puts + res.Updates
+		if lastDone > firstAt {
+			res.Throughput = float64(res.Ops) / (lastDone - firstAt).Seconds()
+		}
+	})
+	res.Report = rep
+	res.Runtime = rt
+	return res
+}

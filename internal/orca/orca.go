@@ -156,6 +156,8 @@ type Runtime struct {
 	forkSeq int64
 	forks   map[int64]forkEntry
 
+	hists map[string]*rts.LatencyHist
+
 	procs   []*procRec // every Orca process, for crash accounting
 	crashes []CrashRecord
 }
@@ -195,7 +197,8 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 	if cfg.KernelCosts != nil {
 		kc = *cfg.KernelCosts
 	}
-	rt := &Runtime{cfg: cfg, env: env, net: nw, reg: rts.NewRegistry(), forks: make(map[int64]forkEntry)}
+	rt := &Runtime{cfg: cfg, env: env, net: nw, reg: rts.NewRegistry(),
+		forks: make(map[int64]forkEntry), hists: make(map[string]*rts.LatencyHist)}
 	setup(rt.reg)
 	for i := 0; i < cfg.Processors; i++ {
 		rt.machines = append(rt.machines, amoeba.NewMachine(env, nw, i, kc))
@@ -332,6 +335,25 @@ func (rt *Runtime) GroupStats() []group.Stats {
 // Env exposes the simulation environment.
 func (rt *Runtime) Env() *sim.Env { return rt.env }
 
+// Histogram returns the named virtual-latency histogram, creating an
+// empty one on first use. Programs record request→completion virtual
+// durations into histograms (serving workloads: one per op class);
+// every histogram touched during a run is published in
+// Report.Latency. Purely observational — recording never changes
+// simulated timing.
+func (rt *Runtime) Histogram(name string) *rts.LatencyHist {
+	h, ok := rt.hists[name]
+	if !ok {
+		h = &rts.LatencyHist{}
+		rt.hists[name] = h
+	}
+	return h
+}
+
+// Histogram returns the runtime's named virtual-latency histogram
+// (see Runtime.Histogram).
+func (p *Proc) Histogram(name string) *rts.LatencyHist { return p.rt.Histogram(name) }
+
 // Report summarizes one program run.
 type Report struct {
 	// Elapsed is the virtual time from program start to the
@@ -355,6 +377,11 @@ type Report struct {
 	// Crashes lists the machine crashes the fault plan executed, in
 	// crash order, with per-crash process accounting.
 	Crashes []CrashRecord
+	// Latency holds the virtual-latency histograms the program
+	// recorded (see Runtime.Histogram), keyed by name. Nil when the
+	// program recorded none. Render percentiles in sorted-name order:
+	// the map itself iterates nondeterministically.
+	Latency map[string]*rts.LatencyHist
 }
 
 // Run executes main as the program's main Orca process on processor 0
@@ -373,6 +400,9 @@ func (rt *Runtime) Run(main func(p *Proc)) Report {
 		Net:      rt.net.Stats(),
 		RTS:      rt.Stats(),
 		Crashes:  rt.Crashes(),
+	}
+	if len(rt.hists) > 0 {
+		rep.Latency = rt.hists
 	}
 	if rt.timedOut {
 		rep.Blocked = rt.env.Blocked()
