@@ -7,12 +7,12 @@
 //	bench-guard [-baseline BENCH_engine.json] [-threshold 1.30]
 //	            [-normalize engine/yield] fresh1.json [fresh2.json ...]
 //
-// Every engine/, orca/, and kv/ entry of the baseline is checked: the
-// entry's median wall-ns/op across the fresh files must stay within
-// threshold of the baseline figure, and kv/ entries must additionally
-// reproduce their p99 virtual latency exactly — the percentile is a
-// deterministic simulation output, so any drift is a behavior change,
-// not noise. Medians across several fresh runs absorb
+// Every engine/, orca/, kv/, and consensus/ entry of the baseline is
+// checked: the entry's median wall-ns/op across the fresh files must
+// stay within threshold of the baseline figure, and entries that pin a
+// p99 virtual latency or a crash-recovery watermark must additionally
+// reproduce those exactly — they are deterministic simulation outputs,
+// so any drift is a behavior change, not noise. Medians across several fresh runs absorb
 // scheduler noise; -normalize divides every entry by the named entry's
 // wall-ns/op in the same file first, turning the comparison into a
 // hardware-independent shape check (the right mode on CI, whose
@@ -31,9 +31,10 @@ import (
 
 // entry mirrors the benchResult fields the guard needs.
 type entry struct {
-	Name        string  `json:"name"`
-	WallNsPerOp float64 `json:"wall_ns_per_op"`
-	P99VirtUs   float64 `json:"p99_virtual_us"`
+	Name           string  `json:"name"`
+	WallNsPerOp    float64 `json:"wall_ns_per_op"`
+	P99VirtUs      float64 `json:"p99_virtual_us"`
+	RecoveryVirtUs float64 `json:"recovery_virtual_us"`
 }
 
 // file mirrors the BENCH_engine.json schema.
@@ -121,7 +122,8 @@ func main() {
 
 	names := make([]string, 0, len(base))
 	for name := range base {
-		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") || strings.HasPrefix(name, "kv/") {
+		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") ||
+			strings.HasPrefix(name, "kv/") || strings.HasPrefix(name, "consensus/") {
 			names = append(names, name)
 		}
 	}
@@ -137,9 +139,13 @@ func main() {
 		for _, m := range fresh {
 			if e, ok := m[name]; ok {
 				samples = append(samples, e.WallNsPerOp)
-				// The virtual percentile is deterministic: every fresh
-				// run must reproduce the pinned figure bit for bit.
+				// The virtual percentile and crash-recovery watermark are
+				// deterministic: every fresh run must reproduce the pinned
+				// figures bit for bit.
 				if base[name].P99VirtUs != 0 && e.P99VirtUs != base[name].P99VirtUs {
+					virtOK = false
+				}
+				if base[name].RecoveryVirtUs != 0 && e.RecoveryVirtUs != base[name].RecoveryVirtUs {
 					virtOK = false
 				}
 			}

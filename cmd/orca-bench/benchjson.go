@@ -18,6 +18,8 @@ import (
 
 	"repro/internal/apps/kv"
 	"repro/internal/apps/tsp"
+	"repro/internal/group"
+	"repro/internal/netsim"
 	"repro/internal/orca"
 	"repro/internal/orca/std"
 	"repro/internal/rts"
@@ -41,6 +43,10 @@ type benchResult struct {
 	P50VirtUs float64 `json:"p50_virtual_us,omitempty"`
 	P95VirtUs float64 `json:"p95_virtual_us,omitempty"`
 	P99VirtUs float64 `json:"p99_virtual_us,omitempty"`
+	// RecoveryVirtUs is the virtual crash-recovery stall of the
+	// consensus crash entry (suspicion to the next delivery), another
+	// deterministic figure that must reproduce exactly.
+	RecoveryVirtUs float64 `json:"recovery_virtual_us,omitempty"`
 	// RTS records the unified runtime-system counters of the workload
 	// (runtime-level entries only). Like the virtual metrics they are
 	// part of the reproduced result and must not move across engine
@@ -232,7 +238,24 @@ func runBenchJSON(path string, quick bool) error {
 		// records the batched-op/frame amortization).
 		tspEntry("scale/tsp-p32",
 			orca.Config{Processors: 32, RTS: orca.Broadcast, Seed: 1, Batching: orca.DefaultBatching()},
+			tsp.Params{}),
+		// The same batched scale-out run through the consensus-replicated
+		// log: the steady-state overhead of quorum sequencing.
+		tspEntry("consensus/tsp-p32",
+			orca.Config{Processors: 32, RTS: orca.Broadcast, Seed: 1,
+				Batching: orca.DefaultBatching(), Protocol: group.Consensus},
 			tsp.Params{}))
+
+	// Consensus crash recovery: the leader machine dies mid-search and
+	// the survivors take over without an election. The recovery
+	// watermark (recovery_virtual_us) is the pinned datapoint.
+	crashEntry := tspEntry("consensus/tsp-crash-p8",
+		orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1,
+			Protocol: group.Consensus, Sequencer: 7,
+			Faults: &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 7, At: 150 * sim.Millisecond}}}},
+		tsp.Params{FaultTolerant: true})
+	crashEntry.RecoveryVirtUs = crashEntry.RTS.RecoveryVirtualUS
+	results = append(results, crashEntry)
 
 	// Serving workload: the sharded KV store under open-loop Zipf(0.99)
 	// read-heavy traffic at 8 processors, replicated vs primary-copy

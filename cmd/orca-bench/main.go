@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro|partrepl|intrcost|mixed|faults|scale|kv] [-quick]
+//	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro|partrepl|intrcost|mixed|faults|scale|kv|consensus] [-quick]
 //	orca-bench -bench-json [-bench-out BENCH_engine.json] [-quick]
 //
 // Each experiment prints the measured series next to a summary of what
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed, faults, scale, kv")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed, faults, scale, kv, consensus")
 	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
 	benchJSON := flag.Bool("bench-json", false, "run the engine benchmark suite and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
@@ -43,22 +43,23 @@ func main() {
 	}
 	w := os.Stdout
 	run := map[string]func(){
-		"fig2":     func() { harness.Fig2TSP(w, scale) },
-		"fig3":     func() { harness.Fig3ACP(w, scale) },
-		"chess":    func() { harness.ChessExperiment(w, scale) },
-		"atpg":     func() { harness.ATPGExperiment(w, scale) },
-		"pbbb":     func() { harness.PBBBExperiment(w, scale) },
-		"rtscmp":   func() { harness.RTSCompareExperiment(w, scale) },
-		"dynrepl":  func() { harness.DynReplExperiment(w, scale) },
-		"micro":    func() { harness.MicroExperiment(w, scale) },
-		"partrepl": func() { harness.PartReplExperiment(w, scale) },
-		"intrcost": func() { harness.InterruptCostExperiment(w, scale) },
-		"mixed":    func() { harness.MixedPlacementExperiment(w, scale) },
-		"faults":   func() { harness.FaultsExperiment(w, scale) },
-		"scale":    func() { harness.ScaleExperiment(w, scale) },
-		"kv":       func() { harness.KVExperiment(w, scale) },
+		"fig2":      func() { harness.Fig2TSP(w, scale) },
+		"fig3":      func() { harness.Fig3ACP(w, scale) },
+		"chess":     func() { harness.ChessExperiment(w, scale) },
+		"atpg":      func() { harness.ATPGExperiment(w, scale) },
+		"pbbb":      func() { harness.PBBBExperiment(w, scale) },
+		"rtscmp":    func() { harness.RTSCompareExperiment(w, scale) },
+		"dynrepl":   func() { harness.DynReplExperiment(w, scale) },
+		"micro":     func() { harness.MicroExperiment(w, scale) },
+		"partrepl":  func() { harness.PartReplExperiment(w, scale) },
+		"intrcost":  func() { harness.InterruptCostExperiment(w, scale) },
+		"mixed":     func() { harness.MixedPlacementExperiment(w, scale) },
+		"faults":    func() { harness.FaultsExperiment(w, scale) },
+		"scale":     func() { harness.ScaleExperiment(w, scale) },
+		"kv":        func() { harness.KVExperiment(w, scale) },
+		"consensus": func() { harness.ProtocolBakeoff(w, scale) },
 	}
-	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed", "faults", "scale", "kv"}
+	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed", "faults", "scale", "kv", "consensus"}
 	names := strings.Split(*exp, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -186,6 +186,17 @@ func (g *Member) flushPack(p *sim.Proc) {
 		return
 	}
 	ds := g.sequenceBatch(items)
+	if g.cfg.Protocol == Consensus {
+		// The packed frame becomes one multi-slot proposal: the whole
+		// batch is accepted atomically per member, which is what keeps
+		// More boundaries stable across a re-proposal.
+		if len(items) > 1 {
+			g.stats.Batches++
+			g.stats.BatchedOps += int64(len(items))
+		}
+		g.propose(p, ds)
+		return
+	}
 	g.stats.PBSends++
 	if len(items) == 1 {
 		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: ds[0], Size: ds[0].Size + hdrData})
@@ -397,7 +408,7 @@ func (g *Member) onReqBatch(p *sim.Proc, b *reqBatchMsg) {
 	for i := range b.Items {
 		it := b.Items[i]
 		if seq, dup := g.seenSeq(it.Src, it.SrcSeq); dup {
-			if d := g.history.get(seq); d != nil {
+			if d := g.history.get(seq); d != nil && (g.cfg.Protocol != Consensus || seq <= g.committed) {
 				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			}
 			continue

@@ -104,47 +104,6 @@ func TestBatchLinger(t *testing.T) {
 
 func time500() sim.Time { return 500 * sim.Millisecond }
 
-// checkFrameAgreement asserts that every non-skipped node observed
-// identical frame boundaries — the invariant the per-frame RTS sweep
-// relies on: same (seq, uid, More) triples in the same order, and no
-// stream left dangling mid-frame. Dup records count: they close the
-// frames their suppressed payloads occupied.
-func (h *harness) checkFrameAgreement(t *testing.T, skip map[int]bool) {
-	t.Helper()
-	type fr struct {
-		seq  int64
-		uid  int64
-		more bool
-	}
-	var ref []fr
-	refNode := -1
-	for i := range h.gs {
-		if skip[i] {
-			continue
-		}
-		var cur []fr
-		for _, d := range h.logs[i] {
-			cur = append(cur, fr{d.Seq, d.UID, d.More})
-		}
-		if n := len(cur); n > 0 && cur[n-1].more {
-			t.Fatalf("node %d's stream ends mid-frame (seq %d has More set)", i, cur[n-1].seq)
-		}
-		if ref == nil {
-			ref, refNode = cur, i
-			continue
-		}
-		if len(cur) != len(ref) {
-			t.Fatalf("node %d saw %d records, node %d saw %d", i, len(cur), refNode, len(ref))
-		}
-		for k := range ref {
-			if cur[k] != ref[k] {
-				t.Fatalf("frame streams diverge at %d: node %d has %+v, node %d has %+v",
-					k, i, cur[k], refNode, ref[k])
-			}
-		}
-	}
-}
-
 // TestBatchTotalOrderUnderLoss: batched streams under 15% fragment
 // loss still deliver exactly once, in one agreed order, under both
 // methods. This exercises retransmission of lost batch frames: the

@@ -1,0 +1,174 @@
+package group
+
+// Shared agreement checkers and the protocol × fault matrix: every
+// sequencing protocol (elected sequencer over PB, over BB, and the
+// consensus-replicated log) must deliver one agreed duplicate-free
+// stream under fragment loss, sequencer crash, and a transient
+// partition. The matrix runs each cell with batching enabled so the
+// frame-boundary invariant is exercised too.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// checkFrameAgreement asserts that every non-skipped node observed
+// identical frame boundaries — the invariant the per-frame RTS sweep
+// relies on: same (seq, uid, More) triples in the same order, and no
+// stream left dangling mid-frame. Dup records count: they close the
+// frames their suppressed payloads occupied.
+func (h *harness) checkFrameAgreement(t *testing.T, skip map[int]bool) {
+	t.Helper()
+	type fr struct {
+		seq  int64
+		uid  int64
+		more bool
+	}
+	var ref []fr
+	refNode := -1
+	for i := range h.gs {
+		if skip[i] {
+			continue
+		}
+		var cur []fr
+		for _, d := range h.logs[i] {
+			cur = append(cur, fr{d.Seq, d.UID, d.More})
+		}
+		if n := len(cur); n > 0 && cur[n-1].more {
+			t.Fatalf("node %d's stream ends mid-frame (seq %d has More set)", i, cur[n-1].seq)
+		}
+		if ref == nil {
+			ref, refNode = cur, i
+			continue
+		}
+		if len(cur) != len(ref) {
+			t.Fatalf("node %d saw %d records, node %d saw %d", i, len(cur), refNode, len(ref))
+		}
+		for k := range ref {
+			if cur[k] != ref[k] {
+				t.Fatalf("frame streams diverge at %d: node %d has %+v, node %d has %+v",
+					k, i, cur[k], refNode, ref[k])
+			}
+		}
+	}
+}
+
+// checkNoDuplicates asserts no uid was applied twice at any
+// non-skipped node.
+func (h *harness) checkNoDuplicates(t *testing.T, skip map[int]bool) {
+	t.Helper()
+	for i := range h.gs {
+		if skip[i] {
+			continue
+		}
+		seen := map[int64]bool{}
+		for _, uid := range h.uidLogs[i] {
+			if seen[uid] {
+				t.Fatalf("node %d applied uid %d twice", i, uid)
+			}
+			seen[uid] = true
+		}
+	}
+}
+
+// protocolVariants is the matrix's protocol axis.
+var protocolVariants = []struct {
+	name string
+	mut  func(*Config)
+}{
+	{"sequencer-pb", func(c *Config) { c.Method = ForcePB }},
+	{"sequencer-bb", func(c *Config) { c.Method = ForceBB }},
+	{"consensus", func(c *Config) { c.Protocol = Consensus }},
+}
+
+func TestProtocolFaultMatrix(t *testing.T) {
+	type scenario struct {
+		name     string
+		netMut   func(*netsim.Params)
+		plan     *netsim.FaultPlan
+		crashed  map[int]bool // nodes the plan kills
+		allSends bool         // every send must come out the far end
+	}
+	scenarios := []scenario{
+		{
+			name:     "loss",
+			netMut:   func(p *netsim.Params) { p.DropProb = 0.15 },
+			allSends: true,
+		},
+		{
+			name: "crash",
+			plan: &netsim.FaultPlan{Crashes: []netsim.Crash{
+				{Node: 0, At: 60 * sim.Millisecond},
+			}},
+			crashed: map[int]bool{0: true},
+		},
+		{
+			name: "partition",
+			plan: &netsim.FaultPlan{Partitions: []netsim.Partition{
+				{A: []int{0, 1}, B: []int{2, 3}, From: 50 * sim.Millisecond, Until: 350 * sim.Millisecond},
+			}},
+			allSends: true,
+		},
+	}
+	for _, pv := range protocolVariants {
+		for _, sc := range scenarios {
+			pv, sc := pv, sc
+			t.Run(pv.name+"/"+sc.name, func(t *testing.T) {
+				h := newHarness(53, 4, sc.netMut, func(c *Config) {
+					c.SenderTimeout = 50 * sim.Millisecond
+					c.SenderRetries = 8
+					c.GapTimeout = 25 * sim.Millisecond
+					c.Heartbeat = 100 * sim.Millisecond
+					batchCfg(4, 1<<20, sim.Millisecond)(c)
+					pv.mut(c)
+				})
+				h.net.InstallFaults(sc.plan, func(node int) { h.ms[node].Crash() })
+				sent := 0
+				for i := range h.ms {
+					if sc.crashed[i] {
+						continue // keep the expected count exact
+					}
+					i := i
+					h.ms[i].SpawnThread("producer", func(p *sim.Proc) {
+						for k := 0; k < 12; k++ {
+							h.gs[i].Broadcast(p, "m", fmt.Sprintf("n%d-%d", i, k), 100)
+							sent++
+							p.Sleep(sim.Time(7+2*i) * sim.Millisecond)
+						}
+					})
+				}
+				h.env.RunUntil(120 * sim.Second)
+				h.checkAgreement(t, -1, sc.crashed)
+				h.checkFrameAgreement(t, sc.crashed)
+				h.checkNoDuplicates(t, sc.crashed)
+				live := 1
+				if sc.crashed[live] {
+					live = 2
+				}
+				if sc.allSends && len(h.uidLogs[live]) != sent {
+					t.Fatalf("delivered %d messages, want all %d sends", len(h.uidLogs[live]), sent)
+				}
+				if pv.name == "consensus" {
+					if el := h.gs[live].Stats().Elections; el != 0 {
+						t.Fatalf("consensus ran %d elections; epochs must stay frozen", el)
+					}
+					if sc.name == "crash" && h.gs[live].Stats().Takeovers == 0 {
+						// Some survivor must have taken the log over.
+						tot := int64(0)
+						for i := 1; i < 4; i++ {
+							tot += h.gs[i].Stats().Takeovers
+						}
+						if tot == 0 {
+							t.Fatal("sequencer crashed but no survivor took over")
+						}
+					}
+				}
+				h.env.Stop()
+				h.env.Shutdown()
+			})
+		}
+	}
+}

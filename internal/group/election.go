@@ -19,8 +19,24 @@ import (
 // that find themselves *ahead* of an announced winner trigger a fresh
 // election they will win, which repairs the rare case of lost votes.
 
+// suspectSequencer routes a failure suspicion (sender retries or gap
+// stalls exhausted) to the protocol's recovery path: an election
+// under the elected-sequencer protocol, a leader takeover under
+// consensus.
+func (g *Member) suspectSequencer(p *sim.Proc) {
+	if g.cfg.Protocol == Consensus {
+		g.suspectLeader(p)
+		return
+	}
+	g.startElection(p)
+}
+
 // startElection begins (or joins) a new election epoch.
 func (g *Member) startElection(p *sim.Proc) {
+	if g.cfg.Protocol == Consensus {
+		g.suspectLeader(p) // consensus never elects; defense in depth
+		return
+	}
 	if g.electing && g.votedEpoch == g.epoch {
 		return // already voted in the current epoch
 	}
@@ -31,10 +47,14 @@ func (g *Member) startElection(p *sim.Proc) {
 // beginEpoch votes in the given epoch and arms the decision timer.
 func (g *Member) beginEpoch(p *sim.Proc, epoch int) {
 	g.stats.Elections++
+	if g.recoveryStart == 0 {
+		g.recoveryStart = p.Now()
+	}
 	g.epoch = epoch
 	g.electing = true
 	g.votedEpoch = epoch
 	g.isSeq = false
+	g.haveCoord = false
 	me := electMsg{Epoch: epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}
 	g.bestCand = me
 	g.m.Env().Tracef("node%d: election epoch %d, my highseq %d", g.m.ID(), epoch, me.HighSeq)
@@ -120,6 +140,8 @@ func (g *Member) becomeSequencer(p *sim.Proc) {
 	g.viewAcks = make(map[int]bool)
 	g.seqNode = g.m.ID()
 	g.maxSeen = g.nextSeq - 1 // discard knowledge of unsequenceable holes
+	g.haveCoord = true
+	g.lastCoord = coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}
 	// Rebuild the history ring and the per-source dedup windows from
 	// the delivered cache. The cache holds a contiguous window of the
 	// most recently delivered messages, so the ring rebase is exact.
@@ -214,7 +236,26 @@ func (g *Member) onCoordNack(p *sim.Proc, n coordNack) {
 	g.startElection(p)
 }
 
+// betterCoord reports whether claimant a should prevail over b when
+// two coordinator claims collide in the same epoch: the longer history
+// wins, ties broken by lowest node id.
+func betterCoord(a, b coordMsg) bool {
+	if a.HighSeq != b.HighSeq {
+		return a.HighSeq > b.HighSeq
+	}
+	return a.Node < b.Node
+}
+
 // onCoord installs the announced winner.
+//
+// Large groups can produce colliding claimants: suspicion timers fire
+// far enough apart that several members each conclude the same epoch
+// believing they won (the rest's votes were lost or late). Each claim
+// is safe — no claimant assigns sequence numbers before every live
+// member acks its view — but for liveness the claims must converge,
+// so members hold the best coord seen this epoch and refuse to flip
+// to a worse one, and a claimant that hears a better equal-epoch
+// claim yields to it rather than both re-announcing forever.
 func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 	if c.Epoch < g.epoch {
 		return
@@ -229,11 +270,49 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 			g.m.ID(), g.nextSeq-1, c.HighSeq)
 		g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-nack",
 			Body: coordNack{Epoch: c.Epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}, Size: hdrSmall})
+		if c.Epoch == g.epoch {
+			// Colliding claims: the nack alone aborts this claimant; a
+			// fresh epoch here would tear down an election that is
+			// already converging on a better claim.
+			if g.isSeq {
+				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+					Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
+				return
+			}
+			if g.haveCoord && betterCoord(g.lastCoord, c) {
+				return
+			}
+		}
 		g.epoch = c.Epoch
 		g.startElection(p)
 		return
 	}
+	if c.Epoch == g.epoch {
+		if g.isSeq && c.Node != g.m.ID() {
+			// A colliding claimant in my own epoch: yield only to a
+			// better claim; re-assert mine against a worse one.
+			mine := coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}
+			if betterCoord(mine, c) {
+				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord", Body: mine, Size: hdrSmall})
+				return
+			}
+		}
+		if g.haveCoord {
+			if c.Node == g.lastCoord.Node {
+				// A re-announcement of the view we already follow:
+				// refresh the ack (the first may have been lost) without
+				// re-kicking every outstanding op onto the wire.
+				g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-ack",
+					Body: coordAck{Epoch: c.Epoch, Node: g.m.ID()}, Size: hdrSmall})
+				return
+			}
+			if !betterCoord(c, g.lastCoord) {
+				return // worse than the claimant we already follow
+			}
+		}
+	}
 	g.epoch = c.Epoch
+	g.haveCoord, g.lastCoord = true, c
 	g.electing = false
 	if g.electTimer != nil {
 		g.electTimer.Cancel()
@@ -310,6 +389,10 @@ func (g *Member) kickOutstanding(p *sim.Proc) {
 			}
 			d := &dataMsg{Seq: g.nextSeqNum(), UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size, Epoch: g.epoch}
 			g.recordHistory(d)
+			if g.cfg.Protocol == Consensus {
+				g.propose(p, []*dataMsg{d})
+				continue
+			}
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			g.processData(p, d)
 			continue

@@ -1,6 +1,7 @@
 package group
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/amoeba"
@@ -31,6 +32,33 @@ func (m Method) String() string {
 		return "BB"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Protocol selects how the group establishes its total order.
+type Protocol int
+
+const (
+	// ElectedSequencer is the paper's protocol: a single sequencer
+	// orders every broadcast (PB/BB), and its crash triggers a
+	// vote-collection election during which sequencing stalls.
+	ElectedSequencer Protocol = iota
+	// Consensus replicates the sequencing log: a quorum of members
+	// accepts every slot (single-decree Paxos per sequence number)
+	// before any member delivers it, so losing the leader costs one
+	// in-flight re-proposal instead of an election window. See
+	// consensus.go.
+	Consensus
+)
+
+// String names the protocol for tables and traces.
+func (pr Protocol) String() string {
+	switch pr {
+	case ElectedSequencer:
+		return "sequencer"
+	case Consensus:
+		return "consensus"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(pr))
 }
 
 // BatchConfig governs frame packing (see DESIGN.md, "Batching and
@@ -69,6 +97,17 @@ type Config struct {
 	Sequencer int
 	// Method selects PB/BB policy; Auto follows the paper.
 	Method Method
+	// Protocol selects the sequencing protocol: the paper's elected
+	// sequencer (the zero value) or the consensus-replicated log.
+	Protocol Protocol
+	// ProposeTimeout is the consensus leader's re-propose deadline for
+	// slots a quorum has not yet accepted, and the unit of the
+	// deterministic takeover backoff ladder.
+	ProposeTimeout sim.Time
+	// AllowJoin permits JoinLate members (consensus only): a late
+	// joiner adopts the commit watermark via a majority read and
+	// catches up through ordinary gap recovery.
+	AllowJoin bool
 	// Batch configures frame packing; the zero value disables it.
 	Batch BatchConfig
 	// SenderTimeout is how long a sender waits for its broadcast to be
@@ -102,17 +141,63 @@ type Config struct {
 // testbed.
 func DefaultConfig(members []int) Config {
 	return Config{
-		Members:       members,
-		Method:        Auto,
-		SenderTimeout: 200 * sim.Millisecond,
-		SenderRetries: 6,
-		GapTimeout:    50 * sim.Millisecond,
-		StatusEvery:   64,
-		HistoryMax:    16384,
-		ElectionWait:  300 * sim.Millisecond,
-		CacheSize:     8192,
-		Heartbeat:     250 * sim.Millisecond,
+		Members:        members,
+		Method:         Auto,
+		ProposeTimeout: 40 * sim.Millisecond,
+		SenderTimeout:  200 * sim.Millisecond,
+		SenderRetries:  6,
+		GapTimeout:     50 * sim.Millisecond,
+		StatusEvery:    64,
+		HistoryMax:     16384,
+		ElectionWait:   300 * sim.Millisecond,
+		CacheSize:      8192,
+		Heartbeat:      250 * sim.Millisecond,
 	}
+}
+
+// Validate checks the configuration for combinations that would
+// misbehave mid-run. Join panics on the returned error, so a bad
+// configuration fails at startup instead of corrupting a run.
+func (c Config) Validate() error {
+	if len(c.Members) == 0 {
+		return errors.New("group: empty membership")
+	}
+	seen := make(map[int]bool, len(c.Members))
+	for _, id := range c.Members {
+		if id < 0 {
+			return fmt.Errorf("group: negative member id %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("group: duplicate member id %d", id)
+		}
+		seen[id] = true
+	}
+	switch c.Method {
+	case Auto, ForcePB, ForceBB:
+	default:
+		return fmt.Errorf("group: unknown method %v", c.Method)
+	}
+	switch c.Protocol {
+	case ElectedSequencer, Consensus:
+	default:
+		return fmt.Errorf("group: unknown protocol %v", c.Protocol)
+	}
+	if c.Protocol == Consensus && c.Method == ForceBB {
+		return errors.New("group: ForceBB is incompatible with the consensus protocol (proposals already replicate payloads)")
+	}
+	if c.Protocol == Consensus && c.ProposeTimeout <= 0 {
+		return errors.New("group: the consensus protocol requires a positive ProposeTimeout")
+	}
+	if c.AllowJoin && c.Protocol != Consensus {
+		return errors.New("group: AllowJoin requires the consensus protocol (a majority read needs a quorum-replicated log)")
+	}
+	if c.Batch.MaxOps < 0 || c.Batch.MaxBytes < 0 || c.Batch.Linger < 0 {
+		return errors.New("group: negative batch parameter")
+	}
+	if c.Batch.Enabled() && c.Batch.Linger <= 0 {
+		return errors.New("group: batching requires a positive Linger deadline")
+	}
+	return nil
 }
 
 // Delivery is one totally-ordered message handed to the application.
@@ -276,6 +361,7 @@ type sendState struct {
 	items   []batchItem // batched ops; nil for the single-op path
 	method  Method      // resolved (PB or BB)
 	retries int
+	cycles  int // consensus: full retry cycles, for retransmit backoff
 	timer   *sim.Event
 }
 
@@ -306,6 +392,14 @@ type Stats struct {
 	// this member sequenced or sent; Batches counts those frames.
 	BatchedOps int64
 	Batches    int64
+	// Takeovers counts consensus leader takeovers this member
+	// completed; Reproposals counts slots it re-proposed (after a
+	// takeover or a propose timeout). RecoveryTime accumulates the
+	// virtual time between suspecting a sequencer failure and the next
+	// delivery — the stall an application actually observes.
+	Takeovers    int64
+	Reproposals  int64
+	RecoveryTime sim.Time
 }
 
 // Member is one node's endpoint of the group. All methods must run in
@@ -371,6 +465,70 @@ type Member struct {
 	bestCand   electMsg
 	votedEpoch int
 	electTimer *sim.Event
+	// Claimant convergence (exercised only when elections collide,
+	// which needs a large group with unsynchronized suspicions): the
+	// coord accepted for the current epoch, so a worse claimant cannot
+	// displace a better one and a duplicate re-announcement does not
+	// re-trigger a full retransmit of outstanding ops.
+	haveCoord bool
+	lastCoord coordMsg
+
+	// Consensus state (Config.Protocol == Consensus; see
+	// consensus.go).
+	ballot     int64            // leader: the ballot my proposals carry (0: not leading)
+	promised   int64            // highest ballot promised or accepted
+	committed  int64            // highest slot known chosen (commit watermark)
+	accepted   seqRing[accSlot] // acceptor log: slot -> highest-ballot accepted value
+	accPrefix  int64            // contiguous accepted prefix under `promised`
+	acked      []int64          // leader: per-member cumulative accepted prefixes
+	ackScratch []int64          // quorum-floor scratch
+	propTimer  *sim.Event       // leader: re-propose deadline
+	takeover   *takeoverState   // in-flight prepare round (nil otherwise)
+	suspTimer  *sim.Event       // takeover backoff (non-successor members)
+
+	// Congestion damping: a fruitless re-propose round (no commit
+	// progress) doubles the next re-propose deadline, and a suspicion
+	// round that yields no delivery progress delays the next one.
+	// Without this, a transient overload snowballs — re-proposals and
+	// takeover traffic saturate the simulated wire, queueing delay
+	// diverges, and every timeout fires forever against stale state.
+	propBackoff uint  // leader: consecutive fruitless re-propose rounds
+	propLastCmt int64 // leader: commit watermark at the last re-propose
+	suspRounds  int   // suspicion rounds since the last delivery progress
+	suspMark    int64 // nextSeq at the last suspicion round
+	// leaderSeen is the last instant this member accepted a sign of
+	// life (proposal, commit, heartbeat) from the leader it follows.
+	// Prepares and fresh takeovers stand down while it is recent:
+	// without that stickiness a large group's unsynchronized
+	// suspicions depose every newly installed leader before it can
+	// commit a single slot, and leadership changes hands forever.
+	leaderSeen sim.Time
+	// seqAlive is the last instant a delivery advanced nextSeq. The
+	// elected protocol's sender suspicion consults it the same way
+	// consensus consults leaderSeen: after a view change the new
+	// sequencer drains the whole group's re-kicked backlog, and in a
+	// large group that drain outlasts the sender retry budget — an
+	// unsequenced op while deliveries are streaming means the op is
+	// queued behind the backlog, not that the sequencer died.
+	seqAlive  sim.Time
+	joinTimer *sim.Event // JoinLate quorum-read retry
+	joinInfo  map[int]joinInfoMsg
+	joined    bool
+
+	// Ack/commit-announce throttles (leading edge + refractory
+	// window): the first event sends immediately, later ones inside
+	// the window coalesce into one trailing send, so the per-op
+	// O(P) message cost collapses under load without adding latency
+	// when the group is idle.
+	ackTimer   *sim.Event
+	ackPending bool
+	cmtTimer   *sim.Event
+	cmtPending bool
+
+	// recoveryStart is the instant this member first suspected a
+	// sequencer failure; the next delivery accumulates the gap into
+	// stats.RecoveryTime.
+	recoveryStart sim.Time
 
 	stats Stats
 }
@@ -378,8 +536,8 @@ type Member struct {
 // Join attaches machine m to the group. Every member must Join before
 // the simulation starts broadcasting.
 func Join(m *amoeba.Machine, cfg Config) *Member {
-	if len(cfg.Members) == 0 {
-		panic("group: empty membership")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	seq := cfg.Members[0]
 	maxID := 0
@@ -428,6 +586,17 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 	g.history.reset(1)
 	g.isSeq = m.ID() == seq
 	g.installed = true // the boot view needs no installation round
+	if cfg.Protocol == Consensus {
+		g.accepted = seqRing[accSlot]{max: histMax}
+		g.accepted.reset(1)
+		g.acked = make([]int64, len(cfg.Members))
+		if g.isSeq {
+			// The boot leader owns the smallest ballot of its member
+			// index; every member starts at promised 0 and accepts it.
+			g.ballot = int64(g.memberIdx[seq]) + 1
+			g.promised = g.ballot
+		}
+	}
 	m.Bind(Port, g.handle)
 	if cfg.Heartbeat > 0 {
 		g.armHeartbeat()
@@ -516,9 +685,16 @@ func (g *Member) noteDelivered(src int, srcSeq int64, seq int64) {
 // runs the timer; only the current sequencer transmits.
 func (g *Member) armHeartbeat() {
 	g.m.After(g.cfg.Heartbeat, func(p *sim.Proc) {
-		if g.isSeq && g.installed && g.maxSeen > 0 {
+		// A consensus leader announces its commit watermark, not its
+		// assigned maximum: uncommitted slots are not yet deliverable
+		// and must not trigger gap recovery at members.
+		high := g.maxSeen
+		if g.cfg.Protocol == Consensus {
+			high = g.committed
+		}
+		if g.isSeq && g.installed && high > 0 {
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-hb",
-				Body: hbMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
+				Body: hbMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: high}, Size: hdrSmall})
 		}
 		g.armHeartbeat()
 	})
@@ -548,6 +724,12 @@ func (g *Member) historyLen() int { return g.history.span() }
 // resolveMethod picks PB or BB for a message of the given payload
 // size, following the paper's one-packet rule in Auto mode.
 func (g *Member) resolveMethod(size int) Method {
+	if g.cfg.Protocol == Consensus {
+		// Proposals replicate payloads to every member regardless of
+		// size, so BB's data-first optimization buys nothing: requests
+		// always travel PB-style to the leader.
+		return ForcePB
+	}
 	switch g.cfg.Method {
 	case ForcePB:
 		return ForcePB
@@ -578,6 +760,12 @@ func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
 		// broadcasts the sequenced data: one message on the wire.
 		d := &dataMsg{Seq: g.nextSeqNum(), UID: uid, Src: g.m.ID(), SrcSeq: g.sendSeq, Kind: kind, Body: body, Size: size, Epoch: g.epoch}
 		g.recordHistory(d)
+		if g.cfg.Protocol == Consensus {
+			// A consensus leader's own slot still needs quorum
+			// acceptance before anyone (including itself) delivers.
+			g.propose(p, []*dataMsg{d})
+			return uid
+		}
 		g.stats.PBSends++
 		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: size + hdrData})
 		g.processData(p, d)
@@ -619,19 +807,50 @@ func (g *Member) transmit(p *sim.Proc, st *sendState) {
 }
 
 // armSenderTimer schedules retransmission for st until it is
-// acknowledged by appearing in the sequenced stream.
+// acknowledged by appearing in the sequenced stream. Under consensus
+// each completed retry cycle doubles the period (up to 16x): during a
+// long leaderless window every member's whole outstanding set
+// retransmitting at the base period is by itself enough to saturate
+// the wire, and recovery needs that bandwidth for the takeover.
 func (g *Member) armSenderTimer(st *sendState) {
-	st.timer = g.m.After(g.cfg.SenderTimeout, func(p *sim.Proc) {
+	period := g.cfg.SenderTimeout
+	if g.cfg.Protocol == Consensus {
+		c := st.cycles
+		if c > 4 {
+			c = 4
+		}
+		period <<= uint(c)
+	}
+	st.timer = g.m.After(period, func(p *sim.Proc) {
 		if !st.live(g) {
 			return
 		}
 		st.retries++
-		if st.retries > g.cfg.SenderRetries {
+		// Consensus suspects one retry earlier than the elected
+		// protocol: a wrong suspicion there costs a pnacked prepare
+		// (the stickiness window protects a live leader), not a view
+		// teardown, so the cheaper failure mode buys faster detection.
+		limit := g.cfg.SenderRetries
+		if g.cfg.Protocol == Consensus && limit > 1 {
+			limit--
+		}
+		if st.retries > limit {
+			if g.cfg.Protocol != Consensus && g.seqAlive > 0 && p.Now()-g.seqAlive < g.stickWindow() {
+				// Deliveries are advancing, so the sequencer is alive and
+				// this op is stuck behind its backlog (typical right after
+				// a view change re-kicks every member's outstanding set).
+				// A real crash stops all deliveries well before the retry
+				// budget runs out, so crash suspicion is not delayed.
+				st.retries = 0
+				g.armSenderTimer(st)
+				return
+			}
 			g.m.Env().Tracef("node%d: sequencer %d suspected dead (uid %d)", g.m.ID(), g.seqNode, st.uid)
-			g.startElection(p)
+			g.suspectSequencer(p)
 			// Re-arm: the message is still outstanding and will be
 			// retransmitted to the new sequencer once elected.
 			st.retries = 0
+			st.cycles++
 			g.armSenderTimer(st)
 			return
 		}

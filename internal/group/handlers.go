@@ -46,6 +46,22 @@ func (g *Member) handle(p *sim.Proc, from int, pkt amoeba.Packet) {
 		g.onCoordNack(p, b)
 	case hbMsg:
 		g.onHeartbeat(b)
+	case *propMsg:
+		g.onPropose(p, from, b)
+	case paccMsg:
+		g.onPAcc(p, b)
+	case pcmtMsg:
+		g.onPcmt(p, from, b)
+	case pnackMsg:
+		g.onPNack(p, b)
+	case prepMsg:
+		g.onPrep(p, from, b)
+	case *promMsg:
+		g.onProm(p, b)
+	case joinReadMsg:
+		g.onJoinRead(p, from, b)
+	case joinInfoMsg:
+		g.onJoinInfo(b)
 	}
 }
 
@@ -59,6 +75,14 @@ func (g *Member) onHeartbeat(h hbMsg) {
 	if h.HighSeq > g.maxSeen {
 		g.maxSeen = h.HighSeq
 	}
+	if g.cfg.Protocol == Consensus {
+		g.leaderSeen = g.m.Env().Now()
+		if h.HighSeq > g.committed {
+			// The heartbeat announces the leader's commit watermark:
+			// everything up to it is chosen and safe to fetch.
+			g.committed = h.HighSeq
+		}
+	}
 	if g.nextSeq <= g.maxSeen {
 		g.armGapTimer()
 	}
@@ -71,8 +95,10 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 	}
 	if seq, dup := g.seenSeq(r.Src, r.SrcSeq); dup {
 		// Retransmitted request: rebroadcast the sequenced message so
-		// the sender (and anyone else who missed it) sees it.
-		if d := g.history.get(seq); d != nil {
+		// the sender (and anyone else who missed it) sees it. Under
+		// consensus only chosen slots may travel as direct data — an
+		// uncommitted slot is covered by the re-propose timer.
+		if d := g.history.get(seq); d != nil && (g.cfg.Protocol != Consensus || seq <= g.committed) {
 			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 		}
 		return
@@ -83,6 +109,10 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 	}
 	d := &dataMsg{Seq: g.nextSeqNum(), UID: r.UID, Src: r.Src, SrcSeq: r.SrcSeq, Kind: r.Kind, Body: r.Body, Size: r.Size, Epoch: g.epoch}
 	g.recordHistory(d)
+	if g.cfg.Protocol == Consensus {
+		g.propose(p, []*dataMsg{d})
+		return
+	}
 	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 	g.processData(p, d)
 }
@@ -174,11 +204,36 @@ func (g *Member) onAccept(p *sim.Proc, a acceptMsg) {
 func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
 	g.noteStatus(r.Node, r.Delivered)
 	if !g.isSeq {
+		if g.cfg.Protocol == Consensus {
+			// Chosen slots are quorum-backed and immutable, so any
+			// member that delivered them can serve them from its cache:
+			// after a leader death the committed log must not depend on
+			// one machine being up and installed.
+			to := r.To
+			if to > g.committed {
+				to = g.committed
+			}
+			if len(g.cache) == 0 {
+				return
+			}
+			for s := r.From; s <= to; s++ {
+				if c := g.cache[int(s)%len(g.cache)]; c != nil && c.Seq == s {
+					rd := *c
+					rd.Epoch = g.epoch
+					g.m.Send(p, r.Node, amoeba.Packet{Port: Port, Kind: "grp-retx", Body: rd, Size: rd.Size + hdrData})
+				}
+			}
+		}
 		return
 	}
 	to := r.To
 	if to > g.maxSeen {
 		to = g.maxSeen
+	}
+	if g.cfg.Protocol == Consensus && to > g.committed {
+		// Unchosen slots must never travel as direct data: a member
+		// would deliver them without quorum backing.
+		to = g.committed
 	}
 	for s := r.From; s <= to; s++ {
 		if d := g.history.get(s); d != nil {
@@ -244,10 +299,20 @@ func (g *Member) processData(p *sim.Proc, d *dataMsg) {
 // maintains the delivered cache, per-source dedup windows, and status
 // reporting. Everything here is O(1) per delivery.
 func (g *Member) deliver(p *sim.Proc, d *dataMsg) {
+	g.seqAlive = p.Now()
 	delete(g.acceptedBB, d.Seq)
 	delete(g.pendingBB, d.UID)
 	if len(g.cache) > 0 {
 		g.cache[int(d.Seq)%len(g.cache)] = d
+	}
+	if g.recoveryStart != 0 {
+		g.stats.RecoveryTime += p.Now() - g.recoveryStart
+		g.recoveryStart = 0
+	}
+	if d.Src < 0 {
+		// Consensus noop filler: it occupies its slot so the log stays
+		// dense, but carries nothing for the application.
+		return
 	}
 	if g.dupDelivery(d.Src, d.SrcSeq) {
 		// Re-sequenced duplicate after an election. Under batching the
@@ -276,7 +341,13 @@ func (g *Member) armGapTimer() {
 	if g.gapTimer != nil {
 		return
 	}
+	if g.cfg.Protocol == Consensus && g.isSeq {
+		// The leader's assigned-but-unchosen slots are not gaps: they
+		// deliver when a quorum accepts them (see armPropTimer).
+		return
+	}
 	lastNext := g.nextSeq
+	lastEpoch := g.epoch
 	stalls := 0
 	var arm func()
 	arm = func() {
@@ -285,13 +356,21 @@ func (g *Member) armGapTimer() {
 			if g.nextSeq > g.maxSeen {
 				return // caught up
 			}
+			if g.epoch != lastEpoch {
+				// A new view installed since the last round: give its
+				// sequencer a full suspicion window to start serving.
+				// Stalls carried across the view change count the
+				// election itself against the new sequencer and tear it
+				// down before its first retransmission arrives.
+				lastEpoch, stalls = g.epoch, 0
+			}
 			if g.nextSeq == lastNext {
 				stalls++
 			} else {
 				lastNext, stalls = g.nextSeq, 0
 			}
 			if stalls > g.cfg.SenderRetries {
-				g.startElection(p)
+				g.suspectSequencer(p)
 				stalls = 0
 			}
 			g.stats.GapRequests++

@@ -48,6 +48,8 @@ func FaultsExperiment(w io.Writer, scale Scale) {
 		elapsed             sim.Time
 		result              string
 		elections           int64
+		reproposals         int64
+		recoveryUS          float64
 		crashes, killed     int
 		retried, guardWaits int64
 	}
@@ -85,6 +87,7 @@ func FaultsExperiment(w io.Writer, scale Scale) {
 		rows = append(rows, row{
 			name: name, elapsed: r.Report.Elapsed,
 			result: fmt.Sprint(r.Best), elections: elections,
+			reproposals: r.Report.RTS.Reproposals, recoveryUS: r.Report.RTS.RecoveryVirtualUS,
 			crashes: len(r.Report.Crashes), killed: killed,
 			retried: r.Report.RTS.OpsRetried, guardWaits: r.Report.RTS.GuardWaits,
 		})
@@ -128,7 +131,8 @@ func FaultsExperiment(w io.Writer, scale Scale) {
 	rows = append(rows,
 		row{name: "acp/no-fault", elapsed: abase.Report.Elapsed, result: fmt.Sprintf("rev=%d", abase.Revisions)},
 		row{name: "acp/participant-crash", elapsed: acrash.Report.Elapsed,
-			result:  fmt.Sprintf("rev=%d", acrash.Revisions),
+			result:      fmt.Sprintf("rev=%d", acrash.Revisions),
+			reproposals: acrash.Report.RTS.Reproposals, recoveryUS: acrash.Report.RTS.RecoveryVirtualUS,
 			crashes: len(acrash.Report.Crashes), killed: acrash.Report.Crashes[0].ProcsKilled,
 			retried: acrash.Report.RTS.OpsRetried, guardWaits: acrash.Report.RTS.GuardWaits,
 		})
@@ -138,10 +142,12 @@ func FaultsExperiment(w io.Writer, scale Scale) {
 		cells = append(cells, []string{
 			r.name, fmtTime(r.elapsed), r.result,
 			fmt.Sprint(r.crashes), fmt.Sprint(r.killed),
-			fmt.Sprint(r.elections), fmt.Sprint(r.retried), fmt.Sprint(r.guardWaits),
+			fmt.Sprint(r.elections), fmt.Sprint(r.reproposals), fmt.Sprintf("%.0fus", r.recoveryUS),
+			fmt.Sprint(r.retried), fmt.Sprint(r.guardWaits),
 		})
 	}
-	Table(w, []string{"scenario", "time", "result", "crashes", "procs killed", "elections", "ops retried", "guard waits"}, cells)
+	Table(w, []string{"scenario", "time", "result", "crashes", "procs killed", "elections",
+		"reproposals", "recovery", "ops retried", "guard waits"}, cells)
 	fmt.Fprintln(w, "Every crash run is executed twice with identical fingerprints; the")
 	fmt.Fprintln(w, "TSP crash scenarios report the baseline optimum and the ACP crash")
 	fmt.Fprintln(w, "scenario reproduces the baseline fixpoint bit for bit. The sequencer")

@@ -1,0 +1,63 @@
+package orca_test
+
+// Consensus sequencing at the orca layer: Config.Protocol selects the
+// quorum-replicated log, a sequencer crash is absorbed by a takeover
+// (no election), and the recovery counters surface in Report.RTS.
+
+import (
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+func TestConsensusSurvivesSequencerCrash(t *testing.T) {
+	// Sequencer on node 3 so the main process (node 0) survives.
+	plan := &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 3, At: 200 * sim.Millisecond}}}
+	rt := orca.New(orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1,
+		Protocol: group.Consensus, Sequencer: 3, Faults: plan}, std.Register)
+	rep := rt.Run(func(p *orca.Proc) {
+		c := std.NewCounter(p, 0)
+		done := std.NewCounter(p, 0)
+		for cpu := 1; cpu < 3; cpu++ {
+			p.Fork(cpu, "w", func(wp *orca.Proc) {
+				for k := 0; k < 40; k++ {
+					c.Add(wp, 1)
+					wp.Sleep(10 * sim.Millisecond)
+				}
+				done.Add(wp, 1)
+			})
+		}
+		done.AwaitGE(p, 2)
+		if got := c.Value(p); got != 80 {
+			t.Errorf("counter = %d, want 80 (no write lost across the crash)", got)
+		}
+	})
+	if rep.TimedOut {
+		t.Fatalf("run timed out (blocked: %v)", rep.Blocked)
+	}
+	if rep.RTS.Takeovers == 0 {
+		t.Fatalf("RTS.Takeovers = 0, want a consensus takeover (stats: %+v)", rep.RTS)
+	}
+	if rep.RTS.Elections != 0 {
+		t.Fatalf("RTS.Elections = %d, want 0 under consensus", rep.RTS.Elections)
+	}
+	if rep.RTS.RecoveryVirtualUS <= 0 {
+		t.Fatal("RecoveryVirtualUS not accounted")
+	}
+}
+
+// TestConsensusRequiresBroadcast: a pure point-to-point configuration
+// cannot ask for a sequencing protocol — there is no group to run it.
+func TestConsensusRequiresBroadcast(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Protocol on a pure point-to-point runtime")
+		}
+	}()
+	orca.New(orca.Config{Processors: 2, RTS: orca.P2PUpdate, Seed: 1,
+		Protocol: group.Consensus}, std.Register)
+}

@@ -114,6 +114,12 @@ type Config struct {
 	P2P *rts.P2PConfig
 	// GroupMethod forces the broadcast method (PB/BB); zero is Auto.
 	GroupMethod group.Method
+	// Protocol picks the broadcast group's sequencing protocol: the
+	// zero value is the paper's elected sequencer; group.Consensus
+	// replaces it with the quorum-replicated log that survives
+	// sequencer loss without an election stall. Requires the broadcast
+	// runtime (or Mixed).
+	Protocol group.Protocol
 	// Batching, when non-nil, turns on the broadcast runtime's
 	// batching pipeline (frame packing in the group layer plus
 	// per-worker write combining in the RTS). Off by default: the
@@ -217,6 +223,7 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		}
 		gcfg := group.DefaultConfig(ids)
 		gcfg.Method = cfg.GroupMethod
+		gcfg.Protocol = cfg.Protocol
 		gcfg.Sequencer = cfg.Sequencer
 		if cfg.Batching != nil {
 			gcfg.Batch = cfg.Batching.batchConfig()
@@ -267,6 +274,8 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		panic("orca: unknown RTS kind")
 	case cfg.Batching != nil && cfg.RTS != Broadcast && !cfg.Mixed:
 		panic("orca: Batching requires the broadcast runtime (or Mixed)")
+	case cfg.Protocol != group.ElectedSequencer && cfg.RTS != Broadcast && !cfg.Mixed:
+		panic("orca: Protocol selection requires the broadcast runtime (or Mixed)")
 	case cfg.Mixed:
 		// Both managers share the machines and the group members; the
 		// RTS kind only picks where Default-policy objects live. Forks

@@ -218,7 +218,7 @@ func (r *BroadcastRTS) Stats() (localReads, bcastWrites, guardWaits int64) {
 
 // Counters implements StatsSource with the unified counter snapshot.
 func (r *BroadcastRTS) Counters() RTSStats {
-	return RTSStats{
+	st := RTSStats{
 		LocalReads:  r.localReads,
 		BcastWrites: r.bcastWrites,
 		GuardWaits:  r.guardWaits,
@@ -228,6 +228,24 @@ func (r *BroadcastRTS) Counters() RTSStats {
 		Crashes:     r.crashes,
 		OpsRetried:  r.opsRetried,
 	}
+	// Sequencer-recovery counters live in the group members below the
+	// runtime: elections and takeovers by max (survivors observe the
+	// same logical recovery), re-proposals by sum, recovery time as
+	// the worst member's outage.
+	for _, mgr := range r.mgrs {
+		gs := mgr.g.Stats()
+		if gs.Elections > st.Elections {
+			st.Elections = gs.Elections
+		}
+		if gs.Takeovers > st.Takeovers {
+			st.Takeovers = gs.Takeovers
+		}
+		st.Reproposals += gs.Reproposals
+		if us := float64(gs.RecoveryTime) / float64(sim.Microsecond); us > st.RecoveryVirtualUS {
+			st.RecoveryVirtualUS = us
+		}
+	}
+	return st
 }
 
 // NodeCrashed implements CrashAware. The replicated core needs no

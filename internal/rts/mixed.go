@@ -72,6 +72,18 @@ type RTSStats struct {
 	Crashes    int64 `json:"crashes,omitempty"`     // machine crashes observed by the runtime
 	OpsRetried int64 `json:"ops_retried,omitempty"` // operations retried after a crash broke their first attempt
 	Rehomed    int64 `json:"rehomed,omitempty"`     // objects re-homed or restarted on a new primary
+
+	// Sequencer-recovery counters from the group layer: election
+	// rounds (elected-sequencer protocol), consensus takeovers, slots
+	// re-proposed after a leader change, and the worst member's
+	// virtual time spent with recovery in progress (suspicion to first
+	// post-recovery delivery). Elections, Takeovers, and the recovery
+	// time merge by max — concurrent members observe the same logical
+	// recovery — while Reproposals sums.
+	Elections         int64   `json:"elections,omitempty"`
+	Takeovers         int64   `json:"takeovers,omitempty"`
+	Reproposals       int64   `json:"reproposals,omitempty"`
+	RecoveryVirtualUS float64 `json:"recovery_virtual_us,omitempty"`
 }
 
 // merge adds o's counters into s. Crashes is a node count both
@@ -95,6 +107,16 @@ func (s RTSStats) merge(o RTSStats) RTSStats {
 	}
 	s.OpsRetried += o.OpsRetried
 	s.Rehomed += o.Rehomed
+	if o.Elections > s.Elections {
+		s.Elections = o.Elections
+	}
+	if o.Takeovers > s.Takeovers {
+		s.Takeovers = o.Takeovers
+	}
+	s.Reproposals += o.Reproposals
+	if o.RecoveryVirtualUS > s.RecoveryVirtualUS {
+		s.RecoveryVirtualUS = o.RecoveryVirtualUS
+	}
 	return s
 }
 
