@@ -7,7 +7,7 @@
 //	bench-guard [-baseline BENCH_engine.json] [-threshold 1.30]
 //	            [-normalize engine/yield] fresh1.json [fresh2.json ...]
 //
-// Every engine/, orca/, kv/, and consensus/ entry of the baseline is
+// Every engine/, orca/, kv/, consensus/, and shard/ entry of the baseline is
 // checked: the entry's median wall-ns/op across the fresh files must
 // stay within threshold of the baseline figure, and entries that pin a
 // p99 virtual latency or a crash-recovery watermark must additionally
@@ -123,7 +123,8 @@ func main() {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") ||
-			strings.HasPrefix(name, "kv/") || strings.HasPrefix(name, "consensus/") {
+			strings.HasPrefix(name, "kv/") || strings.HasPrefix(name, "consensus/") ||
+			strings.HasPrefix(name, "shard/") {
 			names = append(names, name)
 		}
 	}

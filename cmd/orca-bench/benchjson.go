@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/amoeba"
 	"repro/internal/apps/kv"
 	"repro/internal/apps/tsp"
 	"repro/internal/group"
@@ -285,6 +286,59 @@ func runBenchJSON(path string, quick bool) error {
 	results = append(results,
 		kvEntry("kv/zipf-p8-repl", kv.PolicyReplicated),
 		kvEntry("kv/zipf-p8-primary", kv.PolicyPrimary))
+
+	// Sharded total order: the counter scale-out workload (every machine
+	// streams assigns to a counter homed in its own shard's domain, 16
+	// sequencer groups over 128 machines on the modern cost profile) and
+	// the hash-spread sharded TSP run. virtual_s and the rts counters
+	// are the reproduced datapoints; wall tracks the engine.
+	shardCounter := func(name string, p, shards int, opsPer int64) benchResult {
+		net := netsim.Params{
+			BandwidthBps: 1_000_000_000, PropDelay: 5 * sim.Microsecond,
+			FrameOverhead: 42, MTU: 1500, BroadcastCapable: true,
+		}
+		kern := amoeba.DefaultCosts()
+		kern.Interrupt, kern.Protocol = 5*sim.Microsecond, 3*sim.Microsecond
+		kern.Send, kern.Switch = 6*sim.Microsecond, 2*sim.Microsecond
+		span := p / shards
+		cfg := orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1,
+			Shards: shards, ShardSpan: span,
+			Net: &net, KernelCosts: &kern, Batching: orca.DefaultBatching()}
+		var rt *orca.Runtime
+		var virtual sim.Time
+		r := measure(name, int64(p)*opsPer, func(int64) *sim.Env {
+			rt = orca.New(cfg, std.Register)
+			rep := rt.Run(func(pr *orca.Proc) {
+				fin := std.NewBarrier(pr, p)
+				for cpu := 0; cpu < p; cpu++ {
+					cpu := cpu
+					pr.Fork(cpu, "bench-shard-w", func(wp *orca.Proc) {
+						c := std.NewCounter(wp, 0, orca.OnShard(cpu/span))
+						for i := int64(0); i < opsPer; i++ {
+							c.Assign(wp, int(i))
+						}
+						fin.Arrive(wp)
+					})
+				}
+				fin.Wait(pr)
+			})
+			virtual = rep.Elapsed
+			return rt.Env()
+		})
+		r.VirtualSec = virtual.Seconds()
+		st := rt.Stats()
+		r.RTS = &st
+		return r
+	}
+	// opsPer is NOT scaled down under -quick: the run is sub-second and
+	// a shorter stream would shift the fixed fork/create startup share
+	// of ns/op, making quick CI runs incomparable to the pinned figure.
+	results = append(results,
+		shardCounter("shard/counter-p128-s16", 128, 16, 100),
+		tspEntry("shard/tsp-p64-s8",
+			orca.Config{Processors: 64, RTS: orca.Broadcast, Seed: 1,
+				Shards: 8, Batching: orca.DefaultBatching()},
+			tsp.Params{}))
 
 	out := benchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

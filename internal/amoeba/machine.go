@@ -236,6 +236,18 @@ func (m *Machine) Broadcast(p *sim.Proc, pkt Packet) {
 	m.net.BroadcastFrame(netsim.Frame{Src: m.id, Kind: pkt.Kind, Size: pkt.Size, Payload: pkt})
 }
 
+// Multicast transmits a packet to the listed member nodes, charging
+// send-side CPU to p. The wire carries one frame (hardware multicast);
+// only member NICs take receive interrupts. members must be sorted
+// ascending for deterministic delivery order.
+func (m *Machine) Multicast(p *sim.Proc, pkt Packet, members []int) {
+	if m.crashed {
+		return
+	}
+	m.cpu.Use(p, m.costs.Send)
+	m.net.MulticastFrame(netsim.Frame{Src: m.id, Kind: pkt.Kind, Size: pkt.Size, Payload: pkt}, members)
+}
+
 // Defer enqueues fn to run on the interrupt thread, where it may charge
 // kernel CPU and send packets. Timer callbacks use this to re-enter
 // kernel context.

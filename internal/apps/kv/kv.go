@@ -152,6 +152,14 @@ type Params struct {
 	// Clients is the client-process count (default one per
 	// processor); client c runs on machine c mod P.
 	Clients int
+	// SequencerShards, when positive, splits the broadcast total
+	// order across that many independent sequencer groups (it sets
+	// Config.Shards) and stripes store shard s onto group s mod
+	// SequencerShards, so writes to different store shards sequence
+	// concurrently. Requires PolicyReplicated on a pure broadcast
+	// Config (not Mixed): sequencer sharding is a broadcast-runtime
+	// structure.
+	SequencerShards int
 	// Workload describes the aggregate traffic: Rate and Ops are
 	// split evenly across clients, each client drawing from its own
 	// seeded generator (Seed xor a per-client salt).
@@ -190,7 +198,9 @@ func shardOf(key int64, shards int) int {
 }
 
 // shardOpts resolves one shard's creation options under the policy.
-func shardOpts(pl Policy, s int) []orca.Option {
+// seqShards > 0 stripes store shard s onto sequencer group s mod
+// seqShards (the Sharded option applies the modulus).
+func shardOpts(pl Policy, s, seqShards int) []orca.Option {
 	if pl == PolicyMixed {
 		if s%2 == 0 {
 			pl = PolicyReplicated
@@ -203,7 +213,11 @@ func shardOpts(pl Policy, s int) []orca.Option {
 			Protocol: orca.Update, Placement: orca.SingleCopy,
 		}))
 	}
-	return orca.Opts(orca.With(orca.Replicated))
+	opts := orca.Opts(orca.With(orca.Replicated))
+	if seqShards > 1 {
+		opts = append(opts, orca.Sharded(s))
+	}
+	return opts
 }
 
 // supervisePollInterval is how often the supervisor checks client
@@ -227,6 +241,15 @@ func Run(cfg orca.Config, params Params) Result {
 	if params.Workload.Keys <= 0 {
 		panic("kv: Params.Workload.Keys must be positive")
 	}
+	if params.SequencerShards > 0 {
+		if params.Policy != PolicyReplicated {
+			panic("kv: SequencerShards requires PolicyReplicated (sequencer sharding is a broadcast-runtime structure)")
+		}
+		if cfg.RTS != orca.Broadcast || cfg.Mixed {
+			panic("kv: SequencerShards requires a pure broadcast Config (RTS: Broadcast, not Mixed)")
+		}
+		cfg.Shards = params.SequencerShards
+	}
 	rt := orca.New(cfg, Register)
 	res := Result{}
 	rep := rt.Run(func(p *orca.Proc) {
@@ -247,7 +270,7 @@ func Run(cfg orca.Config, params Params) Result {
 			home := home
 			p.Fork(home, fmt.Sprintf("kv-place%d", home), func(cp *orca.Proc) {
 				for s := home; s < nShards; s += P {
-					shards[s] = NewShard(cp, shardOpts(params.Policy, s)...)
+					shards[s] = NewShard(cp, shardOpts(params.Policy, s, params.SequencerShards)...)
 				}
 				ready.Arrive(cp)
 			})

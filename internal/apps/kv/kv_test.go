@@ -182,3 +182,47 @@ func TestShardOfSpreads(t *testing.T) {
 		}
 	}
 }
+
+// TestSequencerShards: the store runs with the total order split
+// across sequencer groups, serves the identical trace correctly and
+// deterministically, and actually spreads its writes over more than
+// one group.
+func TestSequencerShards(t *testing.T) {
+	wl := testWorkload(1)
+	cfg := orca.Config{Processors: 4, RTS: orca.Broadcast, Seed: 1}
+	params := Params{Policy: PolicyReplicated, SequencerShards: 4, Workload: wl}
+	r := Run(cfg, params)
+	if r.Report.TimedOut {
+		t.Fatalf("timed out (blocked: %v)", r.Report.Blocked)
+	}
+	if r.LostAcked != 0 {
+		t.Fatalf("lost %d acknowledged writes", r.LostAcked)
+	}
+	if len(r.Report.Shards) != 4 {
+		t.Fatalf("Report.Shards has %d entries, want 4", len(r.Report.Shards))
+	}
+	busy := 0
+	for _, s := range r.Report.Shards {
+		if s.BcastWrites > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d sequencer groups carried writes", busy)
+	}
+	if fp1, fp2 := fingerprint(r), fingerprint(Run(cfg, params)); fp1 != fp2 {
+		t.Fatalf("sharded run not deterministic:\n  %s\n  %s", fp1, fp2)
+	}
+}
+
+// TestSequencerShardsRejectsMisuse: sequencer sharding is a
+// broadcast-runtime structure; other placements must fail fast.
+func TestSequencerShardsRejectsMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SequencerShards with PolicyPrimary did not panic")
+		}
+	}()
+	Run(orca.Config{Processors: 2, RTS: orca.Broadcast, Seed: 1},
+		Params{Policy: PolicyPrimary, SequencerShards: 2, Workload: testWorkload(1)})
+}

@@ -1,0 +1,39 @@
+package tsp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/orca"
+)
+
+// shardedGolden is the pinned outcome fingerprint of the reference
+// sharded TSP run below. It locks the sharded runtime's schedule
+// bit-for-bit: any change to shard routing, the fork fence, or the
+// per-shard sequencing that shifts a single virtual timestamp or
+// message shows up here. Update it only for an intentional,
+// understood schedule change.
+const shardedGolden = "best=2621 elapsed=408437200 msgs=708 frames=708"
+
+// TestShardedGoldenFingerprint: the reference sharded TSP run (11
+// cities, P=8, 4 sequencer groups) reproduces its pinned fingerprint,
+// and its optimum matches the unsharded broadcast runtime's on the
+// same instance — sharding the total order must not change what the
+// program computes, only how it is sequenced.
+func TestShardedGoldenFingerprint(t *testing.T) {
+	inst := Generate(11, 5)
+	cfg := orca.Config{Processors: 8, RTS: orca.Broadcast, Shards: 4, Seed: 1}
+	r := RunOrca(cfg, inst, Params{})
+	if r.Report.TimedOut {
+		t.Fatalf("sharded run timed out (blocked: %v)", r.Report.Blocked)
+	}
+	got := fmt.Sprintf("best=%d elapsed=%d msgs=%d frames=%d",
+		r.Best, int64(r.Report.Elapsed), r.Report.Net.Messages, r.Report.Net.Frames)
+	if got != shardedGolden {
+		t.Fatalf("sharded fingerprint drifted:\n got  %s\n want %s", got, shardedGolden)
+	}
+	base := RunOrca(orca.Config{Processors: 8, RTS: orca.Broadcast, Seed: 1}, inst, Params{})
+	if base.Best != r.Best {
+		t.Fatalf("sharded optimum %d != unsharded optimum %d", r.Best, base.Best)
+	}
+}

@@ -199,7 +199,7 @@ func (g *Member) flushPack(p *sim.Proc) {
 	}
 	g.stats.PBSends++
 	if len(items) == 1 {
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: ds[0], Size: ds[0].Size + hdrData})
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: ds[0], Size: ds[0].Size + hdrData})
 	} else {
 		size := 0
 		for _, it := range items {
@@ -207,7 +207,7 @@ func (g *Member) flushPack(p *sim.Proc) {
 		}
 		g.stats.Batches++
 		g.stats.BatchedOps += int64(len(items))
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-bdata",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-bdata",
 			Body: &dataBatchMsg{Seq: ds[0].Seq, Items: items, Size: size, Epoch: g.epoch}, Size: size + hdrData})
 	}
 	for _, d := range ds {
@@ -256,7 +256,7 @@ func (g *Member) flushAccepts(p *sim.Proc) {
 	}
 	ds := g.sequenceBatch(items)
 	if len(items) == 1 {
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-accept",
 			Body: acceptMsg{Seq: ds[0].Seq, UID: ds[0].UID, Epoch: g.epoch}, Size: hdrAccept})
 	} else {
 		uids := make([]int64, len(items))
@@ -265,7 +265,7 @@ func (g *Member) flushAccepts(p *sim.Proc) {
 		}
 		g.stats.Batches++
 		g.stats.BatchedOps += int64(len(items))
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-baccept",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-baccept",
 			Body: &acceptBatchMsg{Seq: ds[0].Seq, UIDs: uids, Epoch: g.epoch}, Size: hdrAccept + 8*len(uids)})
 	}
 	for _, d := range ds {
@@ -386,7 +386,7 @@ func (g *Member) transmitBatch(p *sim.Proc, st *sendState) {
 	switch st.method {
 	case ForcePB:
 		g.stats.PBSends++
-		g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-breq",
+		g.m.Send(p, g.seqNode, amoeba.Packet{Port: g.port, Kind: "grp-breq",
 			Body: &reqBatchMsg{Items: live, Size: size}, Size: size + hdrData})
 	case ForceBB:
 		g.stats.BBSends++
@@ -394,7 +394,7 @@ func (g *Member) transmitBatch(p *sim.Proc, st *sendState) {
 			it := live[i]
 			g.pendingBB[it.UID] = &bbDataMsg{UID: it.UID, Src: it.Src, SrcSeq: it.SrcSeq, Kind: it.Kind, Body: it.Body, Size: it.Size}
 		}
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-bb-bdata",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-bb-bdata",
 			Body: &bbBatchMsg{Items: live, Size: size}, Size: size + hdrData})
 	}
 }
@@ -409,7 +409,7 @@ func (g *Member) onReqBatch(p *sim.Proc, b *reqBatchMsg) {
 		it := b.Items[i]
 		if seq, dup := g.seenSeq(it.Src, it.SrcSeq); dup {
 			if d := g.history.get(seq); d != nil && (g.cfg.Protocol != Consensus || seq <= g.committed) {
-				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
+				g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			}
 			continue
 		}

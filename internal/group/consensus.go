@@ -261,7 +261,7 @@ func (g *Member) broadcastProp(p *sim.Proc, ds []*dataMsg) {
 		size += d.Size + hdrItem
 	}
 	g.stats.PBSends++
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-prop",
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-prop",
 		Body: &propMsg{Ballot: g.ballot, Commit: g.committed, Ds: ds}, Size: size + hdrData})
 }
 
@@ -376,7 +376,7 @@ func (g *Member) advanceCommit(p *sim.Proc, upTo int64) {
 
 // announceCommit broadcasts the current commit watermark.
 func (g *Member) announceCommit(p *sim.Proc) {
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-pcmt",
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-pcmt",
 		Body: pcmtMsg{Ballot: g.ballot, UpTo: g.committed}, Size: hdrSmall})
 }
 
@@ -422,7 +422,7 @@ func (g *Member) stepDown(p *sim.Proc) {
 // onPropose accepts a proposal frame at a member.
 func (g *Member) onPropose(p *sim.Proc, from int, m *propMsg) {
 	if m.Ballot < g.promised {
-		g.m.Send(p, from, amoeba.Packet{Port: Port, Kind: "grp-pnack",
+		g.m.Send(p, from, amoeba.Packet{Port: g.port, Kind: "grp-pnack",
 			Body: pnackMsg{Promised: g.promised, Node: g.m.ID()}, Size: hdrSmall})
 		return
 	}
@@ -477,7 +477,7 @@ func (g *Member) scheduleAck(p *sim.Proc) {
 // sendAck reports the cumulative accepted prefix under the currently
 // promised ballot.
 func (g *Member) sendAck(p *sim.Proc) {
-	g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-pacc",
+	g.m.Send(p, g.seqNode, amoeba.Packet{Port: g.port, Kind: "grp-pacc",
 		Body: paccMsg{Ballot: g.promised, Node: g.m.ID(), AccUpTo: g.accPrefix}, Size: hdrSmall})
 }
 
@@ -673,7 +673,7 @@ func (g *Member) knownRanges(t *takeoverState) []balRange {
 func (g *Member) broadcastPrep(p *sim.Proc) {
 	t := g.takeover
 	known := g.knownRanges(t)
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-prep",
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-prep",
 		Body: prepMsg{Ballot: t.ballot, From: t.from, Node: g.m.ID(), Known: known},
 		Size: hdrSmall + len(known)*3*8})
 }
@@ -761,7 +761,7 @@ func (g *Member) stickWindow() sim.Time { return 2 * g.cfg.SenderTimeout }
 // nack a stale ballot.
 func (g *Member) onPrep(p *sim.Proc, from int, m prepMsg) {
 	if m.Ballot < g.promised {
-		g.m.Send(p, from, amoeba.Packet{Port: Port, Kind: "grp-pnack",
+		g.m.Send(p, from, amoeba.Packet{Port: g.port, Kind: "grp-pnack",
 			Body: pnackMsg{Promised: g.promised, Node: g.m.ID()}, Size: hdrSmall})
 		return
 	}
@@ -770,7 +770,7 @@ func (g *Member) onPrep(p *sim.Proc, from int, m prepMsg) {
 		// depose it. The pnack carries our (lower) promised ballot, so
 		// the candidate backs off without aborting — if the leader
 		// really is stuck, the window lapses and a retry succeeds.
-		g.m.Send(p, from, amoeba.Packet{Port: Port, Kind: "grp-pnack",
+		g.m.Send(p, from, amoeba.Packet{Port: g.port, Kind: "grp-pnack",
 			Body: pnackMsg{Promised: g.promised, Node: g.m.ID()}, Size: hdrSmall})
 		return
 	}
@@ -793,7 +793,7 @@ func (g *Member) onPrep(p *sim.Proc, from int, m prepMsg) {
 	for _, ps := range slots {
 		size += ps.D.Size + hdrItem
 	}
-	g.m.Send(p, from, amoeba.Packet{Port: Port, Kind: "grp-prom",
+	g.m.Send(p, from, amoeba.Packet{Port: g.port, Kind: "grp-prom",
 		Body: &promMsg{Ballot: m.Ballot, Node: g.m.ID(), Commit: g.committed, Slots: slots}, Size: size})
 }
 
@@ -927,7 +927,7 @@ func (g *Member) finalizeTakeover(p *sim.Proc) {
 		}
 	} else {
 		// Nothing outstanding: announce leadership via the watermark.
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-pcmt",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-pcmt",
 			Body: pcmtMsg{Ballot: g.ballot, UpTo: g.committed}, Size: hdrSmall})
 	}
 	g.tryCommit(p)
@@ -966,7 +966,7 @@ func (g *Member) armJoinRead() {
 			return
 		}
 		g.stats.GapRequests++
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-jread",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-jread",
 			Body: joinReadMsg{Node: g.m.ID()}, Size: hdrSmall})
 		g.armJoinRead()
 	})
@@ -977,7 +977,7 @@ func (g *Member) onJoinRead(p *sim.Proc, from int, m joinReadMsg) {
 	if g.cfg.Protocol != Consensus {
 		return
 	}
-	g.m.Send(p, from, amoeba.Packet{Port: Port, Kind: "grp-jinfo",
+	g.m.Send(p, from, amoeba.Packet{Port: g.port, Kind: "grp-jinfo",
 		Body: joinInfoMsg{Node: g.m.ID(), Commit: g.committed, Leader: g.seqNode}, Size: hdrSmall})
 }
 

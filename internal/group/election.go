@@ -58,7 +58,7 @@ func (g *Member) beginEpoch(p *sim.Proc, epoch int) {
 	me := electMsg{Epoch: epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}
 	g.bestCand = me
 	g.m.Env().Tracef("node%d: election epoch %d, my highseq %d", g.m.ID(), epoch, me.HighSeq)
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-elect", Body: me, Size: hdrSmall})
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-elect", Body: me, Size: hdrSmall})
 	g.armElectionTimer()
 }
 
@@ -118,7 +118,7 @@ func (g *Member) onElect(p *sim.Proc, e electMsg) {
 		// A vote for an epoch we think has concluded. If we are the
 		// sequencer of this epoch, re-announce.
 		if g.isSeq {
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+			g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-coord",
 				Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
 		}
 		return
@@ -183,7 +183,7 @@ func (g *Member) announceView(p *sim.Proc) {
 		return
 	}
 	epoch := g.epoch
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-coord",
 		Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
 	g.checkViewInstalled(p)
 	if g.installed {
@@ -268,14 +268,14 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 		// delivered.
 		g.m.Env().Tracef("node%d: ahead of claimed winner (mine %d > %d), nacking",
 			g.m.ID(), g.nextSeq-1, c.HighSeq)
-		g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-nack",
+		g.m.Send(p, c.Node, amoeba.Packet{Port: g.port, Kind: "grp-coord-nack",
 			Body: coordNack{Epoch: c.Epoch, Node: g.m.ID(), HighSeq: g.nextSeq - 1}, Size: hdrSmall})
 		if c.Epoch == g.epoch {
 			// Colliding claims: the nack alone aborts this claimant; a
 			// fresh epoch here would tear down an election that is
 			// already converging on a better claim.
 			if g.isSeq {
-				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord",
+				g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-coord",
 					Body: coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}, Size: hdrSmall})
 				return
 			}
@@ -293,7 +293,7 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 			// better claim; re-assert mine against a worse one.
 			mine := coordMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: g.maxSeen}
 			if betterCoord(mine, c) {
-				g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-coord", Body: mine, Size: hdrSmall})
+				g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-coord", Body: mine, Size: hdrSmall})
 				return
 			}
 		}
@@ -302,7 +302,7 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 				// A re-announcement of the view we already follow:
 				// refresh the ack (the first may have been lost) without
 				// re-kicking every outstanding op onto the wire.
-				g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-ack",
+				g.m.Send(p, c.Node, amoeba.Packet{Port: g.port, Kind: "grp-coord-ack",
 					Body: coordAck{Epoch: c.Epoch, Node: g.m.ID()}, Size: hdrSmall})
 				return
 			}
@@ -331,7 +331,7 @@ func (g *Member) onCoord(p *sim.Proc, c coordMsg) {
 	g.maxSeen = c.HighSeq
 	// Acknowledge the view; the sequencer serves nothing until all
 	// live members have.
-	g.m.Send(p, c.Node, amoeba.Packet{Port: Port, Kind: "grp-coord-ack",
+	g.m.Send(p, c.Node, amoeba.Packet{Port: g.port, Kind: "grp-coord-ack",
 		Body: coordAck{Epoch: c.Epoch, Node: g.m.ID()}, Size: hdrSmall})
 	if g.nextSeq <= g.maxSeen {
 		g.armGapTimer()
@@ -393,7 +393,7 @@ func (g *Member) kickOutstanding(p *sim.Proc) {
 				g.propose(p, []*dataMsg{d})
 				continue
 			}
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
+			g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 			g.processData(p, d)
 			continue
 		}

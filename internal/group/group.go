@@ -135,6 +135,17 @@ type Config struct {
 	// traffic stops (a trailing dropped broadcast would otherwise go
 	// unnoticed forever).
 	Heartbeat sim.Time
+	// Port overrides the kernel port the group binds. Hosting several
+	// groups on one machine requires distinct ports (Bind panics on a
+	// duplicate). Empty derives the default: "grp" for a solitary
+	// group, "grp<Shard>" when ShardCount labels this group as one of
+	// N co-hosted sequencer groups.
+	Port string
+	// Shard and ShardCount label this group's position among N
+	// co-hosted sequencer groups (sharded total order; see
+	// internal/rts ShardedRTS). The zero values mean a solitary group.
+	Shard      int
+	ShardCount int
 }
 
 // DefaultConfig returns a configuration tuned for the simulated
@@ -196,6 +207,15 @@ func (c Config) Validate() error {
 	}
 	if c.Batch.Enabled() && c.Batch.Linger <= 0 {
 		return errors.New("group: batching requires a positive Linger deadline")
+	}
+	if c.ShardCount < 0 {
+		return fmt.Errorf("group: negative shard count %d", c.ShardCount)
+	}
+	if c.ShardCount > 0 && (c.Shard < 0 || c.Shard >= c.ShardCount) {
+		return fmt.Errorf("group: shard %d out of range [0,%d)", c.Shard, c.ShardCount)
+	}
+	if c.ShardCount == 0 && c.Shard != 0 {
+		return fmt.Errorf("group: shard %d set without a shard count", c.Shard)
 	}
 	return nil
 }
@@ -408,6 +428,13 @@ type Member struct {
 	m   *amoeba.Machine
 	cfg Config
 
+	// port is the resolved kernel port (see Config.Port); castTo is
+	// the sorted member list protocol broadcasts multicast to, nil
+	// when the group spans every network node and physical broadcast
+	// is identical (and cheaper to simulate).
+	port   string
+	castTo []int
+
 	seqNode int
 	epoch   int
 	nextSeq int64 // next sequence number to deliver
@@ -597,11 +624,39 @@ func Join(m *amoeba.Machine, cfg Config) *Member {
 			g.promised = g.ballot
 		}
 	}
-	m.Bind(Port, g.handle)
+	g.port = cfg.Port
+	if g.port == "" {
+		if cfg.ShardCount > 1 {
+			g.port = fmt.Sprintf("%s%d", Port, cfg.Shard)
+		} else {
+			g.port = Port
+		}
+	}
+	if len(cfg.Members) < m.Net().Nodes() {
+		g.castTo = append([]int(nil), cfg.Members...)
+		for i := 1; i < len(g.castTo); i++ {
+			for j := i; j > 0 && g.castTo[j] < g.castTo[j-1]; j-- {
+				g.castTo[j], g.castTo[j-1] = g.castTo[j-1], g.castTo[j]
+			}
+		}
+	}
+	m.Bind(g.port, g.handle)
 	if cfg.Heartbeat > 0 {
 		g.armHeartbeat()
 	}
 	return g
+}
+
+// cast broadcasts a protocol packet to the group: physical broadcast
+// when the group spans every network node, hardware multicast to the
+// member set otherwise (non-members' NICs filter the frame without
+// taking an interrupt).
+func (g *Member) cast(p *sim.Proc, pkt amoeba.Packet) {
+	if g.castTo == nil {
+		g.m.Broadcast(p, pkt)
+		return
+	}
+	g.m.Multicast(p, pkt, g.castTo)
 }
 
 // srcIdx resolves a node id to its member index (-1 for non-members).
@@ -693,7 +748,7 @@ func (g *Member) armHeartbeat() {
 			high = g.committed
 		}
 		if g.isSeq && g.installed && high > 0 {
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-hb",
+			g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-hb",
 				Body: hbMsg{Epoch: g.epoch, Node: g.m.ID(), HighSeq: high}, Size: hdrSmall})
 		}
 		g.armHeartbeat()
@@ -767,7 +822,7 @@ func (g *Member) Broadcast(p *sim.Proc, kind string, body any, size int) int64 {
 			return uid
 		}
 		g.stats.PBSends++
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: size + hdrData})
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: d, Size: size + hdrData})
 		g.processData(p, d)
 		return uid
 	}
@@ -788,7 +843,7 @@ func (g *Member) transmit(p *sim.Proc, st *sendState) {
 	case ForcePB:
 		g.stats.PBSends++
 		g.m.Send(p, g.seqNode, amoeba.Packet{
-			Port: Port, Kind: "grp-req",
+			Port: g.port, Kind: "grp-req",
 			Body: reqMsg{UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size},
 			Size: st.size + hdrData,
 		})
@@ -798,8 +853,8 @@ func (g *Member) transmit(p *sim.Proc, st *sendState) {
 		// hear its own frame, and nobody mutates the record.
 		bb := &bbDataMsg{UID: st.uid, Src: g.m.ID(), SrcSeq: st.srcSeq, Kind: st.kind, Body: st.body, Size: st.size}
 		g.pendingBB[st.uid] = bb
-		g.m.Broadcast(p, amoeba.Packet{
-			Port: Port, Kind: "grp-bb-data",
+		g.cast(p, amoeba.Packet{
+			Port: g.port, Kind: "grp-bb-data",
 			Body: bb,
 			Size: st.size + hdrData,
 		})

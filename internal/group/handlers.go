@@ -99,7 +99,7 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 		// consensus only chosen slots may travel as direct data — an
 		// uncommitted slot is covered by the re-propose timer.
 		if d := g.history.get(seq); d != nil && (g.cfg.Protocol != Consensus || seq <= g.committed) {
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
+			g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 		}
 		return
 	}
@@ -113,7 +113,7 @@ func (g *Member) onRequest(p *sim.Proc, r reqMsg) {
 		g.propose(p, []*dataMsg{d})
 		return
 	}
-	g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
+	g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-data", Body: d, Size: d.Size + hdrData})
 	g.processData(p, d)
 }
 
@@ -128,7 +128,7 @@ func (g *Member) onBBData(p *sim.Proc, b *bbDataMsg) {
 			if d := g.history.get(seq); d != nil {
 				more = d.More
 			}
-			g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
+			g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-accept",
 				Body: acceptMsg{Seq: seq, UID: b.UID, Epoch: g.epoch, More: more}, Size: hdrAccept})
 			return
 		}
@@ -138,7 +138,7 @@ func (g *Member) onBBData(p *sim.Proc, b *bbDataMsg) {
 		}
 		d := &dataMsg{Seq: g.nextSeqNum(), UID: b.UID, Src: b.Src, SrcSeq: b.SrcSeq, Kind: b.Kind, Body: b.Body, Size: b.Size, Epoch: g.epoch}
 		g.recordHistory(d)
-		g.m.Broadcast(p, amoeba.Packet{Port: Port, Kind: "grp-accept",
+		g.cast(p, amoeba.Packet{Port: g.port, Kind: "grp-accept",
 			Body: acceptMsg{Seq: d.Seq, UID: b.UID, Epoch: g.epoch}, Size: hdrAccept})
 		g.processData(p, d)
 		return
@@ -220,7 +220,7 @@ func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
 				if c := g.cache[int(s)%len(g.cache)]; c != nil && c.Seq == s {
 					rd := *c
 					rd.Epoch = g.epoch
-					g.m.Send(p, r.Node, amoeba.Packet{Port: Port, Kind: "grp-retx", Body: rd, Size: rd.Size + hdrData})
+					g.m.Send(p, r.Node, amoeba.Packet{Port: g.port, Kind: "grp-retx", Body: rd, Size: rd.Size + hdrData})
 				}
 			}
 		}
@@ -242,7 +242,7 @@ func (g *Member) onRetxReq(p *sim.Proc, r retxReq) {
 			// part of the (unchanged) prefix this view vouches for.
 			rd := *d
 			rd.Epoch = g.epoch
-			g.m.Send(p, r.Node, amoeba.Packet{Port: Port, Kind: "grp-retx", Body: rd, Size: d.Size + hdrData})
+			g.m.Send(p, r.Node, amoeba.Packet{Port: g.port, Kind: "grp-retx", Body: rd, Size: d.Size + hdrData})
 		}
 	}
 }
@@ -329,7 +329,7 @@ func (g *Member) deliver(p *sim.Proc, d *dataMsg) {
 	g.stats.Delivered++
 	g.outQ.Put(Delivery{Seq: d.Seq, UID: d.UID, Src: d.Src, Kind: d.Kind, Body: d.Body, Size: d.Size, More: d.More})
 	if !g.isSeq && g.cfg.StatusEvery > 0 && g.stats.Delivered%int64(g.cfg.StatusEvery) == 0 {
-		g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-status",
+		g.m.Send(p, g.seqNode, amoeba.Packet{Port: g.port, Kind: "grp-status",
 			Body: statusMsg{Node: g.m.ID(), Delivered: g.nextSeq}, Size: hdrSmall})
 	}
 }
@@ -378,7 +378,7 @@ func (g *Member) armGapTimer() {
 			if to > g.maxSeen {
 				to = g.maxSeen
 			}
-			g.m.Send(p, g.seqNode, amoeba.Packet{Port: Port, Kind: "grp-retx-req",
+			g.m.Send(p, g.seqNode, amoeba.Packet{Port: g.port, Kind: "grp-retx-req",
 				Body: retxReq{From: g.nextSeq, To: to, Node: g.m.ID(), Delivered: g.nextSeq - 1},
 				Size: hdrSmall})
 			arm()

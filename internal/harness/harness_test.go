@@ -114,6 +114,18 @@ func TestInterruptCostQuick(t *testing.T) {
 	}
 }
 
+func TestShardQuick(t *testing.T) {
+	var buf bytes.Buffer
+	ShardExperiment(&buf, Quick)
+	out := buf.String()
+	if !strings.Contains(out, "vs 1 shard") {
+		t.Fatal("missing shard speedup column")
+	}
+	if !strings.Contains(out, "not a stop-the-world event") {
+		t.Fatal("missing crash-isolation verdict")
+	}
+}
+
 func TestP2PWorkloadBothProtocols(t *testing.T) {
 	for _, proto := range []rts.P2PProtocol{rts.Update, rts.Invalidation} {
 		elapsed, msgs, _ := P2PWorkload(proto, rts.DynamicPlacement, 3, 4, 1, 2)

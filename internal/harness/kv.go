@@ -93,6 +93,7 @@ func KVExperiment(w io.Writer, scale Scale) {
 	fmt.Fprintln(w, "-- processor sweep, read-heavy (95/3/2 get/put/update), per-shard placement policies --")
 	policies := []kv.Policy{kv.PolicyReplicated, kv.PolicyPrimary, kv.PolicyMixed}
 	var rows [][]string
+	seqShards := 4
 	for _, p := range procs {
 		for _, pol := range policies {
 			cfg := orca.Config{Processors: p, RTS: orca.Broadcast, Mixed: true, Seed: 1}
@@ -101,6 +102,24 @@ func KVExperiment(w io.Writer, scale Scale) {
 			st := r.Report.RTS
 			rows = append(rows, []string{
 				fmt.Sprint(p), pol.String(), fmt.Sprint(r.Ops),
+				fmt.Sprintf("%.0f", r.Throughput),
+				lat(r, "kv.get", 0.50), lat(r, "kv.get", 0.95), lat(r, "kv.get", 0.99),
+				lat(r, "kv.put", 0.99),
+				fmt.Sprint(st.BcastWrites), fmt.Sprint(st.RemoteReads + st.P2PWrites),
+				fmt.Sprint(r.Report.Net.Frames),
+			})
+		}
+		// Sequencer-sharded row: replicated placement with the total
+		// order split across independent sequencer groups, store
+		// shards striped onto them — same trace as the rows above.
+		{
+			cfg := orca.Config{Processors: p, RTS: orca.Broadcast, Seed: 1}
+			params := kv.Params{Policy: kv.PolicyReplicated, SequencerShards: seqShards, Workload: base(p)}
+			name := fmt.Sprintf("replicated-s%d", seqShards)
+			r := run(fmt.Sprintf("p%d/%s", p, name), cfg, params, false)
+			st := r.Report.RTS
+			rows = append(rows, []string{
+				fmt.Sprint(p), name, fmt.Sprint(r.Ops),
 				fmt.Sprintf("%.0f", r.Throughput),
 				lat(r, "kv.get", 0.50), lat(r, "kv.get", 0.95), lat(r, "kv.get", 0.99),
 				lat(r, "kv.put", 0.99),

@@ -281,6 +281,43 @@ func (nw *Network) BroadcastFrame(f Frame) {
 	})
 }
 
+// MulticastFrame transmits a frame to the listed member nodes except
+// the sender, modeling hardware multicast (the Amoeba testbed's
+// Ethernet filtered multicast addresses in the controller): the bus is
+// occupied exactly once, and only member NICs raise receive
+// interrupts — every other node's hardware drops the frame for free.
+// members must be sorted ascending so delivery order is deterministic.
+func (nw *Network) MulticastFrame(f Frame, members []int) {
+	if !nw.params.BroadcastCapable {
+		panic("netsim: multicast on non-broadcast network")
+	}
+	if nw.down[f.Src] {
+		return
+	}
+	f.Dst = Broadcast
+	at, frags := nw.transmit(f)
+	if nw.params.DropProb > 0 || nw.downCount > 0 || nw.faultsActive(nw.env.Now()) {
+		for _, dst := range members {
+			if dst == f.Src {
+				continue
+			}
+			nw.deliver(f, dst, at, frags)
+		}
+		return
+	}
+	// Healthy lossless fast path, mirroring BroadcastFrame: one pooled
+	// event fans out to the member handlers in node order.
+	nw.env.Schedule(at, func() {
+		for _, dst := range members {
+			if dst == f.Src || nw.down[dst] || nw.handlers[dst] == nil {
+				continue
+			}
+			nw.stats.Interrupts[dst] += int64(frags)
+			nw.handlers[dst](Delivery{Frame: f, Fragments: frags, At: at})
+		}
+	})
+}
+
 // Stats returns a snapshot of the wire statistics.
 func (nw *Network) Stats() Stats {
 	s := nw.stats

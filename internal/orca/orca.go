@@ -129,8 +129,29 @@ type Config struct {
 	// Sequencer picks the initial group sequencer for the broadcast
 	// runtime (default: processor 0). Fault experiments use it to put
 	// the sequencer on a machine the fault plan crashes, without
-	// crashing the main process on processor 0.
+	// crashing the main process on processor 0. Under sharding it is
+	// the rotation offset: shard k's sequencer is span[(k+Sequencer) %
+	// len(span)], so consecutive shards sequence on distinct machines.
 	Sequencer int
+	// Shards splits the broadcast total order across this many
+	// independent sequencer groups, each on its own kernel port with
+	// its own sequencer; objects are assigned to a shard at creation
+	// (hash of the object id, or explicitly via OnShard / Sharded
+	// creation options) and unrelated objects sequence concurrently.
+	// 0 or 1 keeps the single group — every existing code path and
+	// golden untouched. Shards > 1 requires the pure broadcast runtime
+	// (RTS: Broadcast, not Mixed).
+	Shards int
+	// ShardSpan is each sequencer group's replication domain size: the
+	// machines are cut into Processors/ShardSpan contiguous blocks and
+	// shard k replicates its objects on block k mod blocks only, so a
+	// write costs receive-and-apply on ShardSpan machines instead of
+	// all of them (machines outside a domain reach its objects through
+	// the forwarder RPC). 0 means every shard spans all machines.
+	// Requires Shards > 1, Processors divisible by ShardSpan, and
+	// Shards divisible by the block count (so every machine hosts a
+	// shard).
+	ShardSpan int
 	// Faults, when non-nil, is the failure schedule for the run:
 	// machine crashes executed by the runtime (kernel, threads,
 	// process accounting, and runtime-system routing all follow), plus
@@ -152,6 +173,7 @@ type Runtime struct {
 	machines []*amoeba.Machine
 	members  []*group.Member
 	sys      rts.System
+	shardRT  *rts.ShardedRTS // non-nil when cfg.Shards > 1
 	fastRead rts.LocalReader // non-nil when sys serves typed local reads
 	reg      *rts.Registry
 
@@ -254,6 +276,66 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		})
 		return br
 	}
+	// buildSharded cuts the machines into replication domains, joins
+	// one sequencer group per shard (distinct port, rotated sequencer),
+	// and composes the shard runtimes into a ShardedRTS. Forks travel
+	// as barrier fences through every group spanning both machines; the
+	// kernel-port fallback below covers forks across disjoint domains.
+	buildSharded := func() *rts.ShardedRTS {
+		span := cfg.ShardSpan
+		if span <= 0 {
+			span = cfg.Processors
+		}
+		switch {
+		case span > cfg.Processors || cfg.Processors%span != 0:
+			panic(fmt.Sprintf("orca: ShardSpan %d must divide Processors %d", span, cfg.Processors))
+		case cfg.Shards%(cfg.Processors/span) != 0:
+			panic(fmt.Sprintf("orca: Shards %d must be a multiple of the %d domains (every machine must host a shard)", cfg.Shards, cfg.Processors/span))
+		}
+		blocks := cfg.Processors / span
+		defs := make([]rts.ShardDef, cfg.Shards)
+		for k := 0; k < cfg.Shards; k++ {
+			ids := make([]int, span)
+			base := (k % blocks) * span
+			for i := range ids {
+				ids[i] = base + i
+			}
+			gcfg := group.DefaultConfig(ids)
+			gcfg.Method = cfg.GroupMethod
+			gcfg.Protocol = cfg.Protocol
+			gcfg.Sequencer = ids[((k+cfg.Sequencer)%span+span)%span]
+			gcfg.Shard = k
+			gcfg.ShardCount = cfg.Shards
+			if cfg.Batching != nil {
+				gcfg.Batch = cfg.Batching.batchConfig()
+				pScale := span / 32
+				if pScale < 1 {
+					pScale = 1
+				}
+				gcfg.StatusEvery *= gcfg.Batch.MaxOps * pScale
+			}
+			members := make([]*group.Member, span)
+			for i, id := range ids {
+				members[i] = group.Join(rt.machines[id], gcfg)
+			}
+			defs[k] = rts.ShardDef{Members: members, Span: ids}
+		}
+		sh := rts.NewShardedRTS(rt.reg, rc, rt.machines, defs)
+		if cfg.Batching != nil {
+			sh.EnableBatching(cfg.Batching.batchConfig())
+		}
+		sh.SetExtraHandler(func(node int, body any) {
+			if fm, ok := body.(forkMsg); ok && node == fm.Target {
+				rt.startFork(fm.FID)
+			}
+		})
+		for _, m := range rt.machines {
+			m.Bind("orca-fork", func(p *sim.Proc, from int, pkt amoeba.Packet) {
+				rt.startFork(pkt.Body.(forkMsg).FID)
+			})
+		}
+		return sh
+	}
 	// p2pConfig resolves the point-to-point configuration, with the
 	// protocol forced by the RTS kind when that kind is point-to-point.
 	p2pConfig := func() rts.P2PConfig {
@@ -276,6 +358,15 @@ func New(cfg Config, setup func(reg *rts.Registry)) *Runtime {
 		panic("orca: Batching requires the broadcast runtime (or Mixed)")
 	case cfg.Protocol != group.ElectedSequencer && cfg.RTS != Broadcast && !cfg.Mixed:
 		panic("orca: Protocol selection requires the broadcast runtime (or Mixed)")
+	case cfg.Shards < 0:
+		panic(fmt.Sprintf("orca: negative shard count %d", cfg.Shards))
+	case cfg.Shards > 1 && (cfg.RTS != Broadcast || cfg.Mixed):
+		panic("orca: Shards requires the pure broadcast runtime (RTS: Broadcast, not Mixed)")
+	case cfg.ShardSpan != 0 && cfg.Shards <= 1:
+		panic("orca: ShardSpan requires Shards > 1")
+	case cfg.Shards > 1:
+		rt.shardRT = buildSharded()
+		rt.sys = rt.shardRT
 	case cfg.Mixed:
 		// Both managers share the machines and the group members; the
 		// RTS kind only picks where Default-policy objects live. Forks
@@ -375,6 +466,10 @@ type Report struct {
 	// RTS is the unified runtime-system counter snapshot (see
 	// Runtime.Stats).
 	RTS rts.RTSStats
+	// Shards holds each sequencer group's own counter snapshot when
+	// the runtime is sharded (Config.Shards > 1); RTS is their merge.
+	// Nil otherwise.
+	Shards []rts.RTSStats
 	// CPUBusy is each machine's total CPU-busy time (kernel +
 	// application).
 	CPUBusy []sim.Time
@@ -409,6 +504,9 @@ func (rt *Runtime) Run(main func(p *Proc)) Report {
 		Net:      rt.net.Stats(),
 		RTS:      rt.Stats(),
 		Crashes:  rt.Crashes(),
+	}
+	if rt.shardRT != nil {
+		rep.Shards = rt.shardRT.ShardStats()
 	}
 	if len(rt.hists) > 0 {
 		rep.Latency = rt.hists
@@ -562,6 +660,20 @@ func (p *Proc) Fork(cpu int, name string, fn func(p *Proc)) {
 	rt.forks[fid] = forkEntry{name: name, cpu: cpu, origin: p.CPU(), fn: fn}
 	rt.liveProcs++
 	msg := forkMsg{FID: fid, Target: cpu}
+	if rt.shardRT != nil {
+		// The fork travels as a barrier fence: it starts on the target
+		// only after every shard spanning both machines has delivered
+		// it there, so the child observes all of this process's
+		// preceding writes in every one of those shards. Disjoint
+		// replication domains (no common shard) fall back to a kernel
+		// message with point-to-point fork ordering.
+		if !rt.shardRT.ForkFence(p.w, cpu, msg, 32) {
+			rt.machines[p.CPU()].Send(p.w.P, cpu, amoeba.Packet{
+				Port: "orca-fork", Kind: "orca-fork", Body: msg, Size: 32,
+			})
+		}
+		return
+	}
 	if len(rt.members) > 0 {
 		rt.members[p.CPU()].Broadcast(p.w.P, "orca-fork", msg, 32)
 		return
@@ -602,4 +714,37 @@ func (p *Proc) InvokeI(o Object, op string, args ...any) int {
 // InvokeB is Invoke for the single-bool-result case.
 func (p *Proc) InvokeB(o Object, op string, args ...any) bool {
 	return p.rt.sys.Invoke(p.w, o.id, op, args...)[0].(bool)
+}
+
+// FencedOp names one write of a cross-shard fenced invocation.
+type FencedOp struct {
+	Obj  Object
+	Op   string
+	Args []any
+}
+
+// InvokeFenced applies a set of unguarded writes on objects that may
+// live in different shards as one indivisible step: no operation on any
+// touched shard is ordered between them. The fence reserves a slot in
+// every touched shard (in ascending shard order), pauses each shard's
+// delivery at its slot, executes all the writes, and releases the
+// shards — a sequenced two-phase barrier, not a lock. Results are not
+// returned; fenced operations are writes issued for effect (a
+// transfer, a multi-object commit).
+//
+// Requires the sharded runtime: on any other runtime a single group
+// already orders all writes totally and a fence is meaningless, so
+// this panics rather than silently degrading.
+func (p *Proc) InvokeFenced(ops ...FencedOp) {
+	if p.rt.shardRT == nil {
+		panic("orca: InvokeFenced requires Config.Shards > 1")
+	}
+	if len(ops) == 0 {
+		return
+	}
+	rops := make([]rts.FencedOp, len(ops))
+	for i, op := range ops {
+		rops[i] = rts.FencedOp{ID: op.Obj.id, Op: op.Op, Args: op.Args}
+	}
+	p.rt.shardRT.InvokeFenced(p.w, rops)
 }

@@ -51,12 +51,24 @@ const (
 	modePrimaryCopy
 )
 
+// shardMode says how a sharded runtime picks the object's sequencer
+// group (see OnShard and Sharded).
+type shardMode int
+
+const (
+	shardAuto     shardMode = iota // hash of the object id
+	shardExplicit                  // OnShard: the named shard
+	shardKeyed                     // Sharded: key mod shard count
+)
+
 // createSpec is the accumulated result of a creation-option list.
 type createSpec struct {
 	mode      placementMode
 	nodes     []int
 	protocol  rts.P2PProtocol
 	placement rts.Placement
+	shardSel  shardMode
+	shard     int // OnShard target / Sharded key
 }
 
 type defaultPolicy struct{}
@@ -128,6 +140,30 @@ func At(nodes ...int) Option {
 	return func(cs *createSpec) { cs.nodes = cp }
 }
 
+// OnShard pins the object to sequencer group k of a sharded runtime
+// (Config.Shards > 1). k must name an existing shard whose span
+// contains the creating machine. Creation on a non-sharded runtime
+// panics: a pinned shard that silently degrades to "the one total
+// order" would hide a misconfiguration.
+func OnShard(k int) Option {
+	return func(cs *createSpec) {
+		cs.shardSel = shardExplicit
+		cs.shard = k
+	}
+}
+
+// Sharded selects the object's sequencer group as key modulo the shard
+// count — the caller-controlled analogue of the default id hash, for
+// programs that want related objects spread deterministically (a KV
+// store striping its buckets). Requires a sharded runtime, like
+// OnShard.
+func Sharded(key int) Option {
+	return func(cs *createSpec) {
+		cs.shardSel = shardKeyed
+		cs.shard = key
+	}
+}
+
 // Opts bundles options into the slice NewWith takes, purely for
 // call-site readability: NewWith(t, orca.Opts(orca.With(pol)), args).
 func Opts(opts ...Option) []Option { return opts }
@@ -154,7 +190,30 @@ func (p *Proc) NewWith(typeName string, opts []Option, args ...any) Object {
 
 // create routes one creation spec onto the configured runtime system.
 func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []any) rts.ObjID {
+	if cs.shardSel != shardAuto {
+		if _, ok := rt.sys.(*rts.ShardedRTS); !ok {
+			panic("orca: OnShard/Sharded require a sharded runtime (Config.Shards > 1)")
+		}
+	}
 	switch sys := rt.sys.(type) {
+	case *rts.ShardedRTS:
+		switch cs.mode {
+		case modePrimaryCopy:
+			panic("orca: PrimaryCopy placement requires the point-to-point runtime or Config.Mixed")
+		default:
+			shard := -1
+			switch cs.shardSel {
+			case shardExplicit:
+				if cs.shard < 0 || cs.shard >= sys.Shards() {
+					panic(fmt.Sprintf("orca: OnShard(%d) out of range [0,%d)", cs.shard, sys.Shards()))
+				}
+				shard = cs.shard
+			case shardKeyed:
+				n := sys.Shards()
+				shard = ((cs.shard % n) + n) % n
+			}
+			return sys.CreateSharded(w, typeName, shard, cs.nodes, args...)
+		}
 	case *rts.MixedRTS:
 		switch cs.mode {
 		case modeReplicated:

@@ -1,0 +1,107 @@
+package orca_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/orca"
+	"repro/internal/orca/std"
+	"repro/internal/sim"
+)
+
+// shardedFenceRun executes a sharded program that mixes cross-shard
+// fenced transfers with per-shard traffic while the wire drops
+// fragments and one shard's sequencer crashes, and returns an
+// outcome fingerprint. With full-span shards and sequencer rotation 0,
+// shard k sequences on machine k: crashing machine 1 takes down
+// exactly shard 1's sequencer.
+func shardedFenceRun(t *testing.T, method group.Method, protocol group.Protocol) string {
+	t.Helper()
+	const procs, shards, transfers, opsPer = 4, 4, 8, 30
+	plan := &netsim.FaultPlan{
+		Crashes: []netsim.Crash{{Node: 1, At: 60 * sim.Millisecond}},
+		Losses: []netsim.LossWindow{{
+			Src: netsim.AnyNode, Dst: netsim.AnyNode,
+			From: 10 * sim.Millisecond, Until: 150 * sim.Millisecond, Prob: 0.05,
+		}},
+	}
+	cfg := orca.Config{Processors: procs, RTS: orca.Broadcast, Shards: shards,
+		GroupMethod: method, Protocol: protocol, Seed: 33, Faults: plan}
+	rt := orca.New(cfg, std.Register)
+	finals := make([]int, shards)
+	rep := rt.Run(func(p *orca.Proc) {
+		counters := make([]orca.Object, shards)
+		for k := range counters {
+			counters[k] = p.NewWith(std.IntObj, orca.Opts(orca.OnShard(k)))
+		}
+		done := p.New(std.BarrierObj, 2)
+		for _, cpu := range []int{2, 3} {
+			cpu := cpu
+			p.Fork(cpu, fmt.Sprintf("w%d", cpu), func(wp *orca.Proc) {
+				for i := 0; i < opsPer; i++ {
+					wp.Invoke(counters[cpu], "inc")
+					wp.Work(time1ms)
+				}
+				wp.Invoke(done, "arrive")
+			})
+		}
+		// Cross-shard fences spanning the crashed shard and a healthy
+		// one: each must reserve a slot in both streams even while
+		// shard 1 is recovering its sequencer.
+		for i := 0; i < transfers; i++ {
+			p.InvokeFenced(
+				orca.FencedOp{Obj: counters[0], Op: "add", Args: []any{2}},
+				orca.FencedOp{Obj: counters[1], Op: "add", Args: []any{3}},
+			)
+			p.Work(5 * time1ms)
+		}
+		p.Invoke(done, "wait")
+		for k := range counters {
+			finals[k] = p.InvokeI(counters[k], "value")
+		}
+	})
+	if rep.TimedOut {
+		t.Fatalf("%v/%v: timed out (blocked: %v)", method, protocol, rep.Blocked)
+	}
+	if finals[0] != 2*transfers || finals[1] != 3*transfers {
+		t.Fatalf("%v/%v: fenced counters = %v, want [%d %d ...]",
+			method, protocol, finals, 2*transfers, 3*transfers)
+	}
+	if finals[2] != opsPer || finals[3] != opsPer {
+		t.Fatalf("%v/%v: surviving-shard counters = %v, want %d in shards 2,3",
+			method, protocol, finals, opsPer)
+	}
+	if len(rep.Crashes) != 1 || rep.Crashes[0].Node != 1 {
+		t.Fatalf("%v/%v: crash record = %+v", method, protocol, rep.Crashes)
+	}
+	return fmt.Sprintf("finals=%v elapsed=%d msgs=%d frames=%d fenced=%d",
+		finals, int64(rep.Elapsed), rep.Net.Messages, rep.Net.Frames, rep.RTS.FencedOps)
+}
+
+// TestShardedFenceDeterministicUnderFaults: the cross-shard fence stays
+// bit-deterministic under fragment loss plus a one-shard sequencer
+// crash, for all three sequencing protocols — two runs of each
+// configuration must produce identical outcome fingerprints.
+func TestShardedFenceDeterministicUnderFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		method   group.Method
+		protocol group.Protocol
+	}{
+		{"PB", group.ForcePB, group.ElectedSequencer},
+		{"BB", group.ForceBB, group.ElectedSequencer},
+		{"Consensus", group.Auto, group.Consensus},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fp1 := shardedFenceRun(t, tc.method, tc.protocol)
+			fp2 := shardedFenceRun(t, tc.method, tc.protocol)
+			if fp1 != fp2 {
+				t.Fatalf("fence run not deterministic under %s:\n  %s\n  %s", tc.name, fp1, fp2)
+			}
+		})
+	}
+}

@@ -25,6 +25,23 @@ type BroadcastRTS struct {
 	mgrs  []*bcastManager
 	ids   *idAlloc
 
+	// span lists the global node ids hosting a manager (ascending), and
+	// mgrAt maps a global node id to its index in mgrs (-1 outside the
+	// span). A standalone runtime spans every machine and the mapping is
+	// the identity; under a ShardedRTS each sequencer group may span a
+	// subset (its replication domain), and machines outside it reach the
+	// shard through the forwarder RPC (see ShardedRTS).
+	span  []int
+	mgrAt []int
+
+	// fwdPort is the RPC port serving forwarded operations — distinct
+	// per co-hosted shard, since Bind panics on a duplicate.
+	fwdPort string
+
+	// fence, when set by a ShardedRTS, handles cross-shard fence
+	// messages appearing in this shard's delivery stream.
+	fence func(p *sim.Proc, mgr *bcastManager, d group.Delivery, f wireFence)
+
 	// batch, when enabled, turns on the write-combining pipeline (see
 	// EnableBatching and batch.go).
 	batch group.BatchConfig
@@ -178,8 +195,34 @@ type opWaiter struct {
 // NewBroadcastRTS builds the runtime over one group member per
 // machine. machines[i] and members[i] must be node i.
 func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, members []*group.Member) *BroadcastRTS {
-	r := &BroadcastRTS{reg: reg, costs: costs, ids: &idAlloc{}}
+	span := make([]int, len(machines))
 	for i, m := range machines {
+		span[i] = m.ID()
+	}
+	return newBroadcastRTSAt(reg, costs, machines, members, span, fwdPort)
+}
+
+// newBroadcastRTSAt builds the runtime over a (possibly partial)
+// machine span, binding the forwarder service on the given port.
+// machines[i] and members[i] must be node span[i]; span must be
+// ascending. A ShardedRTS builds one per sequencer group.
+func newBroadcastRTSAt(reg *Registry, costs Costs, machines []*amoeba.Machine, members []*group.Member, span []int, port string) *BroadcastRTS {
+	r := &BroadcastRTS{reg: reg, costs: costs, ids: &idAlloc{}, span: span, fwdPort: port}
+	total := 0
+	for _, m := range machines {
+		if n := m.Net().Nodes(); n > total {
+			total = n
+		}
+	}
+	r.mgrAt = make([]int, total)
+	for i := range r.mgrAt {
+		r.mgrAt[i] = -1
+	}
+	for i, m := range machines {
+		if m.ID() != span[i] {
+			panic(fmt.Sprintf("rts: span machine mismatch (node %d at span slot %d)", m.ID(), span[i]))
+		}
+		r.mgrAt[m.ID()] = i
 		mgr := &bcastManager{
 			rts:      r,
 			m:        m,
@@ -197,8 +240,23 @@ func NewBroadcastRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, mem
 	return r
 }
 
-// Nodes reports the machine count.
+// mgr returns the object manager on a node, nil outside the span.
+func (r *BroadcastRTS) mgr(node int) *bcastManager {
+	if node < 0 || node >= len(r.mgrAt) {
+		return nil
+	}
+	i := r.mgrAt[node]
+	if i < 0 {
+		return nil
+	}
+	return r.mgrs[i]
+}
+
+// Nodes reports the machine count (span size).
 func (r *BroadcastRTS) Nodes() int { return len(r.mgrs) }
+
+// Span reports the global node ids hosting this runtime's replicas.
+func (r *BroadcastRTS) Span() []int { return r.span }
 
 // EnableBatching turns on the write-combining pipeline: unguarded
 // no-result writes are submitted through per-worker combining buffers
@@ -270,7 +328,10 @@ func (r *BroadcastRTS) NodeCrashed(node int) {
 func (r *BroadcastRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 	t := r.reg.Lookup(typeName) // validate before broadcasting
 	id := r.ids.alloc()
-	mgr := r.mgrs[w.Node()]
+	mgr := r.mgr(w.Node())
+	if mgr == nil {
+		panic(fmt.Sprintf("rts: create from node %d outside the shard span %v", w.Node(), r.span))
+	}
 	mgr.syncBuf(w) // creation is ordered after the worker's buffered writes
 	w.Flush()
 	body := wireCreate{Obj: id, Type: t.Name, Args: args}
@@ -281,7 +342,10 @@ func (r *BroadcastRTS) Create(w *Worker, typeName string, args ...any) ObjID {
 
 // Invoke implements System.
 func (r *BroadcastRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) []any {
-	mgr := r.mgrs[w.Node()]
+	mgr := r.mgr(w.Node())
+	if mgr == nil {
+		panic(fmt.Sprintf("rts: invoke from node %d outside the shard span %v (route via ShardedRTS)", w.Node(), r.span))
+	}
 	if pl := r.placement(id); pl != nil && !r.replicatedOn(w.Node(), id) {
 		// No local replica: forward the operation to a holder.
 		mgr.syncBuf(w)
@@ -330,7 +394,10 @@ func (r *BroadcastRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bo
 			return nil, false
 		}
 	}
-	mgr := r.mgrs[w.Node()]
+	mgr := r.mgr(w.Node())
+	if mgr == nil {
+		return nil, false
+	}
 	inst := mgr.instance(w.P, id)
 	if w.batch != nil && w.batch.holds(inst) {
 		w.batch.sync(w) // read-own-write: wait for the buffered writes
@@ -343,7 +410,11 @@ func (r *BroadcastRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bo
 
 // PeekState implements System.
 func (r *BroadcastRTS) PeekState(node int, id ObjID) (State, bool) {
-	inst, ok := r.mgrs[node].insts[id]
+	mgr := r.mgr(node)
+	if mgr == nil {
+		return nil, false
+	}
+	inst, ok := mgr.insts[id]
 	if !ok {
 		return nil, false
 	}
@@ -353,7 +424,11 @@ func (r *BroadcastRTS) PeekState(node int, id ObjID) (State, bool) {
 // PendingWrites reports how many guarded writes are queued on a
 // machine's replica; exposed for tests.
 func (r *BroadcastRTS) PendingWrites(node int, id ObjID) int {
-	inst, ok := r.mgrs[node].insts[id]
+	mgr := r.mgr(node)
+	if mgr == nil {
+		return 0
+	}
+	inst, ok := mgr.insts[id]
 	if !ok {
 		return 0
 	}
@@ -495,6 +570,11 @@ func (mgr *bcastManager) run(p *sim.Proc) {
 				mgr.applyCreate(p, d.UID, d.Src, body)
 			case wireOp:
 				mgr.applyWrite(p, d.UID, d.Src, body)
+			case wireFence:
+				if mgr.rts.fence == nil {
+					panic("rts: cross-shard fence delivered to a non-sharded runtime")
+				}
+				mgr.rts.fence(p, mgr, d, body)
 			default:
 				if mgr.extra == nil {
 					panic(fmt.Sprintf("rts: unexpected group message %T", d.Body))

@@ -23,7 +23,8 @@ import (
 // machine, trading everyone's update-application cost for the
 // forwarders' round trips.
 
-// fwdPort is the RPC port serving forwarded operations.
+// fwdPort is the default RPC port serving forwarded operations; each
+// shard of a ShardedRTS binds its own (see BroadcastRTS.fwdPort).
 const fwdPort = "objfwd"
 
 // fwdOp is the forwarded-operation request body.
@@ -80,7 +81,10 @@ func (r *BroadcastRTS) CreateOn(w *Worker, typeName string, nodes []int, args ..
 		r.placements = make(map[ObjID][]int)
 	}
 	r.placements[id] = append([]int(nil), nodes...)
-	mgr := r.mgrs[w.Node()]
+	mgr := r.mgr(w.Node())
+	if mgr == nil {
+		panic(fmt.Sprintf("rts: CreateOn from node %d outside the shard span %v", w.Node(), r.span))
+	}
 	mgr.syncBuf(w) // creation is ordered after the worker's buffered writes
 	w.Flush()
 	body := wireCreate{Obj: id, Type: t.Name, Args: args}
@@ -95,7 +99,7 @@ func (r *BroadcastRTS) CreateOn(w *Worker, typeName string, nodes []int, args ..
 func (r *BroadcastRTS) startForwarders(machines []*amoeba.Machine) {
 	for i, m := range machines {
 		mgr := r.mgrs[i]
-		srv := amoeba.NewServer(m, fwdPort)
+		srv := amoeba.NewServer(m, r.fwdPort)
 		mgr.fwdSrv = srv
 		mgr.fwdClient = amoeba.NewClient(m, amoeba.RPCDefaults{Timeout: 2 * sim.Second, Retries: 1 << 20})
 		m.SpawnThread("objfwd", func(p *sim.Proc) {
@@ -136,7 +140,7 @@ func (mgr *bcastManager) forward(w *Worker, id ObjID, pl []int, opName string, a
 			mgr.rts.opsRetried++
 		}
 		first = false
-		rep, err := mgr.fwdClient.Trans(w.P, holder, fwdPort, opName,
+		rep, err := mgr.fwdClient.Trans(w.P, holder, mgr.rts.fwdPort, opName,
 			fwdOp{Obj: id, Op: opName, Args: args}, SizeOfArgs(args)+len(opName)+16)
 		if err == nil {
 			if rep == nil {

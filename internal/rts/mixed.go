@@ -42,6 +42,11 @@ type idAlloc struct{ next ObjID }
 
 func (a *idAlloc) alloc() ObjID { a.next++; return a.next }
 
+// peek reports the id the next alloc will return without consuming it;
+// the ShardedRTS uses it to pick an object's shard before the shard's
+// Create allocates that same id.
+func (a *idAlloc) peek() ObjID { return a.next + 1 }
+
 // RTSStats is the unified runtime-counter snapshot. A pure broadcast
 // runtime fills the broadcast fields, a pure point-to-point runtime the
 // p2p fields, and a MixedRTS merges both — one schema for reports,
@@ -68,6 +73,10 @@ type RTSStats struct {
 	Invalidations int64 `json:"invalidations,omitempty"` // invalidation messages sent
 	Updates       int64 `json:"updates,omitempty"`       // update messages sent
 
+	// Cross-shard counters (see ShardedRTS): write operations applied
+	// through a pausing cross-shard fence.
+	FencedOps int64 `json:"fenced_ops,omitempty"`
+
 	// Fault-tolerance counters (see CrashAware).
 	Crashes    int64 `json:"crashes,omitempty"`     // machine crashes observed by the runtime
 	OpsRetried int64 `json:"ops_retried,omitempty"` // operations retried after a crash broke their first attempt
@@ -86,36 +95,46 @@ type RTSStats struct {
 	RecoveryVirtualUS float64 `json:"recovery_virtual_us,omitempty"`
 }
 
-// merge adds o's counters into s. Crashes is a node count both
-// subsystems observe identically (a MixedRTS forwards every crash to
-// both), so it merges by max rather than sum.
-func (s RTSStats) merge(o RTSStats) RTSStats {
-	s.LocalReads += o.LocalReads
-	s.BcastWrites += o.BcastWrites
-	s.GuardWaits += o.GuardWaits
-	s.Forwarded += o.Forwarded
-	s.BatchedOps += o.BatchedOps
-	s.Frames += o.Frames
-	s.RemoteReads += o.RemoteReads
-	s.P2PWrites += o.P2PWrites
-	s.Fetches += o.Fetches
-	s.Discards += o.Discards
-	s.Invalidations += o.Invalidations
-	s.Updates += o.Updates
-	if o.Crashes > s.Crashes {
-		s.Crashes = o.Crashes
-	}
-	s.OpsRetried += o.OpsRetried
-	s.Rehomed += o.Rehomed
-	if o.Elections > s.Elections {
-		s.Elections = o.Elections
-	}
-	if o.Takeovers > s.Takeovers {
-		s.Takeovers = o.Takeovers
-	}
-	s.Reproposals += o.Reproposals
-	if o.RecoveryVirtualUS > s.RecoveryVirtualUS {
-		s.RecoveryVirtualUS = o.RecoveryVirtualUS
+// Merge combines counter snapshots from independent runtime subsystems
+// hosted on the same machines (a MixedRTS's two runtimes, a
+// ShardedRTS's N sequencer groups) into one. Work counters sum — each
+// subsystem performed its share of the reads, writes, frames, and
+// retries. Whole-machine observations merge by max: every subsystem
+// observes the same crash (NodeCrashed is forwarded to all), and
+// concurrent subsystems on the same machines observe the same logical
+// sequencer recovery, so Crashes, Elections, Takeovers, and the
+// recovery outage would double-count under a sum.
+func Merge(snaps ...RTSStats) RTSStats {
+	var s RTSStats
+	for _, o := range snaps {
+		s.LocalReads += o.LocalReads
+		s.BcastWrites += o.BcastWrites
+		s.GuardWaits += o.GuardWaits
+		s.Forwarded += o.Forwarded
+		s.BatchedOps += o.BatchedOps
+		s.Frames += o.Frames
+		s.RemoteReads += o.RemoteReads
+		s.P2PWrites += o.P2PWrites
+		s.Fetches += o.Fetches
+		s.Discards += o.Discards
+		s.Invalidations += o.Invalidations
+		s.Updates += o.Updates
+		s.FencedOps += o.FencedOps
+		if o.Crashes > s.Crashes {
+			s.Crashes = o.Crashes
+		}
+		s.OpsRetried += o.OpsRetried
+		s.Rehomed += o.Rehomed
+		if o.Elections > s.Elections {
+			s.Elections = o.Elections
+		}
+		if o.Takeovers > s.Takeovers {
+			s.Takeovers = o.Takeovers
+		}
+		s.Reproposals += o.Reproposals
+		if o.RecoveryVirtualUS > s.RecoveryVirtualUS {
+			s.RecoveryVirtualUS = o.RecoveryVirtualUS
+		}
 	}
 	return s
 }
@@ -252,5 +271,5 @@ func (m *MixedRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bool) 
 // Counters implements StatsSource, merging both subsystems' counters
 // into one snapshot.
 func (m *MixedRTS) Counters() RTSStats {
-	return m.br.Counters().merge(m.p2p.Counters())
+	return Merge(m.br.Counters(), m.p2p.Counters())
 }

@@ -1,0 +1,561 @@
+package rts
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/amoeba"
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// Sharded total order — N independent sequencer groups on the same
+// simulated machines, with broadcast objects sharded across them.
+//
+// One sequencer group gives one total order for every shared object,
+// which caps scale-out no matter how well the sequencer batches: every
+// write in the program funnels through a single ordering pipe. A
+// ShardedRTS hosts N BroadcastRTS instances ("shards"), each over its
+// own group.Member set bound to a distinct kernel port, and assigns
+// every object to exactly one shard at creation — by hash of the
+// object id, or explicitly through the policy API. Per-object
+// operations route to the owning shard, so each object keeps the exact
+// sequential-consistency guarantees of a solitary BroadcastRTS while
+// unrelated objects sequence concurrently through independent
+// sequencers.
+//
+// Each shard may span a subset of the machines (its replication
+// domain): the group multicast then interrupts only domain NICs, the
+// domain's machines are the only ones applying the shard's writes, and
+// machines outside a domain reach its objects through the forwarder
+// RPC. Domains are what turn sharding into real scale-out — with
+// all-machine spans every machine still pays the receive-and-apply
+// cost of every write in the program, and sharding only distributes
+// the sequencers' own work.
+//
+// Cross-shard operations (forks, multi-object transactions spanning
+// shards) stay deterministic through a sequenced fence: a two-phase
+// "reserve a slot in every touched shard in ascending shard order,
+// release when the last reservation delivers" barrier (see
+// InvokeFenced and ForkFence below).
+type ShardedRTS struct {
+	subs     []*BroadcastRTS
+	machines []*amoeba.Machine
+	ids      *idAlloc      // shared: ids unique across shards
+	owner    map[ObjID]int // object -> shard
+	inSpan   [][]bool      // [shard][node]
+
+	extra func(node int, body any)
+
+	// fences holds the per-machine in-flight fence records, keyed by
+	// fence id.
+	fences   []map[int64]*fenceRec
+	fenceSeq int64
+
+	fencedOps int64
+}
+
+var (
+	_ System      = (*ShardedRTS)(nil)
+	_ LocalReader = (*ShardedRTS)(nil)
+	_ StatsSource = (*ShardedRTS)(nil)
+	_ CrashAware  = (*ShardedRTS)(nil)
+)
+
+// ShardDef describes one sequencer group of a ShardedRTS: the group
+// endpoints (already joined, on a port distinct per shard) and the
+// global node ids they live on, ascending. Members[i] must be joined
+// on node Span[i].
+type ShardDef struct {
+	Members []*group.Member
+	Span    []int
+}
+
+// FencedOp is one write of a cross-shard fenced invocation (see
+// InvokeFenced).
+type FencedOp struct {
+	ID   ObjID
+	Op   string
+	Args []any
+}
+
+// wireFence is the fence message sequenced into every covered shard's
+// stream. A pausing fence (Pause) carries the fenced writes; a barrier
+// fence carries an opaque body handed to the extra handler on the
+// target machine when the last covered shard delivers there.
+type wireFence struct {
+	FID    int64
+	Shards []int // covered shards, ascending
+	Target int   // barrier: machine whose extra handler fires (-1: pausing)
+	Body   any   // barrier payload
+	Ops    []FencedOp
+	Pause  bool
+}
+
+// fenceRec tracks one fence's arrivals on one machine.
+type fenceRec struct {
+	expect  int // covered shards spanning this machine
+	arrived int
+	done    bool
+	cond    sim.Cond
+}
+
+// NewShardedRTS builds the sharded runtime over machines (all nodes of
+// the simulation, by node id) and one ShardDef per sequencer group.
+// Every machine must lie in at least one shard's span, so creations
+// and fence-routed forks always have a local group to travel.
+func NewShardedRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, shards []ShardDef) *ShardedRTS {
+	if len(shards) < 2 {
+		panic("rts: a sharded runtime needs at least two shards (use BroadcastRTS for one)")
+	}
+	s := &ShardedRTS{
+		machines: machines,
+		owner:    make(map[ObjID]int),
+		fences:   make([]map[int64]*fenceRec, len(machines)),
+	}
+	for i := range s.fences {
+		s.fences[i] = make(map[int64]*fenceRec)
+	}
+	covered := make([]bool, len(machines))
+	for k, def := range shards {
+		sub := make([]*amoeba.Machine, len(def.Span))
+		in := make([]bool, len(machines))
+		for i, id := range def.Span {
+			if i > 0 && def.Span[i-1] >= id {
+				panic(fmt.Sprintf("rts: shard %d span %v not ascending", k, def.Span))
+			}
+			sub[i] = machines[id]
+			in[id] = true
+			covered[id] = true
+		}
+		br := newBroadcastRTSAt(reg, costs, sub, def.Members, def.Span, fmt.Sprintf("%s%d", fwdPort, k))
+		br.fence = s.handleFence
+		if s.ids == nil {
+			s.ids = br.ids
+		} else {
+			br.ids = s.ids // fuse: ids unique across all shards
+		}
+		s.subs = append(s.subs, br)
+		s.inSpan = append(s.inSpan, in)
+	}
+	for id, ok := range covered {
+		if !ok {
+			panic(fmt.Sprintf("rts: node %d lies in no shard span", id))
+		}
+	}
+	return s
+}
+
+// Shards reports the sequencer-group count.
+func (s *ShardedRTS) Shards() int { return len(s.subs) }
+
+// Shard exposes one sequencer group's runtime (statistics, tests).
+func (s *ShardedRTS) Shard(k int) *BroadcastRTS { return s.subs[k] }
+
+// ShardOf reports the shard hosting an object.
+func (s *ShardedRTS) ShardOf(id ObjID) int {
+	k, ok := s.owner[id]
+	if !ok {
+		panic(fmt.Sprintf("rts: unknown object %d", id))
+	}
+	return k
+}
+
+// Nodes implements System: the total machine count.
+func (s *ShardedRTS) Nodes() int { return len(s.machines) }
+
+// EnableBatching turns on the write-combining pipeline in every shard
+// (see BroadcastRTS.EnableBatching).
+func (s *ShardedRTS) EnableBatching(bc group.BatchConfig) {
+	for _, sub := range s.subs {
+		sub.EnableBatching(bc)
+	}
+}
+
+// SetExtraHandler installs the callback for unrecognized group bodies
+// and barrier-fence payloads (the Orca layer's fork messages).
+func (s *ShardedRTS) SetExtraHandler(h func(node int, body any)) {
+	s.extra = h
+	for _, sub := range s.subs {
+		sub.SetExtraHandler(h)
+	}
+}
+
+// NodeCrashed implements CrashAware, forwarding to every shard. A
+// crash of one shard's sequencer is that shard's problem alone: the
+// other groups' sequencers are distinct machines (or at least distinct
+// elections), so their streams keep delivering while the crashed
+// shard recovers.
+func (s *ShardedRTS) NodeCrashed(node int) {
+	for _, sub := range s.subs {
+		sub.NodeCrashed(node)
+	}
+}
+
+// hashShard spreads object ids over n shards (Fibonacci hashing; ids
+// are sequential, so the low bits alone would stripe, not spread).
+func hashShard(id ObjID, n int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int((h >> 33) % uint64(n))
+}
+
+// sub resolves the shard runtime hosting an object.
+func (s *ShardedRTS) sub(id ObjID) *BroadcastRTS {
+	return s.subs[s.ShardOf(id)]
+}
+
+// syncSwitch re-points the worker's write-combining buffer when an
+// operation targets a different shard than the buffered writes: the
+// buffer drains into its own shard first (program order must reach the
+// total order before the cross-shard op), then follows the worker to
+// the new shard's manager. A worker streaming into one shard never
+// pays this; ping-ponging across shards degrades to one frame per
+// switch — placement, not the runtime, is the lever there.
+func (s *ShardedRTS) syncSwitch(w *Worker, sub *BroadcastRTS) {
+	b := w.batch
+	if b == nil || b.mgr == nil || b.mgr.rts == sub {
+		return
+	}
+	b.sync(w)
+	if mg := sub.mgr(w.Node()); mg != nil {
+		b.mgr = mg
+	}
+}
+
+// Create implements System: the object lands on the shard its id
+// hashes to, among the shards whose span contains the creator.
+func (s *ShardedRTS) Create(w *Worker, typeName string, args ...any) ObjID {
+	return s.CreateSharded(w, typeName, -1, nil, args...)
+}
+
+// CreateSharded creates a broadcast object on the given sequencer
+// group (shard < 0: hash of the object id over the shards whose span
+// contains the creator), optionally replicated on only the given
+// nodes (nil: the whole shard span). The creator must lie in the
+// chosen shard's span.
+func (s *ShardedRTS) CreateSharded(w *Worker, typeName string, shard int, nodes []int, args ...any) ObjID {
+	node := w.Node()
+	if shard < 0 {
+		var elig []int
+		for k := range s.subs {
+			if s.inSpan[k][node] {
+				elig = append(elig, k)
+			}
+		}
+		shard = elig[hashShard(s.ids.peek(), len(elig))]
+	} else {
+		if shard >= len(s.subs) {
+			panic(fmt.Sprintf("rts: shard %d out of range [0,%d)", shard, len(s.subs)))
+		}
+		if !s.inSpan[shard][node] {
+			panic(fmt.Sprintf("rts: create on shard %d from node %d outside its span %v", shard, node, s.subs[shard].span))
+		}
+	}
+	sub := s.subs[shard]
+	s.syncSwitch(w, sub)
+	want := s.ids.peek()
+	var id ObjID
+	if nodes != nil {
+		id = sub.CreateOn(w, typeName, nodes, args...)
+	} else {
+		id = sub.Create(w, typeName, args...)
+	}
+	if id != want {
+		panic("rts: sharded id allocation raced")
+	}
+	s.owner[id] = shard
+	return id
+}
+
+// Invoke implements System, routing to the owning shard. Machines
+// outside the shard's span forward over RPC to a span holder, exactly
+// as partial replication forwards within a single group.
+func (s *ShardedRTS) Invoke(w *Worker, id ObjID, op string, args ...any) []any {
+	sub := s.sub(id)
+	s.syncSwitch(w, sub)
+	if sub.mgr(w.Node()) == nil {
+		return s.forwardOp(w, sub, id, op, args)
+	}
+	return sub.Invoke(w, id, op, args...)
+}
+
+// LocalReadState implements LocalReader, routing to the owning shard.
+func (s *ShardedRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bool) {
+	return s.sub(id).LocalReadState(w, id, op)
+}
+
+// PeekState implements System, routing to the owning shard.
+func (s *ShardedRTS) PeekState(node int, id ObjID) (State, bool) {
+	k, ok := s.owner[id]
+	if !ok {
+		return nil, false
+	}
+	return s.subs[k].PeekState(node, id)
+}
+
+// forwardOp executes an operation at a machine of the owning shard's
+// span on behalf of a machine outside it, reusing a local shard's RPC
+// client (every machine lies in at least one span). Dead holders are
+// skipped; the at-least-once retry caveat of the single-group forward
+// path applies identically.
+func (s *ShardedRTS) forwardOp(w *Worker, sub *BroadcastRTS, id ObjID, opName string, args []any) []any {
+	w.Flush()
+	sub.forwarded++
+	var cl *amoeba.Client
+	for _, local := range s.subs {
+		if mg := local.mgr(w.Node()); mg != nil {
+			cl = mg.fwdClient
+			break
+		}
+	}
+	holders := sub.placement(id)
+	if holders == nil {
+		holders = sub.span
+	}
+	first := true
+	for _, holder := range holders {
+		if sub.down[holder] || s.machines[w.Node()].Net().Down(holder) {
+			continue
+		}
+		if !first {
+			sub.opsRetried++
+		}
+		first = false
+		rep, err := cl.Trans(w.P, holder, sub.fwdPort, opName,
+			fwdOp{Obj: id, Op: opName, Args: args}, SizeOfArgs(args)+len(opName)+16)
+		if err == nil {
+			if rep == nil {
+				return nil
+			}
+			return rep.([]any)
+		}
+		if !errors.Is(err, amoeba.ErrCrashed) {
+			panic(fmt.Sprintf("rts: cross-shard op %s on object %d failed: %v", opName, id, err))
+		}
+	}
+	panic(fmt.Sprintf("rts: no live span holder for object %d (shard span %v)", id, sub.span))
+}
+
+// Counters implements StatsSource, merging every shard's counters.
+func (s *ShardedRTS) Counters() RTSStats {
+	snaps := make([]RTSStats, 0, len(s.subs)+1)
+	for _, sub := range s.subs {
+		snaps = append(snaps, sub.Counters())
+	}
+	snaps = append(snaps, RTSStats{FencedOps: s.fencedOps})
+	return Merge(snaps...)
+}
+
+// ShardStats reports each shard's own counter snapshot, in shard
+// order — the per-shard breakdown Report.Shards surfaces.
+func (s *ShardedRTS) ShardStats() []RTSStats {
+	out := make([]RTSStats, len(s.subs))
+	for k, sub := range s.subs {
+		out[k] = sub.Counters()
+	}
+	return out
+}
+
+// fenceRec returns (or installs) the machine's record for a fence,
+// expecting one arrival per covered shard whose span contains the
+// machine.
+func (s *ShardedRTS) fenceRec(node int, f wireFence) *fenceRec {
+	m := s.fences[node]
+	if rec, ok := m[f.FID]; ok {
+		return rec
+	}
+	expect := 0
+	for _, k := range f.Shards {
+		if s.inSpan[k][node] {
+			expect++
+		}
+	}
+	rec := &fenceRec{expect: expect}
+	m[f.FID] = rec
+	return rec
+}
+
+// handleFence consumes one fence delivery from a shard's stream
+// (installed as every sub's fence hook; runs on the delivering
+// manager's thread).
+//
+// Barrier fences only matter at the target machine: the last covered
+// shard's delivery there fires the extra handler with the payload, so
+// the payload (a fork) observes every write sequenced before the fence
+// in every covered shard.
+//
+// Pausing fences first acknowledge the initiator's reservation (the
+// uid completion InvokeFenced awaits), then every covered shard but
+// the last PAUSES its delivery stream on this machine — nothing
+// sequenced after the fence in that shard may apply before the fenced
+// writes. The last arrival executes the fenced writes against the
+// local replicas and releases the paused shards. Reservation in
+// ascending shard order plus ack-before-pause makes concurrent fences
+// acquire their shards in a consistent order, so two fences can never
+// pause each other's completion path (see DESIGN.md).
+func (s *ShardedRTS) handleFence(p *sim.Proc, mgr *bcastManager, d group.Delivery, f wireFence) {
+	node := mgr.m.ID()
+	if !f.Pause {
+		if node != f.Target {
+			return
+		}
+		rec := s.fenceRec(node, f)
+		rec.arrived++
+		if rec.arrived == rec.expect {
+			delete(s.fences[node], f.FID)
+			if s.extra != nil {
+				s.extra(node, f.Body)
+			}
+		}
+		return
+	}
+	mgr.complete(p, d.UID, d.Src, nil)
+	rec := s.fenceRec(node, f)
+	rec.arrived++
+	if rec.arrived < rec.expect {
+		for !rec.done {
+			rec.cond.Wait(p)
+		}
+		return
+	}
+	s.execFence(p, mgr, f)
+	rec.done = true
+	rec.cond.Broadcast()
+	delete(s.fences[node], f.FID)
+}
+
+// execFence applies the fenced writes on this machine, in op order,
+// each against its owning shard's replica. Costs charge through the
+// delivering manager's frame accounting; touched replicas join their
+// OWNING manager's guard-retry sweep, which runs at that manager's
+// next frame boundary (its own delivery of this fence, at the latest).
+func (s *ShardedRTS) execFence(p *sim.Proc, mgr *bcastManager, f wireFence) {
+	node := mgr.m.ID()
+	for i := range f.Ops {
+		fo := &f.Ops[i]
+		sub := s.subs[s.owner[fo.ID]]
+		sm := sub.mgr(node)
+		if sm == nil || !sub.replicatedOn(node, fo.ID) {
+			continue
+		}
+		inst, ok := sm.insts[fo.ID]
+		if !ok {
+			panic(fmt.Sprintf("rts: fenced write to unknown object %d on node %d", fo.ID, node))
+		}
+		op := inst.op(fo.Op)
+		mgr.charge(p, sub.costs.WriteApply+sub.costs.opCost(op))
+		op.Apply(inst.state, fo.Args)
+		inst.writes++
+		if !inst.typ.SizeFixed {
+			inst.seg.Resize(int64(inst.typ.stateSize(inst.state)))
+		}
+		inst.cond.Broadcast()
+		if !inst.touched {
+			inst.touched = true
+			sm.touched = append(sm.touched, inst)
+		}
+	}
+}
+
+// InvokeFenced applies several write operations — possibly on objects
+// in different shards — as one atomic, deterministically ordered step:
+// on every machine, all of the writes apply at the same point of every
+// covered shard's stream, and no operation sequenced after the fence
+// in any covered shard observes a partial application. The two-phase
+// protocol reserves a slot in every covered shard in ascending shard
+// order (waiting for each reservation's local delivery before the
+// next) and releases when the last covered shard delivers.
+//
+// The operations must be unguarded writes; results are discarded. The
+// invoking machine must lie in every covered shard's span. The call
+// returns once the writes have applied locally, so the invoker's
+// subsequent reads observe them. An initiator that crashes between
+// reservations stalls the already-reserved shards on machines that
+// delivered its fence — the same class of liveness caveat as a crashed
+// replica holder mid-forward (see DESIGN.md).
+func (s *ShardedRTS) InvokeFenced(w *Worker, ops []FencedOp) {
+	if len(ops) == 0 {
+		return
+	}
+	node := w.Node()
+	var shards []int
+	size := 16
+	for i := range ops {
+		fo := &ops[i]
+		k, ok := s.owner[fo.ID]
+		if !ok {
+			panic(fmt.Sprintf("rts: fenced op on unknown object %d", fo.ID))
+		}
+		mg := s.subs[k].mgr(node)
+		if mg == nil {
+			panic(fmt.Sprintf("rts: fenced op on object %d from node %d outside shard %d's span", fo.ID, node, k))
+		}
+		inst := mg.instance(w.P, fo.ID)
+		op := inst.op(fo.Op)
+		if op.Kind == Read {
+			panic(fmt.Sprintf("rts: fenced operation %s is a read; fences carry writes", fo.Op))
+		}
+		if op.Guard != nil {
+			panic(fmt.Sprintf("rts: fenced operation %s is guarded; fences carry unguarded writes", fo.Op))
+		}
+		size += SizeOfArgs(fo.Args) + len(fo.Op) + 16
+		seen := false
+		for _, sk := range shards {
+			if sk == k {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			shards = append(shards, k)
+		}
+	}
+	for i := 1; i < len(shards); i++ {
+		for j := i; j > 0 && shards[j] < shards[j-1]; j-- {
+			shards[j], shards[j-1] = shards[j-1], shards[j]
+		}
+	}
+	if w.batch != nil {
+		w.batch.sync(w) // program order reaches every shard before the fence
+	}
+	w.Flush()
+	s.fenceSeq++
+	f := wireFence{FID: s.fenceSeq, Shards: shards, Target: -1, Ops: ops, Pause: true}
+	rec := s.fenceRec(node, f)
+	for _, k := range shards {
+		mgr := s.subs[k].mgr(node)
+		uid := mgr.g.Broadcast(w.P, "rts-fence", f, size)
+		mgr.await(w.P, uid)
+	}
+	for !rec.done {
+		rec.cond.Wait(w.P)
+	}
+	s.fencedOps += int64(len(ops))
+}
+
+// ForkFence broadcasts a barrier fence carrying body into every shard
+// whose span contains both the invoking machine and the target; the
+// extra handler fires on the target once the LAST of those shards
+// delivers there, so the payload observes every write the invoker
+// sequenced before the fence, in every shard the target replicates.
+// It reports false when no shard spans both machines (disjoint
+// replication domains) — the caller falls back to a kernel message,
+// accepting the weaker ordering a plain point-to-point fork has.
+func (s *ShardedRTS) ForkFence(w *Worker, target int, body any, size int) bool {
+	node := w.Node()
+	var shards []int
+	for k := range s.subs {
+		if s.inSpan[k][node] && s.inSpan[k][target] {
+			shards = append(shards, k)
+		}
+	}
+	if len(shards) == 0 {
+		return false
+	}
+	s.fenceSeq++
+	f := wireFence{FID: s.fenceSeq, Shards: shards, Target: target, Body: body}
+	for _, k := range shards {
+		s.subs[k].mgr(node).g.Broadcast(w.P, "rts-fence", f, size+16)
+	}
+	return true
+}
