@@ -124,7 +124,7 @@ func main() {
 	for name := range base {
 		if strings.HasPrefix(name, "engine/") || strings.HasPrefix(name, "orca/") ||
 			strings.HasPrefix(name, "kv/") || strings.HasPrefix(name, "consensus/") ||
-			strings.HasPrefix(name, "shard/") {
+			strings.HasPrefix(name, "shard/") || strings.HasPrefix(name, "adapt/") {
 			names = append(names, name)
 		}
 	}

@@ -287,6 +287,38 @@ func runBenchJSON(path string, quick bool) error {
 		kvEntry("kv/zipf-p8-repl", kv.PolicyReplicated),
 		kvEntry("kv/zipf-p8-primary", kv.PolicyPrimary))
 
+	// Adaptive placement at scale: the phase-shift affinity trace on 32
+	// processors, every shard under the online placement controller.
+	// Shards migrate to their dominant writers and re-home when the
+	// write traffic rotates mid-run; the rts block pins the migration
+	// count and virtual migration cost along with the percentiles.
+	adaptEntry := func() benchResult {
+		const p = 32
+		wl := workload.Config{
+			Keys: 4096, Dist: workload.Uniform,
+			ReadFrac: 0.5, UpdateFrac: 0.25, Seed: 1,
+			Rate: 200 * p, Duration: 200 * sim.Millisecond,
+			ShiftFrac: 0.5, Partitions: p, LocalFrac: 0.9,
+		}
+		var res kv.Result
+		r := measure("adapt/kv-shift-p32", 1, func(int64) *sim.Env {
+			res = kv.Run(orca.Config{Processors: p, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+				kv.Params{Policy: kv.PolicyAdaptive, Shards: p, AffineKeys: true,
+					Adapt:    rts.AdaptConfig{SampleEvery: 16, MinDwell: 10 * sim.Millisecond},
+					Workload: wl})
+			return res.Runtime.Env()
+		})
+		r.VirtualSec = res.Report.Elapsed.Seconds()
+		all := res.Report.Latency["kv.all"]
+		r.P50VirtUs = all.Percentile(0.50).Microseconds()
+		r.P95VirtUs = all.Percentile(0.95).Microseconds()
+		r.P99VirtUs = all.Percentile(0.99).Microseconds()
+		st := res.Report.RTS
+		r.RTS = &st
+		return r
+	}
+	results = append(results, adaptEntry())
+
 	// Sharded total order: the counter scale-out workload (every machine
 	// streams assigns to a counter homed in its own shard's domain, 16
 	// sequencer groups over 128 machines on the modern cost profile) and

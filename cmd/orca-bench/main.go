@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro|partrepl|intrcost|mixed|faults|scale|kv|consensus|shard] [-quick]
+//	orca-bench [-exp all|fig2|fig3|chess|atpg|pbbb|rtscmp|dynrepl|micro|partrepl|intrcost|mixed|faults|scale|kv|consensus|shard|adapt] [-quick]
 //	orca-bench -bench-json [-bench-out BENCH_engine.json] [-quick]
 //
 // Each experiment prints the measured series next to a summary of what
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed, faults, scale, kv, consensus, shard")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, chess, atpg, pbbb, rtscmp, dynrepl, micro, partrepl, intrcost, mixed, faults, scale, kv, consensus, shard, adapt")
 	quick := flag.Bool("quick", false, "run reduced sweeps on smaller inputs")
 	benchJSON := flag.Bool("bench-json", false, "run the engine benchmark suite and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -bench-json")
@@ -59,8 +59,9 @@ func main() {
 		"kv":        func() { harness.KVExperiment(w, scale) },
 		"consensus": func() { harness.ProtocolBakeoff(w, scale) },
 		"shard":     func() { harness.ShardExperiment(w, scale) },
+		"adapt":     func() { harness.AdaptExperiment(w, scale) },
 	}
-	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed", "faults", "scale", "kv", "consensus", "shard"}
+	order := []string{"pbbb", "micro", "rtscmp", "dynrepl", "fig2", "fig3", "chess", "atpg", "partrepl", "intrcost", "mixed", "faults", "scale", "kv", "consensus", "shard", "adapt"}
 	names := strings.Split(*exp, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -171,6 +171,23 @@ var determinismApps = []struct {
 		return fmt.Sprintf("ops=%d acked=%d lost=%d ", r.Ops, r.AckedPuts, r.LostAcked) +
 			fingerprint(r.Report, r.Runtime)
 	}},
+	{"kv-adaptive", func() string {
+		// The adaptive placement controller on the phase-shift affinity
+		// trace: shards migrate broadcast->primary mid-run and re-home
+		// when the write traffic rotates. The migration count rides in
+		// the fingerprint next to the usual schedule and histograms.
+		r := kv.Run(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1},
+			kv.Params{Policy: kv.PolicyAdaptive, Shards: 4, AffineKeys: true,
+				Adapt: rts.AdaptConfig{SampleEvery: 32, MinDwell: 10 * sim.Millisecond},
+				Workload: workload.Config{
+					Keys: 512, Dist: workload.Uniform,
+					ReadFrac: 0.5, UpdateFrac: 0.25, Seed: 7,
+					Rate: 6000, Duration: 200 * sim.Millisecond,
+					ShiftFrac: 0.5, Partitions: 4, LocalFrac: 0.9,
+				}})
+		return fmt.Sprintf("ops=%d acked=%d lost=%d mig=%d ", r.Ops, r.AckedPuts, r.LostAcked, r.Report.RTS.Migrations) +
+			fingerprint(r.Report, r.Runtime)
+	}},
 	{"kv-crash", func() string {
 		// The serving store losing a client machine mid-run, replicated
 		// shards: the audit must find every acknowledged write, and the
@@ -220,6 +237,7 @@ var goldenFingerprints = map[string]string{
 	"chess":               "elapsed=1958225600 frames=847 msgs=847 wire=82539 payload=46965 reads=931 writes=516 guardwaits=87 cpu=1537858000 cpu=1090096000 cpu=1094636000 cpu=1464496000",
 	"atpg":                "elapsed=69011200 frames=82 msgs=82 wire=15233 payload=11789 reads=5358 writes=43 guardwaits=4 cpu=48903000 cpu=49534000 cpu=56598000 cpu=40530000",
 	"kv":                  "ops=208 acked=9 lost=0 elapsed=83656200 frames=228 msgs=228 wire=21297 payload=11721 reads=118 bwrites=20 guardwaits=4 rreads=83 pwrites=10 updates=0 cpu=22485000 cpu=38680000 cpu=19740000 cpu=31860000 kv.all=208/327430733/5767167/6376104 kv.get=186/290239671/5767167/6376104 kv.put=9/11467954/2630741/2630741 kv.update=13/25723108/4296403/4296403",
+	"kv-adaptive":         "ops=1201 acked=316 lost=0 mig=8 elapsed=430296246 frames=901 msgs=901 wire=84479 payload=46637 reads=579 bwrites=76 guardwaits=4 rreads=278 pwrites=532 updates=0 cpu=147070000 cpu=102865000 cpu=97335000 cpu=91545000 kv.all=1201/2674052400/17825791/21321934 kv.get=603/1295845426/17825791/21321934 kv.put=316/685116982/15728639/18560386 kv.update=282/693089992/17825791/21107934",
 	"kv-crash":            "ops=172 acked=6 lost=0 elapsed=81301295 frames=62 msgs=62 wire=6210 payload=3606 crash=3@25000000/1 reads=169 bwrites=24 guardwaits=4 rreads=0 pwrites=0 updates=0 cpu=13295000 cpu=11540000 cpu=11150000 cpu=7230000 kv.all=172/24418859/1835007/2113896 kv.get=155/10057938/950271/1810602 kv.put=6/3894539/1078000/1078000 kv.update=11/10466382/2113896/2113896",
 }
 

@@ -126,6 +126,12 @@ const (
 	// primary-copy — both strategies side by side on one trace.
 	// Requires Config.Mixed.
 	PolicyMixed
+	// PolicyAdaptive puts every shard under the online placement
+	// controller: shards start replicated and re-place themselves
+	// (primary copy at the dominant writer, back to replicated, primary
+	// re-homing) as the observed traffic warrants. Requires
+	// Config.Mixed.
+	PolicyAdaptive
 )
 
 // String names the policy for tables.
@@ -137,6 +143,8 @@ func (pl Policy) String() string {
 		return "primary"
 	case PolicyMixed:
 		return "mixed"
+	case PolicyAdaptive:
+		return "adaptive"
 	}
 	return fmt.Sprintf("Policy(%d)", int(pl))
 }
@@ -160,9 +168,27 @@ type Params struct {
 	// Config (not Mixed): sequencer sharding is a broadcast-runtime
 	// structure.
 	SequencerShards int
+	// Adapt parameterizes the placement controller under
+	// PolicyAdaptive; the zero value selects the defaults.
+	Adapt rts.AdaptConfig
+	// AffineKeys maps keys to shards in contiguous blocks (shard =
+	// key * Shards / Keys) instead of the multiplicative hash, so a
+	// workload partition block (workload.Config.Partitions) aligns
+	// with a shard and its home machine — the input shape where
+	// per-shard placement and re-homing matter.
+	AffineKeys bool
+	// PhaseWarmup excludes open-loop operations arriving within this
+	// duration of a phase's start from the per-phase latency
+	// percentiles (PhaseP50US/PhaseP99US) — the steady-state view,
+	// applied to every policy equally. PhaseOps and PhaseThroughput
+	// still count every operation. Zero keeps every sample.
+	PhaseWarmup sim.Time
 	// Workload describes the aggregate traffic: Rate and Ops are
 	// split evenly across clients, each client drawing from its own
-	// seeded generator (Seed xor a per-client salt).
+	// seeded generator (Seed xor a per-client salt). When
+	// Workload.Partitions > 1, each client's Partition is set to its
+	// machine id modulo Partitions, so traffic affinity follows
+	// machine placement.
 	Workload workload.Config
 }
 
@@ -186,6 +212,19 @@ type Result struct {
 	Report orca.Report
 	// Runtime gives the harness access to post-run statistics.
 	Runtime *orca.Runtime
+
+	// Per-phase accounting of a phase-shift trace (everything lands in
+	// phase 0 when the workload has no shift). Kept out of the run's
+	// histograms on purpose: it is computed from host memory after the
+	// fact, so enabling it changes no simulated event.
+	PhaseOps [2]int64
+	// PhaseThroughput is completed ops per virtual second within each
+	// phase's serving interval.
+	PhaseThroughput [2]float64
+	// PhaseP50US / PhaseP99US are completion-latency percentiles
+	// within each phase, in virtual microseconds.
+	PhaseP50US [2]float64
+	PhaseP99US [2]float64
 }
 
 // shardOf maps a key to its shard with a multiplicative hash, so the
@@ -197,16 +236,30 @@ func shardOf(key int64, shards int) int {
 	return int((h >> 17) % uint64(shards))
 }
 
+// shardOfAffine maps keys to shards in contiguous blocks: shard s owns
+// keys [s*Keys/Shards, (s+1)*Keys/Shards). With a partitioned affinity
+// workload this aligns key block, shard, and home machine.
+func shardOfAffine(key, keys int64, shards int) int {
+	s := int(key * int64(shards) / keys)
+	if s >= shards {
+		s = shards - 1
+	}
+	return s
+}
+
 // shardOpts resolves one shard's creation options under the policy.
 // seqShards > 0 stripes store shard s onto sequencer group s mod
 // seqShards (the Sharded option applies the modulus).
-func shardOpts(pl Policy, s, seqShards int) []orca.Option {
+func shardOpts(pl Policy, s, seqShards int, adapt rts.AdaptConfig) []orca.Option {
 	if pl == PolicyMixed {
 		if s%2 == 0 {
 			pl = PolicyReplicated
 		} else {
 			pl = PolicyPrimary
 		}
+	}
+	if pl == PolicyAdaptive {
+		return orca.Opts(orca.With(orca.Adaptive(adapt)))
 	}
 	if pl == PolicyPrimary {
 		return orca.Opts(orca.With(orca.PrimaryCopy{
@@ -250,11 +303,19 @@ func Run(cfg orca.Config, params Params) Result {
 		}
 		cfg.Shards = params.SequencerShards
 	}
+	if params.Policy == PolicyAdaptive && !cfg.Mixed {
+		panic("kv: PolicyAdaptive requires Config.Mixed (the controller migrates shards between subsystems)")
+	}
 	rt := orca.New(cfg, Register)
 	res := Result{}
 	rep := rt.Run(func(p *orca.Proc) {
 		P := cfg.Processors
 		nShards, nClients := params.Shards, params.Clients
+		shardFor := func(key int64) int { return shardOf(key, nShards) }
+		if params.AffineKeys {
+			keys := params.Workload.Keys
+			shardFor = func(key int64) int { return shardOfAffine(key, keys, nShards) }
+		}
 
 		// Create shards from their home machines, so a primary copy
 		// lives where the shard is homed. The handles travel through
@@ -270,7 +331,7 @@ func Run(cfg orca.Config, params Params) Result {
 			home := home
 			p.Fork(home, fmt.Sprintf("kv-place%d", home), func(cp *orca.Proc) {
 				for s := home; s < nShards; s += P {
-					shards[s] = NewShard(cp, shardOpts(params.Policy, s, params.SequencerShards)...)
+					shards[s] = NewShard(cp, shardOpts(params.Policy, s, params.SequencerShards, params.Adapt)...)
 				}
 				ready.Arrive(cp)
 			})
@@ -290,6 +351,12 @@ func Run(cfg orca.Config, params Params) Result {
 		ackN := make([]int64, nClients)            // acks received (one per put)
 		counts := make([][3]int64, nClients)       // gets, puts, updates
 		var firstAt, lastDone sim.Time
+		// Per-phase accounting, all in host memory: completion
+		// latencies and serving intervals split at the workload's
+		// phase shift (everything in phase 0 without one).
+		var phaseLat [2][]sim.Time
+		var phaseOps [2]int64
+		var phaseFirst, phaseLast [2]sim.Time
 		perRate := params.Workload.Rate / float64(nClients)
 		perOps := params.Workload.Ops / nClients
 		for c := 0; c < nClients; c++ {
@@ -299,16 +366,33 @@ func Run(cfg orca.Config, params Params) Result {
 			wcfg.Rate = perRate
 			wcfg.Ops = perOps
 			wcfg.Seed = params.Workload.Seed ^ int64(c+1)*0x5DEECE66D
+			if wcfg.Partitions > 1 {
+				wcfg.Partition = (c % P) % wcfg.Partitions
+			}
 			p.Fork(c%P, fmt.Sprintf("kv-client%d", c), func(cp *orca.Proc) {
 				g := workload.New(wcfg)
 				// Trace arrival times count from the client's own
 				// start instant (the store is up, serving begins).
 				base := cp.Now()
+				emitted := 0
 				for {
 					op, ok := g.Next()
 					if !ok {
 						break
 					}
+					// Which phase of a shift trace this op falls in,
+					// mirroring the generator's own cut.
+					ph := 0
+					if wcfg.ShiftFrac > 0 && wcfg.ShiftFrac < 1 {
+						if wcfg.Rate > 0 {
+							if float64(op.At) >= wcfg.ShiftFrac*float64(wcfg.Duration) {
+								ph = 1
+							}
+						} else if float64(emitted) >= wcfg.ShiftFrac*float64(wcfg.Ops) {
+							ph = 1
+						}
+					}
+					emitted++
 					start := cp.Now()
 					if op.At > 0 {
 						// Open loop: wait for the arrival instant; a
@@ -321,7 +405,7 @@ func Run(cfg orca.Config, params Params) Result {
 						}
 						start = at
 					}
-					sh := shards[shardOf(op.Key, nShards)]
+					sh := shards[shardFor(op.Key)]
 					switch op.Kind {
 					case workload.Get:
 						sh.Get(cp, op.Key)
@@ -347,6 +431,20 @@ func Run(cfg orca.Config, params Params) Result {
 						histUpd.Record(d)
 					}
 					histAll.Record(d)
+					phaseStart := sim.Time(0)
+					if ph == 1 {
+						phaseStart = sim.Time(wcfg.ShiftFrac * float64(wcfg.Duration))
+					}
+					if op.At == 0 || op.At >= phaseStart+params.PhaseWarmup {
+						phaseLat[ph] = append(phaseLat[ph], d)
+					}
+					phaseOps[ph]++
+					if phaseFirst[ph] == 0 || start < phaseFirst[ph] {
+						phaseFirst[ph] = start
+					}
+					if end > phaseLast[ph] {
+						phaseLast[ph] = end
+					}
 					if firstAt == 0 || start < firstAt {
 						firstAt = start
 					}
@@ -395,7 +493,7 @@ func Run(cfg orca.Config, params Params) Result {
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		for _, k := range keys {
-			_, ver := shards[shardOf(k, nShards)].Get(p, k)
+			_, ver := shards[shardFor(k)].Get(p, k)
 			if ver < worst[k] {
 				res.LostAcked++
 			}
@@ -409,6 +507,19 @@ func Run(cfg orca.Config, params Params) Result {
 		res.Ops = res.Gets + res.Puts + res.Updates
 		if lastDone > firstAt {
 			res.Throughput = float64(res.Ops) / (lastDone - firstAt).Seconds()
+		}
+		for ph := 0; ph < 2; ph++ {
+			lats := phaseLat[ph]
+			res.PhaseOps[ph] = phaseOps[ph]
+			if phaseLast[ph] > phaseFirst[ph] {
+				res.PhaseThroughput[ph] = float64(phaseOps[ph]) / (phaseLast[ph] - phaseFirst[ph]).Seconds()
+			}
+			if len(lats) == 0 {
+				continue
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			res.PhaseP50US[ph] = float64(lats[(len(lats)-1)*50/100]) / float64(sim.Microsecond)
+			res.PhaseP99US[ph] = float64(lats[(len(lats)-1)*99/100]) / float64(sim.Microsecond)
 		}
 	})
 	res.Report = rep

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/orca"
+	"repro/internal/rts"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -225,4 +226,113 @@ func TestSequencerShardsRejectsMisuse(t *testing.T) {
 	}()
 	Run(orca.Config{Processors: 2, RTS: orca.Broadcast, Seed: 1},
 		Params{Policy: PolicyPrimary, SequencerShards: 2, Workload: testWorkload(1)})
+}
+
+// affineShiftWorkload is the adaptive-placement input: every machine's
+// traffic concentrates on its own key block (so every shard has a
+// dominant writer), and at mid-run each block's traffic moves to the
+// next machine.
+func affineShiftWorkload(seed int64) workload.Config {
+	return workload.Config{
+		Keys: 512, Dist: workload.Uniform,
+		ReadFrac: 0.5, UpdateFrac: 0.25, Seed: seed,
+		Rate: 6000, Duration: 200 * sim.Millisecond,
+		ShiftFrac: 0.5, Partitions: 4, LocalFrac: 0.9,
+	}
+}
+
+func TestAdaptivePolicyMigratesAndKeepsWrites(t *testing.T) {
+	cfg := orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1}
+	params := Params{
+		Policy: PolicyAdaptive, Shards: 4, AffineKeys: true,
+		Adapt:    rts.AdaptConfig{SampleEvery: 32, MinDwell: 10 * sim.Millisecond},
+		Workload: affineShiftWorkload(7),
+	}
+	r := Run(cfg, params)
+	if r.Report.TimedOut {
+		t.Fatalf("timed out (blocked: %v)", r.Report.Blocked)
+	}
+	if r.LostAcked != 0 {
+		t.Fatalf("lost %d acknowledged writes across migrations", r.LostAcked)
+	}
+	if r.Report.RTS.Migrations == 0 {
+		t.Fatal("adaptive run performed no migrations on a write-heavy affinity trace")
+	}
+	if len(r.Report.Placements) != params.Shards {
+		t.Fatalf("report holds %d placements, want %d", len(r.Report.Placements), params.Shards)
+	}
+	// Migration runs must stay bit-identical.
+	r2 := Run(cfg, params)
+	if fingerprint(r) != fingerprint(r2) || r.Report.RTS.Migrations != r2.Report.RTS.Migrations {
+		t.Errorf("adaptive double run differs:\n  %s (mig %d)\n  %s (mig %d)",
+			fingerprint(r), r.Report.RTS.Migrations, fingerprint(r2), r2.Report.RTS.Migrations)
+	}
+}
+
+func TestPhaseAccountingSplitsAtShift(t *testing.T) {
+	wl := testWorkload(3)
+	wl.ShiftFrac = 0.5
+	r := Run(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 2},
+		Params{Policy: PolicyReplicated, Workload: wl})
+	if r.PhaseOps[0] == 0 || r.PhaseOps[1] == 0 {
+		t.Fatalf("phase ops = %v, want both phases populated", r.PhaseOps)
+	}
+	if r.PhaseOps[0]+r.PhaseOps[1] != r.Ops {
+		t.Fatalf("phase ops %v sum to %d, served %d", r.PhaseOps, r.PhaseOps[0]+r.PhaseOps[1], r.Ops)
+	}
+	for ph := 0; ph < 2; ph++ {
+		if r.PhaseThroughput[ph] <= 0 || r.PhaseP99US[ph] <= 0 || r.PhaseP50US[ph] > r.PhaseP99US[ph] {
+			t.Errorf("phase %d: throughput=%v p50=%v p99=%v", ph, r.PhaseThroughput[ph], r.PhaseP50US[ph], r.PhaseP99US[ph])
+		}
+	}
+	// A shift-free run lands everything in phase 0.
+	plain := Run(orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 2},
+		Params{Policy: PolicyReplicated, Workload: testWorkload(3)})
+	if plain.PhaseOps[1] != 0 || plain.PhaseOps[0] != plain.Ops {
+		t.Errorf("shift-free run phase ops = %v, want all %d in phase 0", plain.PhaseOps, plain.Ops)
+	}
+}
+
+func TestShardOfAffineBlocks(t *testing.T) {
+	const keys, shards = 512, 4
+	for k := int64(0); k < keys; k++ {
+		want := int(k / (keys / shards))
+		if got := shardOfAffine(k, keys, shards); got != want {
+			t.Fatalf("key %d -> shard %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestAdaptiveCrashNoLostAckedWrites(t *testing.T) {
+	// A machine dies while the adaptive controller is re-placing shards
+	// under it. The crash lands before the dead machine's home shard
+	// finishes migrating to a primary copy there, so every acknowledged
+	// write still lives in a replicated instance or at a surviving
+	// primary: the audit must find zero lost acked writes, while the
+	// other shards keep migrating around the hole.
+	faults := &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 3, At: 10 * sim.Millisecond}}}
+	cfg := orca.Config{Processors: 4, RTS: orca.Broadcast, Mixed: true, Seed: 1, Faults: faults}
+	params := Params{
+		Policy: PolicyAdaptive, Shards: 4, AffineKeys: true,
+		Adapt:    rts.AdaptConfig{SampleEvery: 32, MinDwell: 10 * sim.Millisecond},
+		Workload: affineShiftWorkload(7),
+	}
+	r := Run(cfg, params)
+	if r.Report.TimedOut {
+		t.Fatalf("timed out (blocked: %v)", r.Report.Blocked)
+	}
+	if len(r.Report.Crashes) != 1 || r.Report.Crashes[0].Node != 3 {
+		t.Fatalf("crashes executed = %+v, want node 3", r.Report.Crashes)
+	}
+	if r.LostAcked != 0 {
+		t.Fatalf("lost %d acknowledged writes to a crash during adaptive migration", r.LostAcked)
+	}
+	if r.Report.RTS.Migrations == 0 {
+		t.Fatal("no migrations: the crash should not stop the surviving shards from re-placing")
+	}
+	r2 := Run(cfg, params)
+	if fingerprint(r) != fingerprint(r2) || r.Report.RTS.Migrations != r2.Report.RTS.Migrations {
+		t.Errorf("adaptive crash double run differs:\n  %s (mig %d)\n  %s (mig %d)",
+			fingerprint(r), r.Report.RTS.Migrations, fingerprint(r2), r2.Report.RTS.Migrations)
+	}
 }

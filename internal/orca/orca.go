@@ -486,6 +486,11 @@ type Report struct {
 	// program recorded none. Render percentiles in sorted-name order:
 	// the map itself iterates nondeterministically.
 	Latency map[string]*rts.LatencyHist
+	// Placements reports every adaptive object's final placement
+	// ("replicated" or "primary@N") when the program created adaptive
+	// objects (see orca.Adaptive); nil otherwise. Iterate in sorted
+	// ObjID order for deterministic output.
+	Placements map[rts.ObjID]string
 }
 
 // Run executes main as the program's main Orca process on processor 0
@@ -507,6 +512,9 @@ func (rt *Runtime) Run(main func(p *Proc)) Report {
 	}
 	if rt.shardRT != nil {
 		rep.Shards = rt.shardRT.ShardStats()
+	}
+	if mx, ok := rt.sys.(*rts.MixedRTS); ok {
+		rep.Placements = mx.AdaptivePlacements()
 	}
 	if len(rt.hists) > 0 {
 		rep.Latency = rt.hists

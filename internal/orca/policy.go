@@ -49,6 +49,7 @@ const (
 	modeDefault placementMode = iota // follow Config.RTS
 	modeReplicated
 	modePrimaryCopy
+	modeAdaptive
 )
 
 // shardMode says how a sharded runtime picks the object's sequencer
@@ -67,6 +68,7 @@ type createSpec struct {
 	nodes     []int
 	protocol  rts.P2PProtocol
 	placement rts.Placement
+	adapt     rts.AdaptConfig
 	shardSel  shardMode
 	shard     int // OnShard target / Sharded key
 }
@@ -118,6 +120,23 @@ func (p PrimaryCopy) applyPolicy(cs *createSpec) {
 	cs.placement = p.Placement
 	cs.nodes = nil
 }
+
+type adaptivePolicy struct{ cfg rts.AdaptConfig }
+
+func (p adaptivePolicy) applyPolicy(cs *createSpec) {
+	cs.mode = modeAdaptive
+	cs.adapt = p.cfg
+	cs.nodes = nil
+}
+
+// Adaptive places the object under the online placement controller:
+// it starts fully replicated on the broadcast runtime and re-places
+// itself mid-run — replicated to primary copy, primary copy to
+// replicated, primary re-homing toward the hottest writer — as the
+// observed access pattern warrants (see rts/adapt.go). The zero
+// AdaptConfig selects the default thresholds. Requires Config.Mixed:
+// the controller migrates objects between both runtime subsystems.
+func Adaptive(cfg rts.AdaptConfig) Policy { return adaptivePolicy{cfg: cfg} }
 
 // Option configures one object creation. Build options with With and
 // At, and pass them to Proc.NewWith or TypeBuilder.NewWith.
@@ -200,6 +219,8 @@ func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []
 		switch cs.mode {
 		case modePrimaryCopy:
 			panic("orca: PrimaryCopy placement requires the point-to-point runtime or Config.Mixed")
+		case modeAdaptive:
+			panic("orca: Adaptive placement requires Config.Mixed")
 		default:
 			shard := -1
 			switch cs.shardSel {
@@ -218,6 +239,8 @@ func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []
 		switch cs.mode {
 		case modeReplicated:
 			return sys.CreateReplicated(w, typeName, cs.nodes, args...)
+		case modeAdaptive:
+			return sys.CreateAdaptive(w, typeName, cs.adapt, args...)
 		case modePrimaryCopy:
 			checkPrimaryNodes(w, cs.nodes)
 			return sys.CreatePrimaryCopy(w, typeName, cs.protocol, cs.placement, args...)
@@ -236,6 +259,8 @@ func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []
 		switch cs.mode {
 		case modePrimaryCopy:
 			panic("orca: PrimaryCopy placement requires the point-to-point runtime or Config.Mixed")
+		case modeAdaptive:
+			panic("orca: Adaptive placement requires Config.Mixed")
 		default:
 			if cs.nodes != nil {
 				return sys.CreateOn(w, typeName, cs.nodes, args...)
@@ -246,6 +271,8 @@ func (rt *Runtime) create(w *rts.Worker, typeName string, cs createSpec, args []
 		switch cs.mode {
 		case modeReplicated:
 			panic("orca: Replicated placement requires broadcast hardware; use RTS: Broadcast or Config.Mixed")
+		case modeAdaptive:
+			panic("orca: Adaptive placement requires Config.Mixed")
 		case modePrimaryCopy:
 			checkPrimaryNodes(w, cs.nodes)
 			return sys.CreateWith(w, typeName, cs.protocol, cs.placement, args...)

@@ -105,3 +105,80 @@ func TestShardedFenceDeterministicUnderFaults(t *testing.T) {
 		})
 	}
 }
+
+// fenceAbortRun drives a stream of back-to-back cross-shard fences
+// from node 1 and kills that machine mid-stream, then proves the
+// presumed-abort release: the shards the dead initiator had reserved
+// un-pause after the abort grace without applying the interrupted
+// fence's writes, so a survivor's writes to both shards complete and
+// the two fenced counters stay in lock-step (all-or-nothing).
+func fenceAbortRun(t *testing.T, method group.Method, protocol group.Protocol, crashAt sim.Time) string {
+	t.Helper()
+	const procs, shards = 4, 4
+	plan := &netsim.FaultPlan{Crashes: []netsim.Crash{{Node: 1, At: crashAt}}}
+	cfg := orca.Config{Processors: procs, RTS: orca.Broadcast, Shards: shards,
+		GroupMethod: method, Protocol: protocol, Seed: 17, Faults: plan}
+	rt := orca.New(cfg, std.Register)
+	var v0, v1 int
+	rep := rt.Run(func(p *orca.Proc) {
+		c0 := p.NewWith(std.IntObj, orca.Opts(orca.OnShard(0)))
+		c1 := p.NewWith(std.IntObj, orca.Opts(orca.OnShard(1)))
+		p.Fork(1, "initiator", func(wp *orca.Proc) {
+			// Back-to-back fences: the crash instant is inside one of
+			// them, between the shard-0 and shard-1 reservations.
+			for i := 0; i < 200; i++ {
+				wp.InvokeFenced(
+					orca.FencedOp{Obj: c0, Op: "add", Args: []any{2}},
+					orca.FencedOp{Obj: c1, Op: "add", Args: []any{3}},
+				)
+			}
+		})
+		p.Sleep(crashAt + 2*sim.Millisecond)
+		// Survivor writes to both shards: these sit behind the paused
+		// streams until the presumed abort releases them.
+		p.Invoke(c0, "add", 10)
+		p.Invoke(c1, "add", 10)
+		v0 = p.InvokeI(c0, "value")
+		v1 = p.InvokeI(c1, "value")
+	})
+	if rep.TimedOut {
+		t.Fatalf("%v/%v: timed out (blocked: %v)", method, protocol, rep.Blocked)
+	}
+	if len(rep.Crashes) != 1 || rep.Crashes[0].Node != 1 {
+		t.Fatalf("%v/%v: crash record = %+v", method, protocol, rep.Crashes)
+	}
+	k0, k1 := v0-10, v1-10
+	if k0%2 != 0 || k1%3 != 0 || k0/2 != k1/3 {
+		t.Fatalf("%v/%v: fenced counters %d/%d: interrupted fence applied partially", method, protocol, v0, v1)
+	}
+	return fmt.Sprintf("v0=%d v1=%d elapsed=%d msgs=%d", v0, v1, int64(rep.Elapsed), rep.Net.Messages)
+}
+
+// TestFencePresumedAbortOnInitiatorCrash kills a fence initiator
+// between its shard reservations: the paused shards must release after
+// the abort grace with the fence applied nowhere, and the whole
+// schedule must stay deterministic. Before the presumed-abort release
+// this scenario deadlocked — every machine's shard-0 stream waited
+// forever for a shard-1 arrival that can never come.
+func TestFencePresumedAbortOnInitiatorCrash(t *testing.T) {
+	cases := []struct {
+		name     string
+		method   group.Method
+		protocol group.Protocol
+		crashAt  sim.Time
+	}{
+		{"PB", group.ForcePB, group.ElectedSequencer, 20 * sim.Millisecond},
+		{"Consensus", group.Auto, group.Consensus, 60 * sim.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fp1 := fenceAbortRun(t, tc.method, tc.protocol, tc.crashAt)
+			fp2 := fenceAbortRun(t, tc.method, tc.protocol, tc.crashAt)
+			if fp1 != fp2 {
+				t.Fatalf("abort run not deterministic:\n  %s\n  %s", fp1, fp2)
+			}
+			t.Logf("%s", fp1)
+		})
+	}
+}

@@ -1,0 +1,531 @@
+package rts
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Adaptive placement: objects that re-place themselves under live
+// traffic. The paper argues the compiler/RTS should pick each object's
+// implementation (replicated vs single-copy) from observed access
+// patterns; PR 3 made that choice per object but froze it at creation.
+// This file adds the per-object placement controller and the
+// deterministic migration protocol that moves an object between the
+// broadcast subsystem (fully replicated) and the point-to-point
+// subsystem (primary copy) of a MixedRTS mid-run.
+//
+// The cut point for a broadcast<->primary transition is a sequenced
+// migrate record through the broadcast total order: every member
+// switches routing at the same position in the order, invocations
+// sequenced before the record complete under the old placement, and
+// invocations sequenced after it bounce with a private retry sentinel
+// and re-issue under the new placement. Guard waiters parked on the
+// old placement are bounced the same way, so they re-register on the
+// new one. Primary re-homing (p2p -> p2p) uses the object's own
+// serialization point — the primary's task queue — as its cut.
+// DESIGN.md ("Adaptive placement") gives the full argument for why
+// sequential consistency holds mid-flight and why double runs stay
+// bit-identical.
+
+// migrateRetry is the private bounce sentinel. An invocation that
+// reaches an object's old placement after the migration cut completes
+// with retrySlice instead of a result; the MixedRTS routing loop
+// recognizes the pointer identity and re-issues the operation under
+// the new placement. No legitimate operation result can collide with
+// it: the pointer never escapes this package.
+var migrateRetry = &struct{ _ byte }{}
+
+// retrySlice is the shared bounce result. Callers only ever test it
+// with isRetry and must not mutate it.
+var retrySlice = []any{migrateRetry}
+
+// isRetry reports whether an invocation result is the migration bounce
+// sentinel.
+func isRetry(res []any) bool { return len(res) == 1 && res[0] == migrateRetry }
+
+// AdaptConfig parameterizes the placement controller. The zero value
+// selects the defaults below.
+type AdaptConfig struct {
+	// SampleEvery is how many accesses accumulate between placement
+	// decisions (the statistics window). Default 64.
+	SampleEvery int
+	// MinDwell is the minimum virtual time between two migrations of
+	// the same object — the hysteresis that prevents flapping.
+	// Default 20ms.
+	MinDwell sim.Time
+	// WriteHeavyFrac: a replicated object whose EWMA write fraction
+	// reaches this (and has a dominant writer) becomes a primary copy.
+	// Default 0.35.
+	WriteHeavyFrac float64
+	// ReadHeavyFrac: a primary-copy object whose EWMA write fraction
+	// falls to this becomes replicated. Default 0.15. Must be below
+	// WriteHeavyFrac or the controller would oscillate.
+	ReadHeavyFrac float64
+	// DominantFrac is the share of the window's writes one machine
+	// must issue to be chosen as (or re-home) the primary.
+	// Default 0.55.
+	DominantFrac float64
+	// Alpha is the EWMA smoothing factor applied per window.
+	// Default 0.5.
+	Alpha float64
+}
+
+// DefaultAdaptConfig returns the default controller parameters.
+func DefaultAdaptConfig() AdaptConfig {
+	return AdaptConfig{
+		SampleEvery:    64,
+		MinDwell:       20 * sim.Millisecond,
+		WriteHeavyFrac: 0.35,
+		ReadHeavyFrac:  0.15,
+		DominantFrac:   0.55,
+		Alpha:          0.5,
+	}
+}
+
+// withDefaults fills zero fields with the default parameters.
+func (c AdaptConfig) withDefaults() AdaptConfig {
+	d := DefaultAdaptConfig()
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = d.SampleEvery
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = d.MinDwell
+	}
+	if c.WriteHeavyFrac <= 0 {
+		c.WriteHeavyFrac = d.WriteHeavyFrac
+	}
+	if c.ReadHeavyFrac <= 0 {
+		c.ReadHeavyFrac = d.ReadHeavyFrac
+	}
+	if c.DominantFrac <= 0 {
+		c.DominantFrac = d.DominantFrac
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = d.Alpha
+	}
+	return c
+}
+
+// adaptAction is a placement decision.
+type adaptAction int
+
+const (
+	adaptStay adaptAction = iota
+	adaptToPrimary
+	adaptToReplicated
+	adaptRehome
+)
+
+// String names the action for traces and tests.
+func (a adaptAction) String() string {
+	switch a {
+	case adaptToPrimary:
+		return "to-primary"
+	case adaptToReplicated:
+		return "to-replicated"
+	case adaptRehome:
+		return "rehome"
+	default:
+		return "stay"
+	}
+}
+
+// adaptDecide is the pure placement decision over one statistics
+// window: given the current placement, the smoothed write fraction,
+// and the window's per-machine read/write counts, it returns the
+// migration to perform (adaptStay if none) and the target machine.
+// Pure so the property/fuzz tests can drive it with synthetic counter
+// streams. Ties on the dominant writer break toward the lowest
+// machine id, keeping the decision deterministic.
+func adaptDecide(cfg AdaptConfig, replicated bool, primary int, ewmaWriteFrac float64, reads, writes []int64) (adaptAction, int) {
+	var totalW int64
+	dom, domW := -1, int64(0)
+	for n, wn := range writes {
+		totalW += wn
+		if wn > domW {
+			dom, domW = n, wn
+		}
+	}
+	domShare := 0.0
+	if totalW > 0 {
+		domShare = float64(domW) / float64(totalW)
+	}
+	if replicated {
+		// Replicated is only wrong when writes are frequent AND
+		// concentrated: then every write pays a broadcast that one
+		// machine could absorb locally.
+		if ewmaWriteFrac >= cfg.WriteHeavyFrac && dom >= 0 && domShare >= cfg.DominantFrac {
+			return adaptToPrimary, dom
+		}
+		return adaptStay, -1
+	}
+	// Primary copy is wrong when reads dominate (every remote read
+	// pays an RPC that a replica would serve locally) ...
+	if ewmaWriteFrac <= cfg.ReadHeavyFrac {
+		return adaptToReplicated, -1
+	}
+	// ... or when the write traffic moved to another machine.
+	if dom >= 0 && dom != primary && domShare >= cfg.DominantFrac {
+		return adaptRehome, dom
+	}
+	return adaptStay, -1
+}
+
+// adaptInfo is the per-object controller state, plus the bookkeeping
+// of an in-flight migration. One migration per object at a time.
+type adaptInfo struct {
+	cfg      AdaptConfig
+	typ      *ObjectType
+	ctorArgs []any
+	ops      opCache
+
+	// Statistics window.
+	reads  []int64 // per-machine reads since the last decision
+	writes []int64 // per-machine writes since the last decision
+	seen   int     // accesses in the window
+	ewma   float64 // smoothed write fraction
+	primed bool    // first window seeds the EWMA directly
+
+	// Migration bookkeeping.
+	migrating bool     // a migration is in flight; bounced invokers wait on cond
+	toBr      bool     // in-flight direction is p2p -> broadcast
+	fromNode  int      // machine driving the in-flight migration
+	cloned    State    // moveout state snapshot, kept for crash rescue
+	decided   bool     // the globally-first delivery ran (flip or abort)
+	aborted   bool     // the migration aborted (target machine crashed)
+	start     sim.Time // initiation time, for MigrationVirtualUS
+	last      sim.Time // completion time of the last migration (dwell)
+	cond      *sim.Cond
+}
+
+// resetWindow clears the statistics window after a decision.
+func (info *adaptInfo) resetWindow() {
+	for i := range info.reads {
+		info.reads[i] = 0
+	}
+	for i := range info.writes {
+		info.writes[i] = 0
+	}
+	info.seen = 0
+}
+
+// CreateAdaptive creates an object under the adaptive placement
+// controller: it starts fully replicated on the broadcast subsystem
+// and re-places itself as the observed access pattern warrants.
+// Adaptive objects are excluded from the write-combining pipeline —
+// a combined write parked in a worker's buffer across the migration
+// cut would be silently dropped by the moved replica.
+func (m *MixedRTS) CreateAdaptive(w *Worker, typeName string, cfg AdaptConfig, args ...any) ObjID {
+	t := m.br.reg.Lookup(typeName)
+	id := m.br.Create(w, typeName, args...)
+	m.owner[id] = m.br
+	m.br.noBatch(id)
+	if m.adapt == nil {
+		m.adapt = make(map[ObjID]*adaptInfo)
+	}
+	m.adapt[id] = &adaptInfo{
+		cfg:      cfg.withDefaults(),
+		typ:      t,
+		ctorArgs: append([]any(nil), args...),
+		reads:    make([]int64, m.Nodes()),
+		writes:   make([]int64, m.Nodes()),
+		cond:     sim.NewCond(w.M.Env()),
+	}
+	return id
+}
+
+// AdaptivePlacements reports every adaptive object's current
+// placement ("replicated" or "primary@N") for reports and tests.
+func (m *MixedRTS) AdaptivePlacements() map[ObjID]string {
+	if len(m.adapt) == 0 {
+		return nil
+	}
+	out := make(map[ObjID]string, len(m.adapt))
+	for id := range m.adapt {
+		if m.owner[id] == System(m.br) {
+			out[id] = "replicated"
+		} else {
+			out[id] = fmt.Sprintf("primary@%d", m.p2p.meta(id).primary)
+		}
+	}
+	return out
+}
+
+// adaptCount records one access for the controller without running a
+// decision (the typed local-read fast path uses it; reads never
+// trigger a migration of a replicated object, and primary-copy reads
+// take the Invoke path).
+func (m *MixedRTS) adaptCount(w *Worker, id ObjID, kind OpKind) {
+	info := m.adapt[id]
+	if info == nil {
+		return
+	}
+	if kind == Read {
+		info.reads[w.Node()]++
+	} else {
+		info.writes[w.Node()]++
+	}
+	info.seen++
+}
+
+// adaptObserve records one completed Invoke-path access and, when a
+// statistics window fills, runs the placement decision — migrating
+// the object from the invoking worker's context if it fires.
+func (m *MixedRTS) adaptObserve(w *Worker, id ObjID, opName string) {
+	info := m.adapt[id]
+	if info == nil {
+		return
+	}
+	kind := info.ops.lookup(info.typ, opName).Kind
+	if kind == Read {
+		info.reads[w.Node()]++
+	} else {
+		info.writes[w.Node()]++
+	}
+	info.seen++
+	if info.seen < info.cfg.SampleEvery || info.migrating {
+		return
+	}
+	replicated := m.owner[id] == System(m.br)
+	primary := -1
+	if !replicated {
+		primary = m.p2p.meta(id).primary
+	}
+	act, target := info.step(replicated, primary, w.M.Env().Now())
+	if act == adaptStay {
+		return
+	}
+	if act == adaptToPrimary || act == adaptRehome {
+		if m.p2p.nodeDown(target) {
+			return // never migrate toward a dead machine
+		}
+	}
+	m.startMigration(w, id, info, act, target)
+}
+
+// step folds the completed statistics window into the EWMA and returns
+// the migration to start, honoring the dwell-time hysteresis. Factored
+// from adaptObserve so the property/fuzz tests can drive the
+// controller with synthetic counter streams.
+func (info *adaptInfo) step(replicated bool, primary int, now sim.Time) (adaptAction, int) {
+	var r, wr int64
+	for i := range info.reads {
+		r += info.reads[i]
+		wr += info.writes[i]
+	}
+	frac := 0.0
+	if r+wr > 0 {
+		frac = float64(wr) / float64(r+wr)
+	}
+	if !info.primed {
+		info.ewma, info.primed = frac, true
+	} else {
+		info.ewma = info.cfg.Alpha*frac + (1-info.cfg.Alpha)*info.ewma
+	}
+	act, target := adaptDecide(info.cfg, replicated, primary, info.ewma, info.reads, info.writes)
+	info.resetWindow()
+	if act == adaptStay {
+		return adaptStay, -1
+	}
+	if now-info.last < info.cfg.MinDwell {
+		return adaptStay, -1 // hysteresis: too soon after the last migration
+	}
+	return act, target
+}
+
+// startMigration drives one migration from the invoking worker. It
+// returns with the flip (or abort) complete, so the controller's
+// dwell clock and the migrating flag are consistent when the worker
+// continues.
+func (m *MixedRTS) startMigration(w *Worker, id ObjID, info *adaptInfo, act adaptAction, target int) {
+	env := w.M.Env()
+	info.migrating = true
+	info.toBr = false
+	info.decided = false
+	info.aborted = false
+	info.cloned = nil
+	info.fromNode = w.Node()
+	info.start = env.Now()
+	env.Tracef("rts: object %d migration %s (target %d) from node %d", id, act, target, w.Node())
+	switch act {
+	case adaptToPrimary:
+		// Sequence the cut through the broadcast total order; the
+		// globally-first delivery flips ownership (see handleMigrate).
+		mgr := m.br.mgr(w.Node())
+		mgr.syncBuf(w)
+		w.Flush()
+		uid := mgr.g.Broadcast(w.P, "rts-migrate", wireMigrate{Obj: id, Target: target}, 24)
+		mgr.await(w.P, uid)
+		if info.aborted {
+			// Target crashed before the cut: the object stays
+			// replicated and the dwell clock still advances, so the
+			// controller re-evaluates against live statistics later.
+			info.migrating = false
+			info.last = env.Now()
+			info.cond.Broadcast()
+		}
+	case adaptToReplicated:
+		// The primary's task queue is the cut: a moveout task drops
+		// every copy and hands the state to the broadcast group.
+		m.p2p.nodes[w.Node()].submitMigrate(w, m.p2p.meta(id), "moveout", -1)
+		m.awaitFlip(w, id, info, m.p2p)
+	case adaptRehome:
+		m.p2p.nodes[w.Node()].submitMigrate(w, m.p2p.meta(id), "rehome", target)
+		info.migrating = false
+		info.last = env.Now()
+		m.migrations++
+		m.migrationUS += float64(env.Now()-info.start) / float64(sim.Microsecond)
+		info.cond.Broadcast()
+	}
+}
+
+// finishMigration runs exactly once per broadcast-sequenced migration,
+// at the globally-first delivery of its migrate record: it flips the
+// owner, stamps the counters, and releases every bounced waiter.
+func (m *MixedRTS) finishMigration(info *adaptInfo, id ObjID, to System, now sim.Time) {
+	m.owner[id] = to
+	info.migrating = false
+	info.cloned = nil
+	info.last = now
+	m.migrations++
+	m.migrationUS += float64(now-info.start) / float64(sim.Microsecond)
+	info.cond.Broadcast()
+}
+
+// awaitFlip blocks until an in-flight migration moves the object away
+// from the given subsystem (or aborts). If the machine driving a
+// moveout dies after the cut but possibly before its migrate record
+// reached the sequencer, the first waiter re-broadcasts the record
+// from its own machine using the snapshot kept in info.cloned —
+// duplicate records are idempotent at delivery.
+func (m *MixedRTS) awaitFlip(w *Worker, id ObjID, info *adaptInfo, from System) {
+	for info.migrating && m.sub(id) == from {
+		if info.toBr && !info.decided && info.cloned != nil && m.p2p.nodeDown(info.fromNode) {
+			mgr := m.br.mgr(w.Node())
+			w.Flush()
+			size := info.typ.stateSize(info.cloned) + 24
+			uid := mgr.g.Broadcast(w.P, "rts-migrate", wireMigrate{Obj: id, Target: -1, State: info.cloned}, size)
+			mgr.await(w.P, uid)
+			continue
+		}
+		info.cond.Wait(w.P)
+	}
+	if m.sub(id) == System(m.br) {
+		// The object is broadcast-owned but this node's replica may
+		// still be the frozen pre-migration one: the flip runs at the
+		// globally-first delivery of the install record, and this
+		// node's own delivery — which replaces the frozen replica —
+		// can lag it. Wait for the replacement so the retry reads live
+		// state instead of bouncing forever.
+		mgr := m.br.mgr(w.Node())
+		for {
+			inst, ok := mgr.insts[id]
+			if ok && !inst.moved {
+				return
+			}
+			mgr.instCond.Wait(w.P)
+		}
+	}
+}
+
+// handleMigrate applies one delivery of a sequenced migrate record —
+// the cut point of a broadcast<->primary migration. Global decisions
+// (the ownership flip, the target-crashed abort) run exactly once, at
+// the globally-first delivery; per-manager effects (marking the local
+// replica moved, bouncing its guard waiters, installing a fresh
+// replica) run at every manager, each at its own position in the
+// total order.
+func (m *MixedRTS) handleMigrate(p *sim.Proc, mgr *bcastManager, uid int64, src int, wm wireMigrate) {
+	info := m.adapt[wm.Obj]
+	if info == nil {
+		panic(fmt.Sprintf("rts: migrate record for non-adaptive object %d", wm.Obj))
+	}
+	now := mgr.m.Env().Now()
+	if wm.State != nil {
+		// p2p -> broadcast: install a replica holding the carried
+		// snapshot. A live (non-moved) replica means this record is a
+		// crash-rescue duplicate: skip, preserving writes applied
+		// since the first record.
+		if old, ok := mgr.insts[wm.Obj]; !ok || old.moved {
+			if ok {
+				old.seg.Free()
+			}
+			t := info.typ
+			st := t.Clone(wm.State)
+			mgr.charge(p, m.br.costs.Create)
+			inst := &bcastInstance{
+				typ:   t,
+				state: st,
+				seg:   mgr.m.AllocSegment(int64(t.stateSize(st))),
+			}
+			mgr.insts[wm.Obj] = inst
+			if mgr.lastID == wm.Obj {
+				mgr.lastInst = inst
+			}
+			mgr.instCond.Broadcast()
+		}
+		if !info.decided {
+			info.decided = true
+			m.finishMigration(info, wm.Obj, m.br, now)
+		}
+		mgr.complete(p, uid, src, nil)
+		return
+	}
+	// broadcast -> primary copy at wm.Target.
+	if !info.decided {
+		info.decided = true
+		if m.p2p.nodeDown(wm.Target) {
+			// The target died before the cut. Decided exactly once, at
+			// the globally-first delivery, so every manager (and the
+			// initiator) observes the same abort.
+			info.aborted = true
+		} else {
+			// Clone this manager's replica: it sits exactly at the cut
+			// position of the total order, as every replica does at
+			// its own delivery of this record.
+			inst := mgr.insts[wm.Obj]
+			m.installPrimary(wm.Obj, info, wm.Target, info.typ.Clone(inst.state))
+			m.finishMigration(info, wm.Obj, m.p2p, now)
+		}
+	}
+	if !info.aborted {
+		// Freeze the local replica: writes sequenced after the cut
+		// bounce (applyWrite), parked guard writes bounce here, and
+		// guard-blocked readers wake to bounce (localRead).
+		inst := mgr.insts[wm.Obj]
+		inst.moved = true
+		for _, pw := range inst.pending {
+			mgr.complete(p, pw.uid, pw.src, retrySlice)
+		}
+		inst.pending = nil
+		inst.cond.Broadcast()
+	}
+	mgr.complete(p, uid, src, nil)
+}
+
+// installPrimary places a migrated state as a single primary copy on
+// the target machine's point-to-point runtime, reusing the object's
+// meta and primary thread if the object lived there before.
+func (m *MixedRTS) installPrimary(id ObjID, info *adaptInfo, target int, st State) {
+	r := m.p2p
+	tn := r.nodes[target]
+	tn.installCopy(id, info.typ, st)
+	inst := tn.insts[id]
+	inst.primary = true
+	inst.copyset = make(map[int]bool)
+	meta, ok := r.objs[id]
+	if !ok {
+		meta = &p2pMeta{id: id, typ: info.typ, ctorArgs: info.ctorArgs}
+		r.objs[id] = meta
+	}
+	meta.primary = target
+	meta.protocol = Update
+	meta.placement = SingleCopy
+	meta.moved = false
+	if _, ok := tn.queues[id]; !ok {
+		q := sim.NewQueue[*p2pTask](tn.m.Env())
+		tn.queues[id] = q
+		tn.m.SpawnThread(fmt.Sprintf("obj%d", id), func(pp *sim.Proc) { tn.objectLoop(pp, id, q) })
+	}
+}

@@ -1,0 +1,84 @@
+package rts
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rts/scheck"
+	"repro/internal/sim"
+)
+
+// TestAdaptiveSequentialConsistency hammers one adaptive object from
+// eight processes while its placement migrates under them — replicated
+// to primary copy when node 0's writes dominate, re-homed when the
+// write traffic moves to node 1, back to replicated when the workload
+// turns read-only — and validates every process's observed history
+// with the scheck witness. This is the acceptance test for the
+// migration cut: operations sequenced before the cut complete under
+// the old placement, operations after it bounce and re-issue exactly
+// once under the new one, so no process may ever observe values out of
+// write order, mid-migration included.
+func TestAdaptiveSequentialConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		const nodes = 8
+		b, m := newMixedTB(t, seed, nodes, DefaultP2PConfig())
+		// Thresholds sized for this traffic shape: one sole writer among
+		// eight processes gives a ~0.125 write fraction with dominant
+		// share 1.0, so 0.08/0.04 bracket the write phases against the
+		// read-only phase.
+		cfg := AdaptConfig{
+			SampleEvery:    24,
+			MinDwell:       sim.Millisecond,
+			WriteHeavyFrac: 0.08,
+			ReadHeavyFrac:  0.04,
+			DominantFrac:   0.5,
+			Alpha:          0.5,
+		}
+		var id ObjID
+		histories := make([][]scheck.Op, nodes)
+		b.spawn(0, "boot", func(w *Worker) {
+			id = m.CreateAdaptive(w, "intcell", cfg) // starts at 0
+			for n := 0; n < nodes; n++ {
+				n := n
+				b.spawn(n, fmt.Sprintf("p%d", n), func(w *Worker) {
+					rng := b.env.Rand()
+					for i := 0; i < 30; i++ {
+						// Three phases: node 0 writes, then node 1
+						// writes, then everyone reads — driving the
+						// object through to-primary, re-home, and
+						// to-replicated migrations mid-hammer.
+						writer := -1
+						switch i / 10 {
+						case 0:
+							writer = 0
+						case 1:
+							writer = 1
+						}
+						if n == writer {
+							v := n*1000 + i + 1 // unique nonzero value
+							m.Invoke(w, id, "set", v)
+							histories[n] = append(histories[n], scheck.Op{Proc: n, Write: true, Val: v})
+						} else {
+							got := m.Invoke(w, id, "get")[0].(int)
+							histories[n] = append(histories[n], scheck.Op{Proc: n, Val: got})
+						}
+						w.Charge(sim.Time(rng.Intn(500)) * sim.Microsecond)
+					}
+				})
+			}
+		})
+		b.run(240 * sim.Second)
+		defer b.done()
+		if err := scheck.Check(histories); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Counters(); st.Migrations == 0 {
+			t.Fatalf("seed %d: no migration fired — the stress test did not exercise the cut", seed)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,6 +42,17 @@ type BroadcastRTS struct {
 	// messages appearing in this shard's delivery stream.
 	fence func(p *sim.Proc, mgr *bcastManager, d group.Delivery, f wireFence)
 
+	// migrate, when set by a MixedRTS hosting adaptive objects,
+	// handles sequenced migration records — the cut points of online
+	// placement changes (see adapt.go).
+	migrate func(p *sim.Proc, mgr *bcastManager, uid int64, src int, wm wireMigrate)
+
+	// unbatched lists objects excluded from the write-combining
+	// pipeline. Adaptive objects live here: a combined write parked in
+	// a worker's buffer across a migration cut would be dropped by the
+	// moved replica.
+	unbatched map[ObjID]bool
+
 	// batch, when enabled, turns on the write-combining pipeline (see
 	// EnableBatching and batch.go).
 	batch group.BatchConfig
@@ -112,6 +123,16 @@ type (
 		Op   string
 		Args []any
 	}
+	// wireMigrate is a sequenced placement change: the delivery
+	// position is the migration's cut point. Target is the new primary
+	// machine, or -1 when the object migrates into the broadcast
+	// runtime, in which case State carries the snapshot every member
+	// clones into a fresh replica.
+	wireMigrate struct {
+		Obj    ObjID
+		Target int
+		State  State
+	}
 )
 
 // bcastManager is the per-machine object manager: it owns the local
@@ -167,6 +188,7 @@ type bcastInstance struct {
 	reads   int64
 	writes  int64
 	touched bool // written since the last frame boundary (see run)
+	moved   bool // migrated away at its cut point; writes bounce (see adapt.go)
 
 	ops opCache
 }
@@ -268,6 +290,15 @@ func (r *BroadcastRTS) EnableBatching(bc group.BatchConfig) { r.batch = bc }
 // BatchingEnabled reports whether the write-combining pipeline is on.
 func (r *BroadcastRTS) BatchingEnabled() bool { return r.batch.Enabled() }
 
+// noBatch excludes an object from the write-combining pipeline (see
+// the unbatched field).
+func (r *BroadcastRTS) noBatch(id ObjID) {
+	if r.unbatched == nil {
+		r.unbatched = make(map[ObjID]bool)
+	}
+	r.unbatched[id] = true
+}
+
 // Stats reports aggregate runtime counters: local reads served without
 // communication, broadcast writes, and guard suspensions.
 func (r *BroadcastRTS) Stats() (localReads, bcastWrites, guardWaits int64) {
@@ -362,7 +393,7 @@ func (r *BroadcastRTS) Invoke(w *Worker, id ObjID, opName string, args ...any) [
 		mgr.syncBuf(w)
 		return mgr.directWrite(w, inst, op, args)
 	}
-	if r.batch.Enabled() && op.NoResult && op.Guard == nil && r.placement(id) == nil {
+	if r.batch.Enabled() && op.NoResult && op.Guard == nil && r.placement(id) == nil && !r.unbatched[id] {
 		// Unguarded no-result write under batching: combine. The
 		// invoker continues immediately; program order is preserved
 		// by the sync points (see batch.go).
@@ -460,6 +491,14 @@ func (mgr *bcastManager) localRead(w *Worker, inst *bcastInstance, op *OpDef, ar
 		if w.batch != nil && w.batch.holds(inst) {
 			w.batch.sync(w) // read-own-write: wait for the buffered writes
 		}
+		if inst.moved {
+			// The object migrated away and this replica is frozen at
+			// the cut. A first-migration read here would still be a
+			// consistent prefix, but after the object has round-tripped
+			// the frozen state is arbitrarily stale — bounce, and let
+			// the mixed router wait for the live placement.
+			return retrySlice
+		}
 		r.localReads++
 		inst.reads++
 		w.Charge(r.costs.ReadLocal + r.costs.opCost(op))
@@ -476,6 +515,12 @@ func (mgr *bcastManager) localRead(w *Worker, inst *bcastInstance, op *OpDef, ar
 		// Between the guard check and Wait (or Apply) nothing may
 		// block, so costs are accrued, not charged.
 		w.Flush()
+		if inst.moved {
+			// The object migrated away while this reader was guard
+			// blocked: no further writes will ever wake it here, so
+			// bounce and re-register under the new placement.
+			return retrySlice
+		}
 		w.Accrue(r.costs.GuardCheck)
 		if !op.Guard(inst.state, args) {
 			r.guardWaits++
@@ -575,6 +620,11 @@ func (mgr *bcastManager) run(p *sim.Proc) {
 					panic("rts: cross-shard fence delivered to a non-sharded runtime")
 				}
 				mgr.rts.fence(p, mgr, d, body)
+			case wireMigrate:
+				if mgr.rts.migrate == nil {
+					panic("rts: migrate record delivered to a runtime without adaptive placement")
+				}
+				mgr.rts.migrate(p, mgr, d.UID, d.Src, body)
 			default:
 				if mgr.extra == nil {
 					panic(fmt.Sprintf("rts: unexpected group message %T", d.Body))
@@ -656,6 +706,13 @@ func (mgr *bcastManager) applyWrite(p *sim.Proc, uid int64, src int, wo wireOp) 
 			return // not a replica holder: the write does not apply here
 		}
 		panic(fmt.Sprintf("rts: write to unknown object %d on node %d", wo.Obj, mgr.m.ID()))
+	}
+	if inst.moved {
+		// The object migrated away at an earlier position in the total
+		// order: bounce, so the invoker re-issues under the new
+		// placement (see adapt.go).
+		mgr.complete(p, uid, src, retrySlice)
+		return
 	}
 	op := inst.op(wo.Op)
 	if op.Guard != nil {

@@ -1,6 +1,10 @@
 package rts
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // MixedRTS hosts the broadcast runtime and the point-to-point runtime
 // on the same simulated machines and group members, so one program can
@@ -26,6 +30,14 @@ type MixedRTS struct {
 	// owner maps every object to the subsystem that hosts it. The
 	// simulation is single-threaded, so no locking.
 	owner map[ObjID]System
+
+	// adapt holds the placement controller of every adaptive object
+	// (see adapt.go); nil when no adaptive objects exist.
+	adapt map[ObjID]*adaptInfo
+
+	// Migration counters (see RTSStats).
+	migrations  int64
+	migrationUS float64
 }
 
 var (
@@ -77,6 +89,12 @@ type RTSStats struct {
 	// through a pausing cross-shard fence.
 	FencedOps int64 `json:"fenced_ops,omitempty"`
 
+	// Adaptive-placement counters (see adapt.go): completed online
+	// migrations (including primary re-homes) and the total virtual
+	// time objects spent mid-migration.
+	Migrations         int64   `json:"migrations,omitempty"`
+	MigrationVirtualUS float64 `json:"migration_virtual_us,omitempty"`
+
 	// Fault-tolerance counters (see CrashAware).
 	Crashes    int64 `json:"crashes,omitempty"`     // machine crashes observed by the runtime
 	OpsRetried int64 `json:"ops_retried,omitempty"` // operations retried after a crash broke their first attempt
@@ -120,6 +138,8 @@ func Merge(snaps ...RTSStats) RTSStats {
 		s.Invalidations += o.Invalidations
 		s.Updates += o.Updates
 		s.FencedOps += o.FencedOps
+		s.Migrations += o.Migrations
+		s.MigrationVirtualUS += o.MigrationVirtualUS
 		if o.Crashes > s.Crashes {
 			s.Crashes = o.Crashes
 		}
@@ -156,9 +176,26 @@ var (
 )
 
 // NodeCrashed implements CrashAware, forwarding to both subsystems.
+// It also wakes waiters of any moveout whose driving machine just
+// died, so one of them can rescue the migration by re-broadcasting
+// the snapshot (see awaitFlip in adapt.go). Objects are visited in id
+// order for determinism.
 func (m *MixedRTS) NodeCrashed(node int) {
 	m.br.NodeCrashed(node)
 	m.p2p.NodeCrashed(node)
+	if m.adapt == nil {
+		return
+	}
+	ids := make([]ObjID, 0, len(m.adapt))
+	for id, info := range m.adapt {
+		if info.migrating && info.toBr && !info.decided && info.fromNode == node {
+			ids = append(ids, id)
+		}
+	}
+	sortObjIDs(ids)
+	for _, id := range ids {
+		m.adapt[id].cond.Broadcast()
+	}
 }
 
 // StatsSource is implemented by every runtime system: a unified
@@ -187,6 +224,42 @@ func NewMixedRTS(br *BroadcastRTS, p2p *P2PRTS, defaultIsBroadcast bool) *MixedR
 		m.def = br
 	} else {
 		m.def = p2p
+	}
+	// Adaptive-placement plumbing (see adapt.go): sequenced migrate
+	// records in the broadcast stream route to the composite, and a
+	// point-to-point moveout hands its snapshot to the broadcast order.
+	br.migrate = m.handleMigrate
+	p2p.moveSnap = func(node int, id ObjID, state State) {
+		info := m.adapt[id]
+		info.toBr = true
+		info.fromNode = node
+		info.cloned = state
+	}
+	p2p.mover = func(p *sim.Proc, node int, id ObjID, state State) {
+		mgr := br.mgr(node)
+		size := m.adapt[id].typ.stateSize(state) + 24
+		uid := mgr.g.Broadcast(p, "rts-migrate", wireMigrate{Obj: id, Target: -1, State: state}, size)
+		mgr.await(p, uid)
+	}
+	p2p.recoverState = func(meta *p2pMeta) State {
+		info := m.adapt[meta.id]
+		if info == nil {
+			return nil
+		}
+		// Every live machine's frozen broadcast replica holds the same
+		// state — the prefix of the total order up to the br->p2p cut —
+		// so the lowest-numbered one is as good as any and the choice
+		// is deterministic.
+		for n := 0; n < br.Nodes(); n++ {
+			mgr := br.mgr(n)
+			if mgr == nil || mgr.m.Crashed() {
+				continue
+			}
+			if inst, ok := mgr.insts[meta.id]; ok && inst.moved {
+				return info.typ.Clone(inst.state)
+			}
+		}
+		return nil
 	}
 	return m
 }
@@ -238,15 +311,32 @@ func (m *MixedRTS) CreatePrimaryCopy(w *Worker, typeName string, protocol P2PPro
 	return id
 }
 
-// Invoke implements System, routing by object.
+// Invoke implements System, routing by object. An invocation that
+// bounces off an object's old placement mid-migration (the retry
+// sentinel, see adapt.go) waits for the ownership flip and re-issues
+// under the new placement — at most once per migration, and the
+// re-issued operation executes exactly once, after the cut.
 func (m *MixedRTS) Invoke(w *Worker, id ObjID, op string, args ...any) []any {
-	s := m.sub(id)
-	if s != System(m.br) {
-		// An op leaving the broadcast subsystem must observe the
-		// worker's buffered broadcast writes in program order.
-		w.SyncShared()
+	for {
+		s := m.sub(id)
+		if s != System(m.br) {
+			// An op leaving the broadcast subsystem must observe the
+			// worker's buffered broadcast writes in program order.
+			w.SyncShared()
+		}
+		res := s.Invoke(w, id, op, args...)
+		if !isRetry(res) {
+			if m.adapt != nil {
+				m.adaptObserve(w, id, op)
+			}
+			return res
+		}
+		info := m.adapt[id]
+		if info == nil {
+			panic(fmt.Sprintf("rts: migration bounce on non-adaptive object %d", id))
+		}
+		m.awaitFlip(w, id, info, s)
 	}
-	return s.Invoke(w, id, op, args...)
 }
 
 // PeekState implements System, routing by object.
@@ -263,13 +353,20 @@ func (m *MixedRTS) PeekState(node int, id ObjID) (State, bool) {
 // their reads take the general Invoke path (local copy, lock, or RPC).
 func (m *MixedRTS) LocalReadState(w *Worker, id ObjID, op *OpDef) (State, bool) {
 	if m.owner[id] == m.br {
-		return m.br.LocalReadState(w, id, op)
+		st, ok := m.br.LocalReadState(w, id, op)
+		if ok && m.adapt != nil {
+			m.adaptCount(w, id, Read)
+		}
+		return st, ok
 	}
 	return nil, false
 }
 
 // Counters implements StatsSource, merging both subsystems' counters
-// into one snapshot.
+// into one snapshot, plus the composite's own migration counters.
 func (m *MixedRTS) Counters() RTSStats {
-	return Merge(m.br.Counters(), m.p2p.Counters())
+	s := Merge(m.br.Counters(), m.p2p.Counters())
+	s.Migrations = m.migrations
+	s.MigrationVirtualUS = m.migrationUS
+	return s
 }

@@ -35,6 +35,23 @@ type P2PRTS struct {
 	objs  map[ObjID]*p2pMeta
 	ids   *idAlloc
 
+	// mover and moveSnap, set by a MixedRTS hosting adaptive objects,
+	// connect a moveout to the broadcast total order (see adapt.go):
+	// moveSnap publishes the state snapshot before the cut (so a crash
+	// mid-moveout can be rescued), and mover broadcasts the sequenced
+	// migrate record from the given machine and waits for the local
+	// delivery.
+	mover    func(p *sim.Proc, node int, id ObjID, state State)
+	moveSnap func(node int, id ObjID, state State)
+
+	// recoverState, also set by a MixedRTS, gives crash recovery a
+	// better restart point than the creation arguments: an adaptive
+	// object that migrated in from the broadcast runtime left a frozen
+	// replica of its cut-point state on every machine, and restarting
+	// from that snapshot loses only the writes acknowledged by the
+	// dead primary after the cut. Returns nil when no snapshot exists.
+	recoverState func(meta *p2pMeta) State
+
 	stats P2PStats
 }
 
@@ -144,6 +161,11 @@ type p2pMeta struct {
 	// initial state (see rehome).
 	ctorArgs []any
 
+	// moved marks an object that migrated to the broadcast runtime
+	// (see adapt.go): every point-to-point path bounces it with the
+	// migration retry sentinel.
+	moved bool
+
 	ops opCache
 }
 
@@ -166,10 +188,11 @@ type p2pInstance struct {
 // from remote machines carry the RPC request to reply to; local tasks
 // carry a condition the invoking thread waits on.
 type p2pTask struct {
-	kind string // "write", "read", "fetch"
+	kind string // "write", "read", "fetch", "moveout", "rehome"
 	op   *OpDef
 	args []any
 	from int
+	to   int // rehome target
 	done bool
 	res  []any
 	cond sim.Cond
@@ -226,6 +249,11 @@ type (
 	p2pInstall struct { // primary -> node (one-way, full replication)
 		Obj   ObjID
 		State State
+	}
+	p2pMigrateReq struct { // initiator -> primary: enqueue a migration task
+		Obj    ObjID
+		Kind   string // "moveout" or "rehome"
+		Target int
 	}
 )
 
@@ -395,6 +423,9 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 	st := n.accessFor(meta.id)
 	st.reads++
 	for {
+		if meta.moved {
+			return retrySlice // migrated to the broadcast runtime
+		}
 		inst, ok := n.insts[meta.id]
 		if ok && inst.valid {
 			// Local read; suspend while the copy is locked or the
@@ -441,6 +472,9 @@ func (n *p2pNode) invokeRead(w *Worker, meta *p2pMeta, op *OpDef, args []any) []
 			r.rehome(w, meta)
 			continue
 		}
+		if isRetry(res) && !meta.moved {
+			continue // primary re-homed while the op was in flight: retry there
+		}
 		return res
 	}
 }
@@ -458,6 +492,9 @@ func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) [
 	w.Flush()
 	var res []any
 	for {
+		if meta.moved {
+			return retrySlice // migrated to the broadcast runtime
+		}
 		if meta.primary == n.m.ID() {
 			t := &p2pTask{kind: "write", op: op, args: args, from: n.m.ID()}
 			n.queues[meta.id].Put(t)
@@ -465,15 +502,19 @@ func (n *p2pNode) invokeWrite(w *Worker, meta *p2pMeta, op *OpDef, args []any) [
 				t.cond.Wait(w.P)
 			}
 			res = t.res
-			break
+		} else {
+			var err error
+			res, err = n.remoteOp(w.P, meta, op, args)
+			if err != nil {
+				r.stats.OpsRetried++
+				r.rehome(w, meta)
+				continue
+			}
 		}
-		var err error
-		res, err = n.remoteOp(w.P, meta, op, args)
-		if err == nil {
-			break
+		if isRetry(res) && !meta.moved {
+			continue // primary re-homed mid-op: retry at the new primary
 		}
-		r.stats.OpsRetried++
-		r.rehome(w, meta)
+		break
 	}
 	n.maybeDiscard(w, meta, st)
 	return res
@@ -547,12 +588,15 @@ func (n *p2pNode) fetchCopy(w *Worker, meta *p2pMeta) {
 	st := n.accessFor(meta.id)
 	st.reads, st.writes = 0, 0
 	for {
-		if meta.primary == n.m.ID() {
-			return // re-homed onto this very machine while fetching
+		if meta.moved || meta.primary == n.m.ID() {
+			return // migrated away, or re-homed onto this very machine
 		}
 		rep, err := n.client.Trans(w.P, meta.primary, p2pRPCPort, "fetch",
 			p2pFetchReq{Obj: meta.id, Node: n.m.ID()}, 16)
 		if err == nil {
+			if res, ok := rep.([]any); ok && isRetry(res) {
+				continue // primary moved mid-fetch: re-resolve
+			}
 			n.installCopy(meta.id, meta.typ, rep.(State))
 			return
 		}
@@ -573,6 +617,43 @@ func (n *p2pNode) installCopy(id ObjID, t *ObjectType, state State) {
 		typ: t, state: state, valid: true,
 		cond: sim.NewCond(n.m.Env()),
 		seg:  n.m.AllocSegment(int64(t.stateSize(state))),
+	}
+}
+
+// submitMigrate routes a migration task ("moveout" to the broadcast
+// runtime, or "rehome" onto a new primary) to the object's primary
+// thread and waits for it to run. A primary that dies first is
+// re-homed and the task re-submitted; a moveout that already cut over
+// (meta.moved) is left to the broadcast record to finish.
+func (n *p2pNode) submitMigrate(w *Worker, meta *p2pMeta, kind string, target int) {
+	r := n.rts
+	w.Flush()
+	for {
+		if meta.moved {
+			return
+		}
+		if meta.primary == n.m.ID() {
+			t := &p2pTask{kind: kind, from: n.m.ID(), to: target}
+			n.queues[meta.id].Put(t)
+			for !t.done {
+				t.cond.Wait(w.P)
+			}
+			return
+		}
+		rep, err := n.client.Trans(w.P, meta.primary, p2pRPCPort, "migrate",
+			p2pMigrateReq{Obj: meta.id, Kind: kind, Target: target}, 24)
+		if err != nil {
+			if !errors.Is(err, amoeba.ErrCrashed) {
+				panic(fmt.Sprintf("rts: migrate of object %d failed: %v", meta.id, err))
+			}
+			r.stats.OpsRetried++
+			r.rehome(w, meta)
+			continue
+		}
+		if res, ok := rep.([]any); ok && isRetry(res) && !meta.moved {
+			continue // primary re-homed mid-request: re-submit there
+		}
+		return
 	}
 }
 

@@ -82,7 +82,7 @@ func (r *P2PRTS) rehome(w *Worker, meta *p2pMeta) {
 		return // already re-homed by an earlier detector
 	}
 	// Prefer the lowest-numbered live machine holding a valid copy.
-	target, restart := -1, false
+	target, restart, recovered := -1, false, false
 	for _, n := range r.nodes {
 		if n.m.Crashed() {
 			continue
@@ -109,7 +109,19 @@ func (r *P2PRTS) rehome(w *Worker, meta *p2pMeta) {
 	nn := r.nodes[target]
 	inst, ok := nn.insts[meta.id]
 	if !ok || !inst.valid {
-		nn.installCopy(meta.id, meta.typ, meta.typ.New(meta.ctorArgs))
+		var st State
+		if restart && r.recoverState != nil {
+			// A mixed runtime may hold a frozen migration snapshot that
+			// beats restarting from the creation arguments (see the
+			// recoverState field).
+			if st = r.recoverState(meta); st != nil {
+				recovered = true
+			}
+		}
+		if st == nil {
+			st = meta.typ.New(meta.ctorArgs)
+		}
+		nn.installCopy(meta.id, meta.typ, st)
 		inst = nn.insts[meta.id]
 	}
 	inst.primary = true
@@ -140,9 +152,12 @@ func (r *P2PRTS) rehome(w *Worker, meta *p2pMeta) {
 	old := meta.primary
 	meta.primary = target
 	r.stats.Rehomed++
-	if restart {
+	switch {
+	case recovered:
+		nn.m.Env().Tracef("rts: object %d recovered on node %d from its migration snapshot (primary %d died)", meta.id, target, old)
+	case restart:
 		nn.m.Env().Tracef("rts: object %d restarted on node %d (primary %d died with the only copy)", meta.id, target, old)
-	} else {
+	default:
 		nn.m.Env().Tracef("rts: object %d re-homed %d -> %d", meta.id, old, target)
 	}
 }

@@ -27,8 +27,11 @@ func (n *p2pNode) serve(p *sim.Proc) {
 		switch body := req.Body.(type) {
 		case p2pOpReq:
 			meta := r.meta(body.Obj)
-			if meta.primary != n.m.ID() {
-				panic(fmt.Sprintf("rts: op for object %d routed to non-primary node %d", body.Obj, n.m.ID()))
+			if meta.moved || meta.primary != n.m.ID() {
+				// The object migrated or re-homed while the request
+				// was in flight: bounce so the client re-resolves.
+				n.srv.PutReply(p, req, retrySlice, 8)
+				break
 			}
 			op := meta.typ.Op(body.Op)
 			kind := "write"
@@ -38,7 +41,23 @@ func (n *p2pNode) serve(p *sim.Proc) {
 			n.queues[body.Obj].Put(&p2pTask{kind: kind, op: op, args: body.Args, from: req.From, req: req})
 
 		case p2pFetchReq:
+			if meta := r.meta(body.Obj); meta.moved || meta.primary != n.m.ID() {
+				n.srv.PutReply(p, req, retrySlice, 8)
+				break
+			}
 			n.queues[body.Obj].Put(&p2pTask{kind: "fetch", from: body.Node, req: req})
+
+		case p2pMigrateReq:
+			meta := r.meta(body.Obj)
+			if meta.moved {
+				n.srv.PutReply(p, req, nil, 4) // already cut over
+				break
+			}
+			if meta.primary != n.m.ID() {
+				n.srv.PutReply(p, req, retrySlice, 8)
+				break
+			}
+			n.queues[body.Obj].Put(&p2pTask{kind: body.Kind, from: req.From, to: body.Target, req: req})
 
 		case p2pUpdateReq:
 			// Phase one at a secondary: lock, apply, ack, stay locked.
@@ -114,7 +133,14 @@ func (n *p2pNode) objectLoop(p *sim.Proc, id ObjID, q *sim.Queue[*p2pTask]) {
 // execTask runs one task, parking it if its guard is false.
 func (n *p2pNode) execTask(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTask) {
 	r := n.rts
+	meta := r.meta(id)
 	inst := n.insts[id]
+	if meta.moved || inst == nil || !inst.primary {
+		// The object migrated away or re-homed between enqueue and
+		// execution: bounce the task back to its invoker.
+		n.finishTask(p, t, retrySlice)
+		return
+	}
 	switch t.kind {
 	case "fetch":
 		state := inst.typ.Clone(inst.state)
@@ -145,9 +171,99 @@ func (n *p2pNode) execTask(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTas
 		n.commitWrite(p, id, inst, t)
 		n.drainPending(p, id, pending)
 
+	case "moveout":
+		n.migrateOut(p, id, t, pending)
+
+	case "rehome":
+		n.migratePrimary(p, id, t, pending)
+
 	default:
 		panic("rts: unknown task kind " + t.kind)
 	}
+}
+
+// migrateOut hands the object to the broadcast runtime (see
+// adapt.go). It runs on the primary's object thread, so every task
+// enqueued before it has completed — the queue position is the
+// point-to-point side of the cut; the sequenced migrate record it
+// emits is the broadcast side. The snapshot is published through
+// moveSnap before the cut, with no blocking point in between, so a
+// machine crash can never strand the object without a recoverable
+// snapshot.
+func (n *p2pNode) migrateOut(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTask) {
+	r := n.rts
+	if r.mover == nil || r.moveSnap == nil {
+		panic("rts: moveout without a broadcast runtime attached")
+	}
+	meta := r.meta(id)
+	inst := n.insts[id]
+	clone := meta.typ.Clone(inst.state)
+	r.moveSnap(n.m.ID(), id, clone)
+	meta.moved = true
+	// Bounce parked guarded tasks; they re-register as broadcast ops.
+	for _, pt := range *pending {
+		n.finishTask(p, pt, retrySlice)
+	}
+	*pending = (*pending)[:0]
+	// Drop every copy; suspended readers wake and bounce on meta.moved.
+	for _, node := range r.nodes {
+		if node.m.Crashed() {
+			continue
+		}
+		node.dropLocal(id)
+	}
+	// Sequence the migrate record; its globally-first delivery flips
+	// ownership to the broadcast runtime.
+	r.mover(p, n.m.ID(), id, clone)
+	n.finishTask(p, t, nil)
+}
+
+// migratePrimary moves the primary copy onto a new machine — the
+// controller chasing the hottest writer. The primary's task queue
+// serializes it against all earlier operations; like rehome, the
+// promotion mutates the global object table directly, charging the
+// state-transfer work to this machine's CPU.
+func (n *p2pNode) migratePrimary(p *sim.Proc, id ObjID, t *p2pTask, pending *[]*p2pTask) {
+	r := n.rts
+	meta := r.meta(id)
+	inst := n.insts[id]
+	target := t.to
+	if target == n.m.ID() || r.nodeDown(target) {
+		n.finishTask(p, t, nil) // nothing to move, or the target died
+		return
+	}
+	tn := r.nodes[target]
+	st := meta.typ.Clone(inst.state)
+	n.m.Compute(p, r.costs.WriteApply)
+	tn.installCopy(id, meta.typ, st)
+	ti := tn.insts[id]
+	ti.primary = true
+	ti.copyset = make(map[int]bool)
+	// Adopt surviving secondaries (none under SingleCopy placement,
+	// but the protocol does not depend on that).
+	for _, on := range r.nodes {
+		if on.m.Crashed() || on.m.ID() == target || on.m.ID() == n.m.ID() {
+			continue
+		}
+		if sec, ok := on.insts[id]; ok && sec.valid {
+			ti.copyset[on.m.ID()] = true
+			sec.primary = false
+		}
+	}
+	if _, ok := tn.queues[id]; !ok {
+		q := sim.NewQueue[*p2pTask](tn.m.Env())
+		tn.queues[id] = q
+		tn.m.SpawnThread(fmt.Sprintf("obj%d", id), func(pp *sim.Proc) { tn.objectLoop(pp, id, q) })
+	}
+	meta.primary = target
+	n.dropLocal(id)
+	// Bounce parked guarded tasks; they re-issue at the new primary.
+	for _, pt := range *pending {
+		n.finishTask(p, pt, retrySlice)
+	}
+	*pending = (*pending)[:0]
+	n.m.Env().Tracef("rts: object %d primary migrated %d -> %d", id, n.m.ID(), target)
+	n.finishTask(p, t, nil)
 }
 
 // finishTask completes a task toward its (local or remote) invoker.

@@ -5,75 +5,27 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/rts/scheck"
 	"repro/internal/sim"
 )
 
 // Sequential-consistency checking. The model guarantees that all
 // operations on all shared objects appear to execute in some total
-// order consistent with each process's program order. For a register
-// object (intcell) we can check this directly on recorded histories:
-//
-//   - collect every process's operation sequence (program order),
-//   - writes assign unique values, so every read names the write it
-//     observed,
-//   - verify a legal interleaving exists via greedy simulation over
-//     the known write order (the broadcast RTS totally orders writes,
-//     so the write sequence is fixed; reads must slot between them
-//     without violating program order).
-
-type scOp struct {
-	proc  int
-	write bool
-	val   int // value written or read
-}
-
-// checkSC verifies the per-process histories against the global write
-// order: for each process, the values it reads must be non-decreasing
-// in write order (a process may never observe an older write after a
-// newer one), its own writes must appear in write order, and a read
-// following the process's own write must not observe an earlier write.
-func checkSC(t *testing.T, histories [][]scOp, writeOrder []int) {
-	t.Helper()
-	// Position of each written value in the total write order.
-	pos := make(map[int]int)
-	for i, v := range writeOrder {
-		pos[v] = i + 1 // 0 is the initial value's position
-	}
-	pos[0] = 0 // initial state
-	for p, hist := range histories {
-		lastPos := -1
-		for i, op := range hist {
-			wp, ok := pos[op.val]
-			if !ok {
-				t.Fatalf("proc %d op %d: value %d not in write order", p, i, op.val)
-			}
-			if op.write {
-				if wp < lastPos {
-					t.Fatalf("proc %d: own write %d (pos %d) ordered before an observed pos %d",
-						p, op.val, wp, lastPos)
-				}
-				lastPos = wp
-				continue
-			}
-			if wp < lastPos {
-				t.Fatalf("proc %d op %d: read observed value %d (pos %d) after already observing pos %d — time went backwards",
-					p, i, op.val, wp, lastPos)
-			}
-			lastPos = wp
-		}
-	}
-}
+// order consistent with each process's program order. The checker
+// lives in the reusable scheck package: writes assign unique values,
+// so every read names the write it observed; scheck reconstructs a
+// total write order from the observation constraints and verifies each
+// process's history is monotone in it.
 
 // TestBroadcastRTSSequentialConsistency drives concurrent unique-value
 // writes and reads on one object and validates every process's history
-// against the replica's write order.
+// against the reconstructed write order.
 func TestBroadcastRTSSequentialConsistency(t *testing.T) {
 	f := func(seed int64) bool {
 		const nodes = 4
 		b, r := newBcastTB(t, seed, nodes, nil)
 		var id ObjID
-		histories := make([][]scOp, nodes)
-		var writeOrder []int
+		histories := make([][]scheck.Op, nodes)
 		b.spawn(0, "boot", func(w *Worker) {
 			id = r.Create(w, "intcell") // starts at 0
 			for n := 0; n < nodes; n++ {
@@ -84,10 +36,10 @@ func TestBroadcastRTSSequentialConsistency(t *testing.T) {
 						if rng.Intn(3) == 0 {
 							v := n*1000 + i + 1 // unique nonzero value
 							r.Invoke(w, id, "set", v)
-							histories[n] = append(histories[n], scOp{proc: n, write: true, val: v})
+							histories[n] = append(histories[n], scheck.Op{Proc: n, Write: true, Val: v})
 						} else {
 							got := r.Invoke(w, id, "get")[0].(int)
-							histories[n] = append(histories[n], scOp{proc: n, val: got})
+							histories[n] = append(histories[n], scheck.Op{Proc: n, Val: got})
 						}
 						w.Charge(sim.Time(rng.Intn(500)) * sim.Microsecond)
 					}
@@ -96,20 +48,9 @@ func TestBroadcastRTSSequentialConsistency(t *testing.T) {
 		})
 		b.run(120 * sim.Second)
 		defer b.done()
-		// Reconstruct the global write order by replaying node 0's
-		// replica log: writes apply in delivery order, which the group
-		// layer totally orders. We log it via a shadow: since the
-		// intcell keeps only the last value, recover order from each
-		// process's program order of writes merged by observation.
-		// Simpler and exact: ask the RTS how many writes were applied
-		// and re-derive from history — unique values make the merged
-		// observation order checkable without the full total order:
-		// here we use the union of writes sorted by the order node 0
-		// observed them... but node 0 does not observe all. Instead,
-		// validate pairwise monotonicity using an order oracle
-		// captured below.
-		writeOrder = captureWriteOrder(histories)
-		checkSC(t, histories, writeOrder)
+		if err := scheck.Check(histories); err != nil {
+			t.Fatal(err)
+		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
@@ -117,84 +58,16 @@ func TestBroadcastRTSSequentialConsistency(t *testing.T) {
 	}
 }
 
-// captureWriteOrder reconstructs the total write order from the
-// observation structure: since the broadcast RTS applies all writes in
-// group-sequence order on every replica and the test's values are
-// unique, the order each process issued its writes (program order)
-// combined with inter-process reads gives a partial order; for the
-// checker above only each process's observation monotonicity matters,
-// so a topological order of (own-write precedence, read observations)
-// suffices. We build it greedily.
-func captureWriteOrder(histories [][]scOp) []int {
-	// Edges: w1 -> w2 if some process wrote w1 before w2 (program
-	// order), or read w1 then later read/wrote w2.
-	values := map[int]bool{}
-	edges := map[int]map[int]bool{}
-	addEdge := func(a, b int) {
-		if a == b || a == 0 {
-			return
-		}
-		if edges[a] == nil {
-			edges[a] = map[int]bool{}
-		}
-		edges[a][b] = true
-	}
-	for _, hist := range histories {
-		prev := 0
-		for _, op := range hist {
-			if op.val != 0 {
-				values[op.val] = true
-			}
-			addEdge(prev, op.val)
-			prev = op.val
-		}
-	}
-	// Kahn's algorithm; ties broken by value for determinism.
-	indeg := map[int]int{}
-	for v := range values {
-		indeg[v] += 0
-	}
-	for _, outs := range edges {
-		for b := range outs {
-			indeg[b]++
-		}
-	}
-	var order []int
-	for len(indeg) > 0 {
-		best := 0
-		found := false
-		for v, d := range indeg {
-			if d == 0 && (!found || v < best) {
-				best, found = v, true
-			}
-		}
-		if !found {
-			// Cycle: impossible under SC with monotone observations;
-			// surface as empty order so the checker fails loudly.
-			return nil
-		}
-		order = append(order, best)
-		delete(indeg, best)
-		for b := range edges[best] {
-			if _, ok := indeg[b]; ok {
-				indeg[b]--
-			}
-		}
-	}
-	return order
-}
-
 // TestSCViolationDetectorSanity makes sure the checker actually fails
 // on a non-SC history (a process observing values in opposing orders).
 func TestSCViolationDetectorSanity(t *testing.T) {
-	histories := [][]scOp{
-		{{proc: 0, write: true, val: 1}, {proc: 0, write: true, val: 2}},
-		{{proc: 1, val: 2}, {proc: 1, val: 1}}, // reads new then old: violation
+	histories := [][]scheck.Op{
+		{{Proc: 0, Write: true, Val: 1}, {Proc: 0, Write: true, Val: 2}},
+		{{Proc: 1, Val: 2}, {Proc: 1, Val: 1}}, // reads new then old: violation
 	}
-	order := captureWriteOrder(histories)
-	if order != nil {
-		// The cycle 1->2 (program order) vs 2->1 (observation) must
-		// be detected as unorderable.
-		t.Fatalf("expected cycle detection, got order %v", order)
+	// The cycle 1->2 (program order) vs 2->1 (observation) must be
+	// detected as unorderable.
+	if err := scheck.Check(histories); err == nil {
+		t.Fatal("expected cycle detection on a non-SC history, got nil error")
 	}
 }

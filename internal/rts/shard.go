@@ -48,9 +48,12 @@ type ShardedRTS struct {
 	extra func(node int, body any)
 
 	// fences holds the per-machine in-flight fence records, keyed by
-	// fence id.
-	fences   []map[int64]*fenceRec
-	fenceSeq int64
+	// fence id. fenceAborted marks fences presumed aborted after their
+	// initiator crashed mid-reservation: late deliveries of an aborted
+	// fence complete without pausing or applying (see NodeCrashed).
+	fences       []map[int64]*fenceRec
+	fenceAborted []map[int64]bool
+	fenceSeq     int64
 
 	fencedOps int64
 }
@@ -96,7 +99,9 @@ type wireFence struct {
 type fenceRec struct {
 	expect  int // covered shards spanning this machine
 	arrived int
+	src     int // initiating machine (pausing fences; -1 until known)
 	done    bool
+	aborted bool
 	cond    sim.Cond
 }
 
@@ -109,12 +114,14 @@ func NewShardedRTS(reg *Registry, costs Costs, machines []*amoeba.Machine, shard
 		panic("rts: a sharded runtime needs at least two shards (use BroadcastRTS for one)")
 	}
 	s := &ShardedRTS{
-		machines: machines,
-		owner:    make(map[ObjID]int),
-		fences:   make([]map[int64]*fenceRec, len(machines)),
+		machines:     machines,
+		owner:        make(map[ObjID]int),
+		fences:       make([]map[int64]*fenceRec, len(machines)),
+		fenceAborted: make([]map[int64]bool, len(machines)),
 	}
 	for i := range s.fences {
 		s.fences[i] = make(map[int64]*fenceRec)
+		s.fenceAborted[i] = make(map[int64]bool)
 	}
 	covered := make([]bool, len(machines))
 	for k, def := range shards {
@@ -189,6 +196,79 @@ func (s *ShardedRTS) SetExtraHandler(h func(node int, body any)) {
 func (s *ShardedRTS) NodeCrashed(node int) {
 	for _, sub := range s.subs {
 		sub.NodeCrashed(node)
+	}
+	s.presumeAbort(node)
+}
+
+// fenceAbortGrace is how long a pausing fence whose initiator crashed
+// may stay incomplete before it is presumed aborted. The grace must
+// exceed the sequencing latency of the initiator's last in-flight
+// reservation broadcast: after that long, a still-missing arrival can
+// only mean the initiator died between reservations and the fence can
+// never complete.
+const fenceAbortGrace = 250 * sim.Millisecond
+
+// presumeAbort scans for pausing fences initiated by the crashed
+// machine and, if any are still incomplete after fenceAbortGrace,
+// releases the shards they paused without applying the fenced writes.
+// The decision is made once, globally — modelling the abort record a
+// real shard sequencer would time out and broadcast, without
+// simulating its messages (the same modelling rehome uses for the
+// point-to-point recovery round). A single global decision point keeps
+// the outcome consistent: a fence either executes on every machine or
+// on none.
+func (s *ShardedRTS) presumeAbort(node int) {
+	watch := -1
+	for i, m := range s.machines {
+		if !m.Crashed() {
+			watch = i
+			break
+		}
+	}
+	if watch == -1 {
+		return
+	}
+	s.machines[watch].SpawnThread("fence-abort", func(p *sim.Proc) {
+		// The scan waits out the grace rather than running at the crash
+		// instant: the initiator's last reservation broadcast may still
+		// be in flight when the machine dies, so its record only shows
+		// up in the fence tables after delivery. A fence found
+		// incomplete this long after the crash can never complete — a
+		// fully sequenced fence finishes on every machine within normal
+		// delivery latency of the crash, far inside the grace.
+		p.Sleep(fenceAbortGrace)
+		var fids []int64
+		seen := make(map[int64]bool)
+		for _, m := range s.fences {
+			for fid, rec := range m {
+				if rec.src == node && !rec.done && !seen[fid] {
+					fids = append(fids, fid)
+					seen[fid] = true
+				}
+			}
+		}
+		sortInt64s(fids)
+		for _, fid := range fids {
+			for i := range s.fences {
+				s.fenceAborted[i][fid] = true
+				if r, ok := s.fences[i][fid]; ok {
+					r.aborted = true
+					r.done = true
+					r.cond.Broadcast()
+					delete(s.fences[i], fid)
+				}
+			}
+			p.Env().Tracef("rts: fence %d presumed aborted (initiator %d crashed mid-reservation)", fid, node)
+		}
+	})
+}
+
+// sortInt64s sorts a small int64 slice (insertion sort, like sortInts).
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 
@@ -370,7 +450,7 @@ func (s *ShardedRTS) fenceRec(node int, f wireFence) *fenceRec {
 			expect++
 		}
 	}
-	rec := &fenceRec{expect: expect}
+	rec := &fenceRec{expect: expect, src: -1}
 	m[f.FID] = rec
 	return rec
 }
@@ -410,7 +490,13 @@ func (s *ShardedRTS) handleFence(p *sim.Proc, mgr *bcastManager, d group.Deliver
 		return
 	}
 	mgr.complete(p, d.UID, d.Src, nil)
+	if s.fenceAborted[node][f.FID] {
+		// Presumed aborted: a straggling delivery applies nothing and
+		// must not pause the stream again.
+		return
+	}
 	rec := s.fenceRec(node, f)
+	rec.src = d.Src
 	rec.arrived++
 	if rec.arrived < rec.expect {
 		for !rec.done {
@@ -470,9 +556,10 @@ func (s *ShardedRTS) execFence(p *sim.Proc, mgr *bcastManager, f wireFence) {
 // invoking machine must lie in every covered shard's span. The call
 // returns once the writes have applied locally, so the invoker's
 // subsequent reads observe them. An initiator that crashes between
-// reservations stalls the already-reserved shards on machines that
-// delivered its fence — the same class of liveness caveat as a crashed
-// replica holder mid-forward (see DESIGN.md).
+// reservations is presumed aborted: the already-reserved shards stay
+// paused for fenceAbortGrace and are then released without applying
+// any of the fenced writes, so the fence is all-or-nothing under
+// crashes too (see presumeAbort).
 func (s *ShardedRTS) InvokeFenced(w *Worker, ops []FencedOp) {
 	if len(ops) == 0 {
 		return

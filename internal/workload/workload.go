@@ -97,6 +97,23 @@ type Config struct {
 	ShiftFrac float64
 	// ShiftBy is the rotation amount (default Keys/2).
 	ShiftBy int64
+
+	// Partitions, together with Partition and LocalFrac, adds machine
+	// affinity: the key universe splits into Partitions equal blocks
+	// and each generated key is remapped with probability LocalFrac
+	// into this source's home block — block Partition before the phase
+	// shift, block (Partition+1) mod Partitions after it. A client per
+	// machine with Partition = machine id gives every key block a
+	// dominant writer, and the shift moves every block's traffic to
+	// the next machine — the input that makes primary re-homing (not
+	// just placement choice) matter. Partitions <= 1 disables affinity
+	// and draws exactly the original trace.
+	Partitions int
+	// Partition is this source's home block in [0, Partitions).
+	Partition int
+	// LocalFrac is the probability a key is remapped into the home
+	// block (default 0.9 when Partitions > 1).
+	LocalFrac float64
 }
 
 // withDefaults fills zero fields and validates.
@@ -124,6 +141,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShiftBy == 0 {
 		c.ShiftBy = c.Keys / 2
+	}
+	if c.Partitions > 1 {
+		if c.Partition < 0 || c.Partition >= c.Partitions {
+			panic("workload: Config.Partition must be in [0, Partitions)")
+		}
+		if c.Keys < int64(c.Partitions) {
+			panic("workload: Config.Keys must be at least Partitions")
+		}
+		if c.LocalFrac == 0 {
+			c.LocalFrac = 0.9
+		}
+		if c.LocalFrac < 0 || c.LocalFrac > 1 {
+			panic("workload: Config.LocalFrac must be in [0, 1]")
+		}
 	}
 	return c
 }
@@ -186,6 +217,18 @@ func (g *Gen) Next() (Op, bool) {
 	}
 	if g.shifted() {
 		op.Key = (op.Key + g.cfg.ShiftBy) % g.cfg.Keys
+	}
+	if g.cfg.Partitions > 1 {
+		// Affinity remap. The extra draw happens only when partitions
+		// are configured, so existing traces are untouched.
+		if g.rng.Float64() < g.cfg.LocalFrac {
+			home := g.cfg.Partition
+			if g.shifted() {
+				home = (home + 1) % g.cfg.Partitions
+			}
+			block := g.cfg.Keys / int64(g.cfg.Partitions)
+			op.Key = op.Key%block + int64(home)*block
+		}
 	}
 	u := g.rng.Float64()
 	switch {

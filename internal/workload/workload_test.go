@@ -210,3 +210,50 @@ func TestConfigValidation(t *testing.T) {
 	mustPanic("no ops", Config{Keys: 10})
 	mustPanic("bad mix", Config{Keys: 10, Ops: 1, ReadFrac: 0.9, UpdateFrac: 0.2})
 }
+
+func TestAffinityRemapsToHomeBlock(t *testing.T) {
+	cfg := Config{Keys: 1000, Dist: Uniform, Seed: 9, ReadFrac: 1,
+		Rate: 10000, Duration: 1 * sim.Second, ShiftFrac: 0.5, ShiftBy: 1,
+		Partitions: 4, Partition: 1, LocalFrac: 0.9}
+	ops := Trace(cfg)
+	cut := sim.Time(float64(cfg.Duration) * cfg.ShiftFrac)
+	inBlock := func(k int64, b int) bool { return k >= int64(b)*250 && k < int64(b+1)*250 }
+	var early, earlyHome, late, lateHome int
+	for _, op := range ops {
+		if op.At < cut {
+			early++
+			if inBlock(op.Key, 1) {
+				earlyHome++
+			}
+		} else {
+			late++
+			if inBlock(op.Key, 2) {
+				lateHome++
+			}
+		}
+	}
+	// LocalFrac 0.9 plus the uniform background's 0.25 share of the home
+	// block puts ~92% of draws there; 0.8 leaves slack for sampling noise.
+	if float64(earlyHome) < 0.8*float64(early) {
+		t.Errorf("pre-shift: %d of %d ops in home block 1, want >= 80%%", earlyHome, early)
+	}
+	// After the shift the home rotates to the next partition.
+	if float64(lateHome) < 0.8*float64(late) {
+		t.Errorf("post-shift: %d of %d ops in block 2, want >= 80%%", lateHome, late)
+	}
+}
+
+func TestAffinityOffLeavesTraceUnchanged(t *testing.T) {
+	base := Config{Keys: 500, Seed: 3, Rate: 5000, Duration: sim.Second}
+	with := base
+	with.Partitions = 1 // <= 1: affinity disabled, no extra draws
+	a, b := Trace(base), Trace(with)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace differs at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
